@@ -1,0 +1,70 @@
+"""§V-B claim: "BFT-SMaRt is not the bottleneck of our system".
+
+The paper observes that the bare library reaches 16k requests/s for
+1024-byte messages (Bessani et al., DSN'14) — two orders of magnitude
+above SMaRt-SCADA's ~100 writes/s — so the SCADA serialization, not the
+agreement protocol, limits the integrated system. This bench measures
+our replication stack alone on an echo service with 1024-byte payloads
+and checks the same two-orders-of-magnitude headroom over the measured
+integrated write path.
+"""
+
+from conftest import once, print_table
+
+from repro.bftsmart import EchoService, GroupConfig, build_group, build_proxy
+from repro.crypto import KeyStore
+from repro.net import ConstantLatency, Network
+from repro.sim import Simulator
+from repro.workloads import ThroughputMeter, run_write_experiment
+
+PAYLOAD = bytes(1024)
+OFFERED_RATE = 25_000.0
+WARMUP = 0.2
+WINDOW = 0.6
+
+
+def run_micro():
+    sim = Simulator(seed=1)
+    net = Network(sim, latency=ConstantLatency(0.00025))
+    keystore = KeyStore()
+    config = GroupConfig(n=4, f=1, batch_max=500, batch_wait=0.001)
+    replicas = build_group(sim, net, config, EchoService, keystore)
+    proxy = build_proxy(sim, net, "load-client", config, keystore, invoke_timeout=5.0)
+
+    def firehose():
+        interval = 1.0 / OFFERED_RATE
+        while True:
+            event = proxy.invoke_ordered(PAYLOAD)
+            event.add_callback(lambda ev: setattr(ev, "defused", True))
+            yield sim.timeout(interval)
+
+    sim.process(firehose())
+    meter = ThroughputMeter(sim, lambda: replicas[0].stats["executed"])
+    sim.run(until=WARMUP)
+    meter.open_window()
+    sim.run(until=WARMUP + WINDOW)
+    meter.close_window()
+    return meter.rate, replicas[0].stats
+
+
+def test_bft_smart_alone_is_not_the_bottleneck(benchmark):
+    library_rate, _stats = once(benchmark, run_micro)
+    write = run_write_experiment("smartscada", duration=2.0)
+    print_table(
+        "§V-B — raw replication library vs integrated write path",
+        ["measurement", "ops/s", "paper"],
+        [
+            ["bare library (1 KiB echo)", f"{library_rate:.0f}", "16k req/s"],
+            ["SMaRt-SCADA writes", f"{write.throughput:.0f}", "~100/s"],
+            [
+                "headroom",
+                f"{library_rate / max(write.throughput, 1):.0f}x",
+                ">100x",
+            ],
+        ],
+    )
+    # The library alone sustains orders of magnitude more than the
+    # integrated write path: the serialization bottleneck, not BFT,
+    # limits SMaRt-SCADA.
+    assert library_rate > 5_000
+    assert library_rate > 50 * write.throughput

@@ -1,0 +1,105 @@
+"""Figure 8(b): Update-value use case with the AE subsystem (alarms).
+
+Paper setup: the Monitor handler raises an alarm on 50% / 100% of the
+1000 updates/s; each alarm is persisted to storage and pushed to the HMI
+over AE. NeoSCADA still processes everything; SMaRt-SCADA loses 10%
+(50% alarms) and 25% (100% alarms) — and the 100% case loses
+disproportionally more because the event storage path saturates ("the
+number of events that go to storage is twice what was observed").
+"""
+
+import pytest
+from conftest import once, print_table
+
+from repro.workloads import run_update_experiment
+
+OFFERED = 1000.0
+DURATION = 3.0
+WARMUP = 0.5
+
+
+def run_point(system, ratio):
+    return run_update_experiment(
+        system,
+        rate=OFFERED,
+        alarm_ratio=ratio,
+        duration=DURATION,
+        warmup=WARMUP,
+    )
+
+
+def test_fig8b_neoscada_alarms(benchmark):
+    results = once(
+        benchmark, lambda: [run_point("neoscada", r) for r in (0.5, 1.0)]
+    )
+    print_table(
+        "Figure 8(b) — alarms, NeoSCADA",
+        ["alarm ratio", "measured (ops/s)", "paper"],
+        [
+            [f"{ratio:.0%}", f"{res.throughput:.0f}", "~1000 (all processed)"]
+            for ratio, res in zip((0.5, 1.0), results)
+        ],
+    )
+    for result in results:
+        assert result.throughput >= OFFERED * 0.98
+
+
+def test_fig8b_smartscada_50pct_alarms(benchmark):
+    result = once(benchmark, lambda: run_point("smartscada", 0.5))
+    drop = 1.0 - result.throughput / OFFERED
+    print_table(
+        "Figure 8(b) — 50% alarms, SMaRt-SCADA",
+        ["measured (ops/s)", "events/s", "drop", "paper drop"],
+        [
+            [
+                f"{result.throughput:.0f}",
+                f"{result.details['event_rate']:.0f}",
+                f"{drop:.1%}",
+                "~10%",
+            ]
+        ],
+    )
+    assert 0.05 <= drop <= 0.16
+    # Half the delivered updates alarmed.
+    assert result.details["event_rate"] / result.throughput == pytest.approx(
+        0.5, rel=0.1
+    )
+
+
+def test_fig8b_smartscada_100pct_alarms(benchmark):
+    result = once(benchmark, lambda: run_point("smartscada", 1.0))
+    drop = 1.0 - result.throughput / OFFERED
+    print_table(
+        "Figure 8(b) — 100% alarms, SMaRt-SCADA",
+        ["measured (ops/s)", "events/s", "drop", "paper drop"],
+        [
+            [
+                f"{result.throughput:.0f}",
+                f"{result.details['event_rate']:.0f}",
+                f"{drop:.1%}",
+                "~25%",
+            ]
+        ],
+    )
+    assert 0.18 <= drop <= 0.32
+
+
+def test_fig8b_overhead_ordering(benchmark):
+    """The panel's defining shape: 0% < 50% < 100% overhead, and the
+    100% overhead is disproportionally (not just 2x) larger."""
+    results = once(
+        benchmark,
+        lambda: {
+            ratio: run_point("smartscada", ratio) for ratio in (0.0, 0.5, 1.0)
+        },
+    )
+    drops = {
+        ratio: 1.0 - res.throughput / OFFERED for ratio, res in results.items()
+    }
+    print_table(
+        "Figure 8(b) — overhead ordering, SMaRt-SCADA",
+        ["alarm ratio", "drop"],
+        [[f"{ratio:.0%}", f"{drop:.1%}"] for ratio, drop in sorted(drops.items())],
+    )
+    assert drops[0.0] < drops[0.5] < drops[1.0]
+    assert drops[1.0] > 2 * drops[0.5] * 0.9  # superlinear-ish growth

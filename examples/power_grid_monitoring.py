@@ -1,0 +1,115 @@
+"""Power-grid monitoring: the paper's motivating domain, end to end.
+
+A medium-voltage substation with three feeders, each behind its own RTU
+running a physical feeder model. The Frontend polls the RTUs over the
+Modbus-style protocol; the replicated SCADA Master scales raw register
+values into engineering units, watches them with Monitor handlers, and
+the HMI trips a breaker when a feeder goes over-current — the classic
+supervisory control loop, running on top of Byzantine agreement.
+
+(The paper validated its workload with "the staff of an electrical
+company that runs a country-scale SCADA"; this example is that setting
+in miniature.)
+
+Run:  python examples/power_grid_monitoring.py
+"""
+
+from repro.core import build_smartscada, make_network
+from repro.neoscada import RTU, HandlerChain, Monitor, Scale, TrendRecorder
+from repro.neoscada.field import PowerFeeder
+from repro.neoscada.field.powergrid import BREAKER, CURRENT, VOLTAGE
+from repro.sim import Simulator
+
+FEEDERS = ("north", "east", "south")
+
+
+def main() -> None:
+    sim = Simulator(seed=7)
+    net = make_network(sim)
+    system = build_smartscada(sim, net=net)
+
+    # Field layer: one RTU per feeder, each with its own physics. The
+    # east feeder carries a heavier, spikier load — it will alarm.
+    profiles = {
+        "north": PowerFeeder(base_current=40.0, load_swing=0.2),
+        "east": PowerFeeder(base_current=55.0, load_swing=0.6, day_length=30.0),
+        "south": PowerFeeder(base_current=35.0, load_swing=0.3),
+    }
+    for name in FEEDERS:
+        RTU(
+            sim,
+            net,
+            f"rtu-{name}",
+            process=profiles[name],
+            step_interval=0.25,
+            writable_registers=(BREAKER,),
+        )
+        system.frontend.add_item(f"{name}.voltage", rtu=f"rtu-{name}", register=VOLTAGE)
+        system.frontend.add_item(f"{name}.current", rtu=f"rtu-{name}", register=CURRENT)
+        system.frontend.add_item(
+            f"{name}.breaker", rtu=f"rtu-{name}", register=BREAKER, writable=True
+        )
+        # Registers are decivolts/deciamps: scale to engineering units,
+        # then alarm on over-current (> 70 A).
+        system.attach_handlers(
+            f"{name}.voltage", lambda: HandlerChain([Scale(factor=0.1)])
+        )
+        system.attach_handlers(
+            f"{name}.current",
+            lambda: HandlerChain([Scale(factor=0.1), Monitor(high=70.0)]),
+        )
+    system.start()
+    trends = TrendRecorder(system.hmi)  # HD subsystem: record what we see
+
+    tripped = []
+
+    def operator_console():
+        """Supervisory loop: trip any feeder that alarms on over-current."""
+        while True:
+            yield sim.timeout(0.5)
+            for alarm in system.hmi.alarms():
+                feeder = alarm.item_id.split(".")[0]
+                if feeder not in tripped:
+                    print(f"[t={sim.now:6.2f}s] ALARM {alarm.item_id}: {alarm.message}")
+                    tripped.append(feeder)
+                    result = yield system.hmi.write(f"{feeder}.breaker", 0)
+                    print(
+                        f"[t={sim.now:6.2f}s] breaker trip on {feeder!r}: "
+                        f"{'ok' if result.success else result.reason}"
+                    )
+
+    sim.process(operator_console())
+
+    def report():
+        for tick in range(6):
+            yield sim.timeout(5.0)
+            readings = ", ".join(
+                f"{name}: {system.hmi.value_of(f'{name}.current') or 0:5.1f} A"
+                for name in FEEDERS
+            )
+            print(f"[t={sim.now:6.2f}s] currents  {readings}")
+        return True
+
+    sim.run_process(report(), until=60)
+
+    print()
+    print("trend summary (10s buckets, north feeder current):")
+    for bucket in trends.archive.trend("north.current", 10.0):
+        print(
+            f"  t={bucket.start:5.0f}s  min={bucket.minimum:5.1f}  "
+            f"mean={bucket.mean:5.1f}  max={bucket.maximum:5.1f} A"
+        )
+    print()
+    print(f"feeders tripped          : {tripped}")
+    print(f"alarms logged at the HMI : {len(system.hmi.alarms())}")
+    events = system.masters[0].storage.query(event_type="alarm")
+    print(f"alarms in Master storage : {len(events)}")
+    print(
+        "replica states identical :",
+        len(set(system.state_digests())) == 1,
+    )
+    assert tripped, "expected the east feeder to trip"
+
+
+if __name__ == "__main__":
+    main()

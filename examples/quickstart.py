@@ -1,0 +1,55 @@
+"""Quickstart: a BFT SCADA Master in ~40 lines.
+
+Builds the paper's six-machine SMaRt-SCADA deployment (one Frontend with
+its proxy, four SCADA Master replicas, one HMI with its proxy), pushes a
+sensor update through the Byzantine-agreement pipeline, and issues an
+operator write — then shows that all four replicas hold byte-identical
+state.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import build_smartscada
+from repro.neoscada import HandlerChain, Monitor
+from repro.sim import Simulator
+
+
+def main() -> None:
+    sim = Simulator(seed=42)
+    system = build_smartscada(sim)  # n=4 replicas, f=1
+
+    # Declare the plant: one sensor, one actuator.
+    system.frontend.add_item("plant.temperature", initial=20)
+    system.frontend.add_item("plant.valve", initial=0, writable=True)
+    # Alarm when the temperature passes 80 degrees (same chain on every replica).
+    system.attach_handlers(
+        "plant.temperature", lambda: HandlerChain([Monitor(high=80.0)])
+    )
+    system.start()
+
+    def scenario():
+        # A field update travels Frontend -> proxy -> Byzantine agreement
+        # -> 4 Masters -> f+1 voting -> HMI (paper Figure 6).
+        system.frontend.inject_update("plant.temperature", 95)
+        yield sim.timeout(0.5)
+        print(f"HMI temperature reading : {system.hmi.value_of('plant.temperature')}")
+        for alarm in system.hmi.alarms():
+            print(f"HMI alarm               : {alarm.event_id}: {alarm.message}")
+
+        # An operator write travels the other way (paper Figure 7).
+        result = yield system.hmi.write("plant.valve", 1)
+        print(f"valve write succeeded   : {result.success}")
+        yield sim.timeout(0.5)
+        print(f"valve position at field : "
+              f"{system.frontend.items.get('plant.valve').value.value}")
+        return True
+
+    sim.run_process(scenario(), until=30)
+
+    digests = system.state_digests()
+    print(f"replica state digests equal across {len(digests)} replicas: "
+          f"{len(set(digests)) == 1}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""SMaRt-SCADA reproduction (Nogueira et al., DSN 2018).
+
+A Byzantine fault-tolerant SCADA system built from scratch in Python:
+
+- :mod:`repro.sim` — deterministic discrete-event simulation kernel;
+- :mod:`repro.net` — simulated network with latency and fault injection;
+- :mod:`repro.crypto` / :mod:`repro.wire` — authentication and codec;
+- :mod:`repro.bftsmart` — BFT-SMaRt-style state machine replication;
+- :mod:`repro.neoscada` — Eclipse-NeoSCADA-style SCADA construction kit;
+- :mod:`repro.core` — SMaRt-SCADA: the BFT SCADA Master integration;
+- :mod:`repro.workloads` — workload generators and measurement harness.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,167 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+fig8
+    Regenerate the paper's Figure 8 (all three panels) and print the
+    paper-vs-measured table. Accepts ``--duration`` to trade accuracy
+    for speed.
+demo
+    Run the quickstart scenario (one update with an alarm, one write)
+    against a fresh SMaRt-SCADA deployment and print what happened.
+steps
+    Replay one item update and one write through both systems and print
+    the communication-step flows (Figures 3/4 vs 6/7).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _print_table(title: str, header: list, rows: list) -> None:
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    print(f"\n=== {title} ===")
+    line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(widths[i]) for i, c in enumerate(row)))
+
+
+def cmd_fig8(args) -> int:
+    from repro.workloads import run_update_experiment, run_write_experiment
+
+    offered = 1000.0
+    duration = args.duration
+    print(f"running Figure 8 ({duration:.1f}s measurement windows)...")
+    rows = []
+    for label, ratio, paper in (
+        ("8(a) update, no alarms", 0.0, "6%"),
+        ("8(b) update, 50% alarms", 0.5, "10%"),
+        ("8(b) update, 100% alarms", 1.0, "25%"),
+    ):
+        neo = run_update_experiment(
+            "neoscada", rate=offered, alarm_ratio=ratio, duration=duration
+        ).throughput
+        smart = run_update_experiment(
+            "smartscada", rate=offered, alarm_ratio=ratio, duration=duration
+        ).throughput
+        rows.append(
+            [label, f"{neo:.0f}", f"{smart:.0f}", f"{1 - smart / neo:.1%}", paper]
+        )
+    neo = run_write_experiment("neoscada", duration=duration).throughput
+    smart = run_write_experiment("smartscada", duration=duration).throughput
+    rows.append(
+        ["8(c) synchronous writes", f"{neo:.0f}", f"{smart:.0f}",
+         f"{1 - smart / neo:.1%}", "78%"]
+    )
+    _print_table(
+        "Figure 8 — full reproduction (ops/s)",
+        ["experiment", "NeoSCADA", "SMaRt-SCADA", "overhead", "paper"],
+        rows,
+    )
+    return 0
+
+
+def cmd_demo(args) -> int:
+    from repro.core import build_smartscada
+    from repro.neoscada import HandlerChain, Monitor
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=args.seed)
+    system = build_smartscada(sim)
+    system.frontend.add_item("plant.temperature", initial=20)
+    system.frontend.add_item("plant.valve", initial=0, writable=True)
+    system.attach_handlers(
+        "plant.temperature", lambda: HandlerChain([Monitor(high=80.0)])
+    )
+    system.start()
+
+    def scenario():
+        system.frontend.inject_update("plant.temperature", 95)
+        yield sim.timeout(0.5)
+        print(f"HMI temperature : {system.hmi.value_of('plant.temperature')}")
+        for alarm in system.hmi.alarms():
+            print(f"HMI alarm       : {alarm.event_id}: {alarm.message}")
+        result = yield system.hmi.write("plant.valve", 1)
+        print(f"valve write     : success={result.success}")
+        yield sim.timeout(0.5)
+        return True
+
+    sim.run_process(scenario(), until=30)
+    identical = len(set(system.state_digests())) == 1
+    print(f"replica states identical across n={len(system.proxy_masters)}: {identical}")
+    return 0 if identical else 1
+
+
+def cmd_steps(args) -> int:
+    from repro.core import build_neoscada, build_smartscada, make_network
+    from repro.sim import Simulator
+
+    def trace(system_name, operation):
+        sim = Simulator(seed=1)
+        net = make_network(sim, trace=True)
+        builder = build_neoscada if system_name == "neoscada" else build_smartscada
+        system = builder(sim, net=net)
+        system.frontend.add_item("item", initial=0, writable=True)
+        system.start()
+        net.trace.clear()
+        if operation == "update":
+            system.frontend.inject_update("item", 1)
+            sim.run(until=sim.now + 1)
+        else:
+
+            def op():
+                result = yield system.hmi.write("item", 1)
+                return result
+
+            sim.run_process(op(), until=sim.now + 10)
+        return net.trace
+
+    for operation in ("update", "write"):
+        for system_name in ("neoscada", "smartscada"):
+            net_trace = trace(system_name, operation)
+            stages = []
+            for hop in net_trace.hops:
+                stage = (hop.kind, hop.src, hop.dst)
+                if stage not in stages:
+                    stages.append(stage)
+            print(f"\n{operation} flow through {system_name} "
+                  f"({net_trace.count()} network hops):")
+            for kind, src, dst in stages:
+                print(f"  {src:24s} -> {dst:24s} {kind}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SMaRt-SCADA reproduction (Nogueira et al., DSN 2018)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    fig8 = subparsers.add_parser("fig8", help="regenerate the paper's Figure 8")
+    fig8.add_argument("--duration", type=float, default=2.0,
+                      help="measurement window per point, seconds (default 2)")
+    fig8.set_defaults(func=cmd_fig8)
+
+    demo = subparsers.add_parser("demo", help="run the quickstart scenario")
+    demo.add_argument("--seed", type=int, default=42)
+    demo.set_defaults(func=cmd_demo)
+
+    steps = subparsers.add_parser(
+        "steps", help="print the message-flow steps (Figures 3/4/6/7)"
+    )
+    steps.set_defaults(func=cmd_steps)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

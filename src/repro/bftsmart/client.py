@@ -1,0 +1,223 @@
+"""Client side of the replication library.
+
+:class:`ServiceProxy` is what BFT-SMaRt calls the ``ServiceProxy``: it
+signs and multicasts requests to every replica, collects replies, and
+delivers a result once ``f+1`` identical replies arrived (``n-f`` for
+unordered/read-only requests). It also hosts the :class:`PushVoter`, the
+client-side half of the asynchronous server→client channel the paper
+relies on for ItemUpdate/EventUpdate delivery: each replica pushes its
+copy, and the voter fires the registered handler exactly once per
+``(stream, order)`` after ``f+1`` matching copies.
+"""
+
+from __future__ import annotations
+
+from repro.bftsmart.channel import SecureChannel
+from repro.bftsmart.messages import ClientRequest, PushMessage, Reply
+from repro.bftsmart.replica import request_signing_payload
+from repro.bftsmart.view import View
+from repro.crypto import KeyStore, Signer, digest
+from repro.net.network import Network
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+
+
+class _PendingInvocation:
+    """Vote state for one outstanding request."""
+
+    __slots__ = ("request", "event", "votes", "quorum", "attempts")
+
+    def __init__(self, request: ClientRequest, event: Event, quorum: int) -> None:
+        self.request = request
+        self.event = event
+        #: result digest -> {replica: result bytes}
+        self.votes: dict[bytes, dict] = {}
+        self.quorum = quorum
+        self.attempts = 1
+
+
+class PushVoter:
+    """Delivers replica pushes after f+1 matching copies, exactly once."""
+
+    #: Retain at most this many delivered order-keys per stream for dedup.
+    DEDUP_LIMIT = 50_000
+
+    def __init__(self, view_provider) -> None:
+        self._view_provider = view_provider
+        self._votes: dict[tuple, set] = {}
+        self._payloads: dict[tuple, bytes] = {}
+        self._delivered: dict[str, set] = {}
+        self._handlers: dict[str, object] = {}
+        self.delivered_count = 0
+
+    def set_handler(self, stream: str, handler) -> None:
+        """Register ``handler(order, payload)`` for one stream."""
+        self._handlers[stream] = handler
+
+    def on_push(self, message: PushMessage) -> None:
+        view: View = self._view_provider()
+        if not view.contains(message.replica):
+            return
+        delivered = self._delivered.setdefault(message.stream, set())
+        if message.order in delivered:
+            return
+        key = (message.stream, message.order, digest(message.payload))
+        voters = self._votes.setdefault(key, set())
+        voters.add(message.replica)
+        self._payloads[key] = message.payload
+        if len(voters) >= view.f + 1:
+            self._deliver(message.stream, message.order, self._payloads[key])
+            # Drop every candidate payload for this order.
+            stale = [k for k in self._votes if k[0] == message.stream and k[1] == message.order]
+            for k in stale:
+                self._votes.pop(k, None)
+                self._payloads.pop(k, None)
+
+    def _deliver(self, stream: str, order: tuple, payload: bytes) -> None:
+        delivered = self._delivered.setdefault(stream, set())
+        delivered.add(order)
+        if len(delivered) > self.DEDUP_LIMIT:
+            # Forget the oldest half; retransmissions that old are gone.
+            for old in sorted(delivered)[: self.DEDUP_LIMIT // 2]:
+                delivered.discard(old)
+        self.delivered_count += 1
+        handler = self._handlers.get(stream)
+        if handler is not None:
+            handler(order, payload)
+
+
+class ServiceProxy:
+    """Issues requests to a replica group and votes on the replies."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        client_id: str,
+        keystore: KeyStore,
+        view: View,
+        invoke_timeout: float = 1.0,
+        max_attempts: int = 10,
+        sequence_start: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.client_id = client_id
+        self.view = view
+        self.invoke_timeout = invoke_timeout
+        self.max_attempts = max_attempts
+
+        self.endpoint = net.endpoint(client_id)
+        self.endpoint.set_handler(self._on_network_message)
+        self.channel = SecureChannel(self.endpoint, keystore)
+        self.signer = Signer(client_id, keystore)
+        self.pushes = PushVoter(lambda: self.view)
+
+        # A restarted client instance (proactive recovery) must begin
+        # above every sequence its predecessor used, or the replicas'
+        # dedup table silently swallows its requests.
+        self._sequence = sequence_start - 1
+        self._pending: dict[int, _PendingInvocation] = {}
+        #: Set when a reply reveals a newer view than we hold (the harness
+        #: refreshes the membership out of band, as BFT-SMaRt clients do
+        #: through their view storage).
+        self.view_stale = False
+        self.stats = {"invocations": 0, "retransmissions": 0, "failures": 0}
+
+    # -- invoking --------------------------------------------------------------
+
+    def invoke_ordered(self, operation: bytes) -> Event:
+        """Submit an ordered operation; the event triggers with the result."""
+        return self._invoke(operation, unordered=False)
+
+    def invoke_unordered(self, operation: bytes) -> Event:
+        """Submit a read-only operation outside the total order."""
+        return self._invoke(operation, unordered=True)
+
+    def _invoke(self, operation: bytes, unordered: bool) -> Event:
+        self._sequence += 1
+        sequence = self._sequence
+        request = ClientRequest(
+            client_id=self.client_id,
+            sequence=sequence,
+            operation=operation,
+            reply_to=self.client_id,
+            unordered=unordered,
+            mac=b"",
+        )
+        request = self._sign(request)
+        quorum = (
+            self.view.n - self.view.f if unordered else self.view.f + 1
+        )
+        event = Event(self.sim, name=f"invoke:{self.client_id}:{sequence}")
+        self._pending[sequence] = _PendingInvocation(request, event, quorum)
+        self.stats["invocations"] += 1
+        self._transmit(request)
+        self.sim.call_later(self.invoke_timeout, self._retransmit, sequence)
+        return event
+
+    def _sign(self, request: ClientRequest) -> ClientRequest:
+        tag = self.signer.sign(request_signing_payload(request)).tag
+        return ClientRequest(
+            client_id=request.client_id,
+            sequence=request.sequence,
+            operation=request.operation,
+            reply_to=request.reply_to,
+            unordered=request.unordered,
+            mac=tag,
+        )
+
+    def _transmit(self, request: ClientRequest) -> None:
+        for address in self.view.addresses:
+            self.channel.send(address, request)
+
+    def _retransmit(self, sequence: int) -> None:
+        invocation = self._pending.get(sequence)
+        if invocation is None:
+            return
+        if invocation.attempts >= self.max_attempts:
+            self._pending.pop(sequence, None)
+            self.stats["failures"] += 1
+            invocation.event.fail(
+                TimeoutError(
+                    f"request {sequence} got no quorum after "
+                    f"{invocation.attempts} attempts"
+                )
+            )
+            return
+        invocation.attempts += 1
+        self.stats["retransmissions"] += 1
+        self._transmit(invocation.request)
+        self.sim.call_later(self.invoke_timeout, self._retransmit, sequence)
+
+    # -- receiving -------------------------------------------------------------
+
+    def _on_network_message(self, payload, src: str) -> None:
+        message = self.channel.open(payload)
+        if message is None:
+            return
+        if isinstance(message, Reply):
+            self._on_reply(message)
+        elif isinstance(message, PushMessage):
+            self.pushes.on_push(message)
+
+    def _on_reply(self, reply: Reply) -> None:
+        if reply.view_id > self.view.view_id:
+            self.view_stale = True
+        invocation = self._pending.get(reply.sequence)
+        if invocation is None or reply.client_id != self.client_id:
+            return
+        if not self.view.contains(reply.replica):
+            return
+        votes = invocation.votes.setdefault(digest(reply.result), {})
+        votes[reply.replica] = reply.result
+        if len(votes) >= invocation.quorum:
+            self._pending.pop(reply.sequence, None)
+            invocation.event.succeed(reply.result)
+
+    # -- membership -------------------------------------------------------------
+
+    def update_view(self, view: View) -> None:
+        """Adopt a newer membership (after a reconfiguration)."""
+        if view.view_id >= self.view.view_id:
+            self.view = view
+            self.view_stale = False

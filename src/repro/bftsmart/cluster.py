@@ -1,0 +1,69 @@
+"""Convenience builders for replica groups and proxies.
+
+Used by tests, examples and the SMaRt-SCADA system builder to assemble a
+group without repeating the wiring boilerplate.
+"""
+
+from __future__ import annotations
+
+from repro.bftsmart.client import ServiceProxy
+from repro.bftsmart.config import GroupConfig
+from repro.bftsmart.replica import ServiceReplica
+from repro.bftsmart.view import View
+from repro.crypto import KeyStore
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+
+
+def build_group(
+    sim: Simulator,
+    net: Network,
+    config: GroupConfig,
+    service_factory,
+    keystore: KeyStore | None = None,
+    replica_classes: dict | None = None,
+) -> list:
+    """Create the ``config.n`` replicas of a group.
+
+    ``service_factory()`` is called once per replica (each replica owns an
+    independent service instance — that independence is what replication
+    protects). ``replica_classes`` optionally overrides the class used for
+    specific indices, e.g. ``{0: SilentReplica}`` for fault drills.
+    """
+    keystore = keystore if keystore is not None else KeyStore()
+    replica_classes = replica_classes or {}
+    replicas = []
+    for index, address in enumerate(config.addresses):
+        cls = replica_classes.get(index, ServiceReplica)
+        replicas.append(
+            cls(
+                sim=sim,
+                net=net,
+                address=address,
+                config=config,
+                service=service_factory(),
+                keystore=keystore,
+            )
+        )
+    return replicas
+
+
+def build_proxy(
+    sim: Simulator,
+    net: Network,
+    client_id: str,
+    config: GroupConfig,
+    keystore: KeyStore | None = None,
+    invoke_timeout: float = 1.0,
+) -> ServiceProxy:
+    """Create a client proxy for the group described by ``config``."""
+    keystore = keystore if keystore is not None else KeyStore()
+    view = View(0, config.addresses, config.f)
+    return ServiceProxy(
+        sim=sim,
+        net=net,
+        client_id=client_id,
+        keystore=keystore,
+        view=view,
+        invoke_timeout=invoke_timeout,
+    )

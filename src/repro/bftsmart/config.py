@@ -1,0 +1,110 @@
+"""Static configuration of a replica group.
+
+Mirrors BFT-SMaRt's ``system.config``: group size ``n`` tolerating ``f``
+Byzantine replicas (``n >= 3f + 1``), batching bounds, timeouts and the
+checkpoint period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def replica_address(index: int) -> str:
+    """Canonical network address of replica ``index``."""
+    return f"replica-{index}"
+
+
+@dataclass(frozen=True)
+class GroupConfig:
+    """Parameters shared by every member of one replication group.
+
+    Attributes
+    ----------
+    n, f:
+        Group size and fault threshold; ``n >= 3f + 1`` is enforced.
+    batch_max:
+        Maximum requests the leader packs into one PROPOSE.
+    batch_wait:
+        How long the leader waits to fill a batch before proposing what it
+        has (seconds; 0 proposes immediately when idle).
+    request_timeout:
+        Age at which an undecided client request makes a replica suspect
+        the leader and start the synchronization phase.
+    sync_timeout:
+        How long a replica waits for a started synchronization phase to
+        finish before escalating to the next regency.
+    checkpoint_interval:
+        Number of decided consensus instances between service snapshots.
+    reply_quorum:
+        Matching replies a client needs for an ordered request (f + 1).
+    processing_delay:
+        Simulated CPU cost a replica spends per delivered request
+        (seconds); models the Java execution cost in the paper's testbed.
+    execution_lanes:
+        Parallel execution lanes (the §VII-b extension, following
+        Alchieri et al.): operations whose ``service.lane_of`` values
+        differ may execute concurrently; 1 = classic serial execution.
+    """
+
+    n: int = 4
+    f: int = 1
+    batch_max: int = 400
+    batch_wait: float = 0.002
+    request_timeout: float = 2.0
+    sync_timeout: float = 4.0
+    checkpoint_interval: int = 200
+    processing_delay: float = 0.0
+    execution_lanes: int = 1
+    addresses: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.f < 0:
+            raise ValueError("f must be non-negative")
+        if self.n < 3 * self.f + 1:
+            raise ValueError(f"n={self.n} violates n >= 3f+1 for f={self.f}")
+        if self.batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        if self.execution_lanes < 1:
+            raise ValueError("execution_lanes must be >= 1")
+        if not self.addresses:
+            object.__setattr__(
+                self, "addresses", tuple(replica_address(i) for i in range(self.n))
+            )
+        if len(self.addresses) != self.n:
+            raise ValueError("addresses must list exactly n replicas")
+
+    @property
+    def write_quorum(self) -> int:
+        """Matching WRITEs needed to send ACCEPT: ceil((n + f + 1) / 2)."""
+        return (self.n + self.f + 2) // 2
+
+    @property
+    def accept_quorum(self) -> int:
+        """Matching ACCEPTs needed to decide: ceil((n + f + 1) / 2)."""
+        return (self.n + self.f + 2) // 2
+
+    @property
+    def stop_quorum(self) -> int:
+        """STOPs needed to install a new regency (2f + 1)."""
+        return 2 * self.f + 1
+
+    @property
+    def stop_join_threshold(self) -> int:
+        """STOPs that make a replica join a synchronization (f + 1)."""
+        return self.f + 1
+
+    @property
+    def stop_data_quorum(self) -> int:
+        """STOP-DATAs the new leader collects before SYNC (n - f)."""
+        return self.n - self.f
+
+    @property
+    def reply_quorum(self) -> int:
+        """Matching replies a client waits for (f + 1)."""
+        return self.f + 1
+
+    @property
+    def unordered_quorum(self) -> int:
+        """Matching replies for read-only (unordered) requests (n - f)."""
+        return self.n - self.f

@@ -1,0 +1,246 @@
+"""The synchronization phase: Mod-SMaRt's leader change.
+
+When a replica's pending requests age past the request timeout, it votes
+STOP for the next regency. ``f+1`` STOPs make other replicas join (a
+correct replica is suspicious, so everyone should be); ``2f+1`` STOPs
+install the new regency. Every replica then sends a signed STOP-DATA to
+the new leader describing its last decision and any in-flight proposal it
+echoed; the leader collects ``n-f`` of them, resolves what value (if any)
+must be recovered for the open consensus slot, and broadcasts SYNC. On
+SYNC, replicas resume normal operation under the new leader.
+
+Simplification vs. BFT-SMaRt (documented in DESIGN.md §4): the recovered
+value is the in-flight proposal reported by at least ``f+1`` replicas
+(sufficient for any possibly-decided value to be re-proposed, since a
+decision leaves ``f+1`` correct witnesses among any ``n-f`` STOP-DATAs);
+proofs are signatures over the whole STOP-DATA rather than per-message
+write certificates.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.bftsmart.messages import Propose, Stop, StopData, Sync
+from repro.crypto import Signature, digest
+from repro.wire import encode
+
+if typing.TYPE_CHECKING:
+    from repro.bftsmart.replica import ServiceReplica
+
+
+def _stop_data_payload(sender: str, regency: int, last_decided: int, in_flight) -> bytes:
+    return encode((sender, regency, last_decided, in_flight))
+
+
+class Synchronizer:
+    """Runs the synchronization phase for one replica."""
+
+    def __init__(self, replica: "ServiceReplica") -> None:
+        self.replica = replica
+        #: Currently installed regency (0 = initial leader).
+        self.regency = 0
+        #: True between installing a regency and receiving its SYNC.
+        self.in_progress = False
+        self._stop_votes: dict[int, set] = {}
+        self._stop_datas: dict[int, dict] = {}
+        self._highest_vote = 0
+        self._resolved: set = set()
+        #: Counts leader changes completed (metrics / tests).
+        self.changes_completed = 0
+
+    # -- quorum sizes under the current view ---------------------------------
+
+    def _stop_quorum(self) -> int:
+        return 2 * self.replica.view.f + 1
+
+    def _join_threshold(self) -> int:
+        return self.replica.view.f + 1
+
+    def _stop_data_quorum(self) -> int:
+        return self.replica.view.n - self.replica.view.f
+
+    # -- suspicion -------------------------------------------------------------
+
+    def suspect(self) -> None:
+        """Vote to replace the current leader (idempotent per regency).
+
+        Called repeatedly by the watchdog while requests stay stale. If we
+        already voted for a regency that has not installed, the vote is
+        re-broadcast: STOP messages can be lost (partitions, crashes
+        during the split), and receivers deduplicate by sender anyway.
+        """
+        target = self.regency + 1
+        if target <= self._highest_vote:
+            if self._highest_vote > self.regency:
+                replica = self.replica
+                stop = Stop(sender=replica.address, regency=self._highest_vote)
+                replica.channel.broadcast(replica.other_replicas(), stop)
+            return
+        self._vote_stop(target)
+
+    def _vote_stop(self, target: int) -> None:
+        if target <= self._highest_vote or target <= self.regency:
+            return
+        self._highest_vote = target
+        replica = self.replica
+        stop = Stop(sender=replica.address, regency=target)
+        replica.channel.broadcast(replica.other_replicas(), stop)
+        self._record_stop(replica.address, target)
+
+    def on_stop(self, message: Stop) -> None:
+        if message.regency <= self.regency:
+            return
+        if not self.replica.view.contains(message.sender):
+            return
+        self._record_stop(message.sender, message.regency)
+
+    def _record_stop(self, sender: str, target: int) -> None:
+        votes = self._stop_votes.setdefault(target, set())
+        votes.add(sender)
+        if len(votes) >= self._join_threshold():
+            self._vote_stop(target)
+        if len(votes) >= self._stop_quorum() and target > self.regency:
+            self._install(target)
+
+    # -- installing a regency -----------------------------------------------------
+
+    def _install(self, target: int) -> None:
+        replica = self.replica
+        self.regency = target
+        self.in_progress = True
+        # Requests marked in-flight under the old leader go back to the pool.
+        replica._inflight_keys.clear()
+
+        in_flight = None
+        instance = replica.instances.get(replica.next_cid)
+        if (
+            instance is not None
+            and instance.write_sent
+            and instance.proposal_value is not None
+        ):
+            in_flight = (
+                instance.cid,
+                instance.epoch,
+                instance.proposal_value,
+                instance.proposal_timestamp,
+            )
+        payload = _stop_data_payload(
+            replica.address, target, replica.last_decided, in_flight
+        )
+        stop_data = StopData(
+            sender=replica.address,
+            regency=target,
+            last_decided=replica.last_decided,
+            in_flight=in_flight,
+            signature=replica.signer.sign(payload).tag,
+        )
+        new_leader = replica.view.leader_for(target)
+        if new_leader == replica.address:
+            self.on_stop_data(stop_data)
+        else:
+            replica.channel.send(new_leader, stop_data)
+        # Escalate if this synchronization stalls.
+        replica.sim.call_later(
+            replica.config.sync_timeout, self._escalate_if_stalled, target
+        )
+
+    def _escalate_if_stalled(self, target: int) -> None:
+        if self.in_progress and self.regency == target and self.replica.active:
+            self._vote_stop(target + 1)
+
+    # -- new leader: collecting STOP-DATA ---------------------------------------
+
+    def on_stop_data(self, message: StopData) -> None:
+        replica = self.replica
+        if message.regency != self.regency or not self.in_progress:
+            return
+        if replica.view.leader_for(message.regency) != replica.address:
+            return
+        if not replica.view.contains(message.sender):
+            return
+        payload = _stop_data_payload(
+            message.sender, message.regency, message.last_decided, message.in_flight
+        )
+        signature = Signature(message.sender, message.signature)
+        if not replica.verifier.verify(signature, payload):
+            return
+        collected = self._stop_datas.setdefault(message.regency, {})
+        collected[message.sender] = message
+        if (
+            len(collected) >= self._stop_data_quorum()
+            and message.regency not in self._resolved
+        ):
+            self._resolved.add(message.regency)
+            self._resolve(message.regency, collected)
+
+    def _resolve(self, regency: int, collected: dict) -> None:
+        replica = self.replica
+        max_decided = max(data.last_decided for data in collected.values())
+        if replica.last_decided < max_decided:
+            # The new leader itself is behind: catch up first, then the
+            # stalled-sync escalation will elect the next regency if this
+            # one cannot complete in time.
+            replica.state_transfer.notice_gap(max_decided + 1)
+
+        cid = replica.next_cid
+        counts: dict[bytes, tuple] = {}
+        tally: dict[bytes, int] = {}
+        for data in collected.values():
+            if data.in_flight is None:
+                continue
+            inflight_cid, _epoch, value, timestamp = data.in_flight
+            if inflight_cid != cid:
+                continue
+            key = digest(value)
+            counts[key] = (value, timestamp)
+            tally[key] = tally.get(key, 0) + 1
+
+        value, timestamp = b"", replica.sim.now
+        threshold = self._join_threshold()  # f + 1 witnesses
+        eligible = sorted(
+            (key for key, votes in tally.items() if votes >= threshold)
+        )
+        if eligible:
+            value, timestamp = counts[eligible[0]]
+
+        sync = Sync(
+            sender=replica.address,
+            regency=regency,
+            cid=cid,
+            value=value,
+            timestamp=timestamp,
+        )
+        replica.channel.broadcast(replica.other_replicas(), sync)
+        self.on_sync(sync)
+
+    # -- everyone: resuming on SYNC ------------------------------------------------
+
+    def on_sync(self, message: Sync) -> None:
+        replica = self.replica
+        if message.regency != self.regency or not self.in_progress:
+            return
+        if message.sender != replica.view.leader_for(message.regency):
+            return
+        self.in_progress = False
+        self.changes_completed += 1
+        replica.last_progress = replica.sim.now
+        if message.value != b"" and message.cid == replica.next_cid:
+            propose = Propose(
+                sender=message.sender,
+                cid=message.cid,
+                epoch=message.regency,
+                value=message.value,
+                timestamp=message.timestamp,
+            )
+            replica.on_propose(propose, from_sync=True)
+        replica._maybe_propose()
+
+    # -- hooks ------------------------------------------------------------------------
+
+    def on_decision(self) -> None:
+        """Called on every decision: progress resets suspicion."""
+        self.replica.last_progress = self.replica.sim.now
+
+    def on_view_change(self) -> None:
+        """Reconfigurations keep the regency; leaders remap via the view."""

@@ -1,0 +1,70 @@
+"""Reconfiguration: adding and removing replicas at runtime.
+
+BFT-SMaRt lets a trusted administrator change the group membership by
+submitting a signed reconfiguration command through the same total order
+as client requests; every replica applies the view change at the same
+logical instant. The :class:`Administrator` here builds those commands
+and submits them through an ordinary :class:`ServiceProxy`.
+"""
+
+from __future__ import annotations
+
+from repro.bftsmart.client import ServiceProxy
+from repro.bftsmart.messages import ReconfigRequest
+from repro.bftsmart.replica import RECONFIG_MARKER
+from repro.bftsmart.view import View
+from repro.crypto import KeyStore, Signer
+from repro.wire import decode, encode
+
+
+class Administrator:
+    """Builds and submits signed membership changes.
+
+    The principal name must be ``"admin"`` — replicas only accept
+    reconfigurations signed by that identity (BFT-SMaRt's TTP).
+    """
+
+    def __init__(self, proxy: ServiceProxy, keystore: KeyStore) -> None:
+        self.proxy = proxy
+        self._signer = Signer("admin", keystore)
+
+    def build_operation(
+        self, join: tuple = (), leave: tuple = (), new_f: int | None = None
+    ) -> bytes:
+        """The operation bytes for a membership change."""
+        if new_f is None:
+            new_f = self.proxy.view.f
+        payload = encode(("admin", tuple(join), tuple(leave), new_f))
+        request = ReconfigRequest(
+            admin="admin",
+            join=tuple(join),
+            leave=tuple(leave),
+            new_f=new_f,
+            signature=self._signer.sign(payload).tag,
+        )
+        return RECONFIG_MARKER + encode(request)
+
+    def reconfigure(self, join: tuple = (), leave: tuple = (), new_f: int | None = None):
+        """Submit the change; returns the invocation event.
+
+        The event's value decodes to ``("ok", new_view_id)`` on success.
+        On success the administrator's own proxy view is updated so
+        subsequent commands reach the new membership.
+        """
+        operation = self.build_operation(join=join, leave=leave, new_f=new_f)
+        if new_f is None:
+            new_f = self.proxy.view.f
+        event = self.proxy.invoke_ordered(operation)
+
+        def on_done(ev) -> None:
+            if not ev.ok:
+                return
+            status, view_id = decode(ev.value)
+            if status != "ok":
+                return
+            addresses = [a for a in self.proxy.view.addresses if a not in leave]
+            addresses.extend(a for a in join if a not in addresses)
+            self.proxy.update_view(View(view_id, tuple(addresses), new_f))
+
+        event.add_callback(on_done)
+        return event

@@ -1,0 +1,717 @@
+"""The service replica: Mod-SMaRt total ordering + execution + checkpoints.
+
+One :class:`ServiceReplica` is the server side of the library — what the
+paper calls the "BFT server" inside each ProxyMaster. It receives signed
+client requests, totally orders them through VP-Consensus (PROPOSE →
+WRITE → ACCEPT), executes decided batches *sequentially* through a single
+executor process (the determinism requirement of §III-B), replies to
+clients, takes periodic checkpoints and serves state transfer.
+
+Leader change lives in :mod:`repro.bftsmart.leaderchange`; state transfer
+in :mod:`repro.bftsmart.statetransfer`.
+"""
+
+from __future__ import annotations
+
+from repro.bftsmart.channel import SecureChannel
+from repro.bftsmart.config import GroupConfig
+from repro.bftsmart.consensus import Instance
+from repro.bftsmart.leaderchange import Synchronizer
+from repro.bftsmart.messages import (
+    AcceptMsg,
+    ClientRequest,
+    Propose,
+    PushMessage,
+    ReconfigRequest,
+    Reply,
+    RequestBatch,
+    Sealed,
+    StateReply,
+    StateRequest,
+    Stop,
+    StopData,
+    Sync,
+    WriteMsg,
+)
+from repro.bftsmart.service import MessageContext, Service
+from repro.bftsmart.statetransfer import StateTransfer
+from repro.bftsmart.view import View
+from repro.crypto import KeyStore, Signature, Signer, Verifier
+from repro.net.network import Network
+from repro.sim.channels import Channel
+from repro.sim.kernel import Simulator
+from repro.wire import DecodeError, decode, encode
+
+#: Operations starting with this marker carry a ReconfigRequest.
+RECONFIG_MARKER = b"\x00RECONFIG\x00"
+
+#: Bytes signed by a client for request authentication.
+def request_signing_payload(request: ClientRequest) -> bytes:
+    return encode(
+        (
+            request.client_id,
+            request.sequence,
+            request.operation,
+            request.reply_to,
+            request.unordered,
+        )
+    )
+
+
+class ServiceReplica:
+    """One member of a BFT replication group."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        address: str,
+        config: GroupConfig,
+        service: Service,
+        keystore: KeyStore,
+        view: View | None = None,
+    ) -> None:
+        self.sim = sim
+        self.net = net
+        self.address = address
+        self.config = config
+        self.service = service
+        service.bind(self)
+
+        self.endpoint = net.endpoint(address)
+        self.endpoint.set_handler(self._on_network_message)
+        self.channel = SecureChannel(self.endpoint, keystore)
+        self.signer = Signer(address, keystore)
+        self.verifier = Verifier(keystore)
+
+        self.view = view if view is not None else View(0, config.addresses, config.f)
+        self.active = True
+
+        # -- ordering state --
+        self.next_cid = 0
+        self.last_decided = -1
+        self.instances: dict[int, Instance] = {}
+        #: Consensus messages for slots just ahead of next_cid, buffered
+        #: until we catch up (a recovering replica would otherwise chase
+        #: a moving target forever). Slots further ahead than this window
+        #: trigger state transfer instead.
+        self.future_window = 64
+        self._future_buffer: dict[int, list] = {}
+        self._draining_future = False
+        #: request key -> (request, arrival time); insertion-ordered.
+        self.pending: dict[tuple, tuple] = {}
+        self._inflight_keys: set = set()
+        self._batch_timer_armed = False
+
+        # -- execution state --
+        self._exec_channel = Channel(sim, name=f"exec:{address}")
+        #: Bumped by every state-transfer install; executor entries queued
+        #: under an older epoch are stale (they predate the installed
+        #: state) and must be dropped, or their execution would poison
+        #: the dedup table against the install's own replay.
+        self._install_epoch = 0
+        self._last_executed_seq: dict[str, int] = {}
+        self._dispatched_seq: dict[str, int] = {}
+        self._last_reply: dict[str, Reply] = {}
+        self._lane_channels: list = []
+        self._lane_inflight = 0
+        self._drain_waiter = None
+        self.executed_cid = -1
+        #: decided-but-possibly-unexecuted log since the checkpoint:
+        #: list of (cid, value_bytes, timestamp).
+        self.decision_log: list = []
+        self.checkpoint_cid = -1
+        self.checkpoint_snapshot: bytes = self._snapshot_blob()
+        #: Time of the last decision (suspicion is suppressed while the
+        #: group is making progress even if some requests are old).
+        self.last_progress = 0.0
+
+        # -- subprotocols --
+        self.synchronizer = Synchronizer(self)
+        self.state_transfer = StateTransfer(self)
+
+        # -- metrics --
+        self.stats = {
+            "proposals": 0,
+            "decided": 0,
+            "executed": 0,
+            "replies": 0,
+            "pushes": 0,
+            "rejected_requests": 0,
+            "checkpoints": 0,
+        }
+
+        sim.process(self._executor(), name=f"executor:{address}")
+        sim.process(self._watchdog(), name=f"watchdog:{address}")
+        for lane in range(config.execution_lanes if config.execution_lanes > 1 else 0):
+            channel = Channel(sim, name=f"lane:{address}:{lane}")
+            self._lane_channels.append(channel)
+            sim.process(self._lane_worker(channel), name=f"lane:{address}:{lane}")
+
+    # ------------------------------------------------------------------
+    # membership helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def regency(self) -> int:
+        return self.synchronizer.regency
+
+    @property
+    def leader(self) -> str:
+        return self.view.leader_for(self.regency)
+
+    @property
+    def is_leader(self) -> bool:
+        return self.leader == self.address
+
+    def quorum_write(self) -> int:
+        return (self.view.n + self.view.f + 2) // 2
+
+    def quorum_accept(self) -> int:
+        return (self.view.n + self.view.f + 2) // 2
+
+    def other_replicas(self) -> list:
+        return [a for a in self.view.addresses if a != self.address]
+
+    def halt(self) -> None:
+        """Stop participating (used when removed by a reconfiguration)."""
+        self.active = False
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+
+    def _on_network_message(self, payload, src: str) -> None:
+        if not self.active:
+            return
+        if not isinstance(payload, Sealed):
+            return
+        message = self.channel.open(payload)
+        if message is None:
+            return
+        handler = self._dispatch_table.get(type(message))
+        if handler is not None:
+            handler(self, message)
+
+    # ------------------------------------------------------------------
+    # client requests
+    # ------------------------------------------------------------------
+
+    def _verify_request(self, request: ClientRequest) -> bool:
+        try:
+            signature = Signature(request.client_id, request.mac)
+        except ValueError:
+            return False
+        return self.verifier.verify(signature, request_signing_payload(request))
+
+    def _on_client_request(self, request: ClientRequest) -> None:
+        if not self._verify_request(request):
+            self.stats["rejected_requests"] += 1
+            return
+        if request.unordered:
+            self._execute_unordered(request)
+            return
+        last = self._last_executed_seq.get(request.client_id, -1)
+        if request.sequence <= last:
+            # Retransmission of something already executed: resend reply.
+            cached = self._last_reply.get(request.client_id)
+            if cached is not None and cached.sequence == request.sequence:
+                self.channel.send(request.reply_to, cached)
+            return
+        key = request.key()
+        if key in self.pending:
+            return
+        self.pending[key] = (request, self.sim.now)
+        self._maybe_propose()
+
+    def _execute_unordered(self, request: ClientRequest) -> None:
+        try:
+            result = self.service.execute_unordered(request.operation)
+        except Exception as exc:  # deterministic failure -> error reply
+            result = encode(("error", str(exc)))
+        reply = Reply(
+            replica=self.address,
+            client_id=request.client_id,
+            sequence=request.sequence,
+            result=result,
+            view_id=self.view.view_id,
+            regency=self.regency,
+        )
+        self.channel.send(request.reply_to, reply)
+
+    # ------------------------------------------------------------------
+    # leader: batching and proposing
+    # ------------------------------------------------------------------
+
+    def _available_requests(self) -> list:
+        return [
+            request
+            for key, (request, _arrival) in self.pending.items()
+            if key not in self._inflight_keys
+        ]
+
+    def _consensus_in_flight(self) -> bool:
+        instance = self.instances.get(self.next_cid)
+        return (
+            instance is not None
+            and instance.proposal_value is not None
+            and not instance.decided
+        )
+
+    def _maybe_propose(self) -> None:
+        if not (self.active and self.is_leader):
+            return
+        if self.synchronizer.in_progress or self.state_transfer.in_progress:
+            return
+        if self._consensus_in_flight() or self._batch_timer_armed:
+            return
+        available = self._available_requests()
+        if not available:
+            return
+        if len(available) >= self.config.batch_max or self.config.batch_wait <= 0:
+            self._propose_batch()
+            return
+        self._batch_timer_armed = True
+        self.sim.call_later(self.config.batch_wait, self._batch_timer_fired)
+
+    def _batch_timer_fired(self) -> None:
+        self._batch_timer_armed = False
+        if not (self.active and self.is_leader) or self._consensus_in_flight():
+            return
+        if self.synchronizer.in_progress or self.state_transfer.in_progress:
+            return
+        if self._available_requests():
+            self._propose_batch()
+
+    def _propose_batch(self) -> None:
+        batch = self._available_requests()[: self.config.batch_max]
+        for request in batch:
+            self._inflight_keys.add(request.key())
+        value = encode(RequestBatch(requests=tuple(batch)))
+        propose = Propose(
+            sender=self.address,
+            cid=self.next_cid,
+            epoch=self.regency,
+            value=value,
+            timestamp=self.sim.now,
+        )
+        self.stats["proposals"] += 1
+        self.channel.broadcast(self.other_replicas(), propose)
+        self._handle_propose_locally(propose)
+
+    # ------------------------------------------------------------------
+    # consensus: PROPOSE / WRITE / ACCEPT
+    # ------------------------------------------------------------------
+
+    def _instance(self, cid: int, epoch: int) -> Instance:
+        instance = self.instances.get(cid)
+        if instance is None:
+            instance = Instance(cid, epoch)
+            self.instances[cid] = instance
+        elif epoch > instance.epoch:
+            instance.advance_epoch(epoch)
+        return instance
+
+    def _validate_batch(self, value: bytes) -> RequestBatch | None:
+        """Decode and authenticate a proposed batch (Byzantine leader guard).
+
+        Besides signatures and duplicates, per-client sequence numbers
+        must be increasing *within* the batch: a Byzantine leader that
+        reorders one client's requests would otherwise make the executor's
+        sequence-based dedup silently censor the displaced ones.
+        """
+        try:
+            batch = decode(value)
+        except DecodeError:
+            return None
+        if not isinstance(batch, RequestBatch):
+            return None
+        highest: dict[str, int] = {}
+        for request in batch.requests:
+            if not isinstance(request, ClientRequest) or request.unordered:
+                return None
+            previous = highest.get(request.client_id)
+            if previous is not None and request.sequence <= previous:
+                return None  # duplicate or out-of-order within the batch
+            highest[request.client_id] = request.sequence
+            if not self._verify_request(request):
+                return None
+        return batch
+
+    def _buffer_future(self, message) -> None:
+        """Hold a message for a near-future slot.
+
+        The gap is still reported to state transfer — the buffered
+        messages only help once the missing prefix is installed (they are
+        the live traffic a recovering replica would otherwise keep
+        missing while it chases a moving target).
+        """
+        self.state_transfer.notice_gap(message.cid)
+        if message.cid > self.next_cid + self.future_window:
+            return  # too far ahead to be worth holding
+        self._future_buffer.setdefault(message.cid, []).append(message)
+        # Keep the buffer from accumulating stale entries.
+        for cid in [c for c in self._future_buffer if c < self.next_cid]:
+            del self._future_buffer[cid]
+
+    def _drain_future(self) -> None:
+        """Replay buffered messages now that next_cid caught up."""
+        if self._draining_future:
+            return
+        self._draining_future = True
+        try:
+            while True:
+                batch = self._future_buffer.pop(self.next_cid, None)
+                if batch is None:
+                    return
+                for message in batch:
+                    handler = self._dispatch_table.get(type(message))
+                    if handler is not None:
+                        handler(self, message)
+        finally:
+            self._draining_future = False
+
+    def on_propose(self, message: Propose, from_sync: bool = False) -> None:
+        if message.cid < self.next_cid:
+            return  # old slot, already decided
+        if message.cid > self.next_cid:
+            self._buffer_future(message)
+            return
+        if message.epoch != self.regency:
+            return
+        if not from_sync and message.sender != self.leader:
+            return
+        instance = self._instance(message.cid, message.epoch)
+        if instance.proposal_value is not None or instance.decided:
+            return
+        if self._validate_batch(message.value) is None and message.value != b"":
+            # Malformed or forged batch: suspect the leader.
+            self.synchronizer.suspect()
+            return
+        value_digest = instance.set_proposal(message.value, message.timestamp)
+        instance.write_sent = True
+        write = WriteMsg(
+            sender=self.address,
+            cid=message.cid,
+            epoch=message.epoch,
+            value_digest=value_digest,
+        )
+        self.channel.broadcast(self.other_replicas(), write)
+        instance.add_write(self.address, value_digest)
+        self._advance_instance(instance)
+
+    def _handle_propose_locally(self, propose: Propose) -> None:
+        self.on_propose(propose)
+
+    def on_write(self, message: WriteMsg) -> None:
+        if message.cid < self.next_cid or message.epoch != self.regency:
+            return
+        if message.cid > self.next_cid:
+            self._buffer_future(message)
+            return
+        if not self.view.contains(message.sender):
+            return
+        instance = self._instance(message.cid, message.epoch)
+        instance.add_write(message.sender, message.value_digest)
+        self._advance_instance(instance)
+
+    def on_accept(self, message: AcceptMsg) -> None:
+        if message.cid < self.next_cid or message.epoch != self.regency:
+            return
+        if message.cid > self.next_cid:
+            self._buffer_future(message)
+            return
+        if not self.view.contains(message.sender):
+            return
+        instance = self._instance(message.cid, message.epoch)
+        instance.add_accept(message.sender, message.value_digest)
+        self._advance_instance(instance)
+
+    def _advance_instance(self, instance: Instance) -> None:
+        if instance.decided or instance.proposal_digest is None:
+            return
+        if not instance.accept_sent and instance.has_write_quorum(self.quorum_write()):
+            instance.accept_sent = True
+            accept = AcceptMsg(
+                sender=self.address,
+                cid=instance.cid,
+                epoch=instance.epoch,
+                value_digest=instance.proposal_digest,
+            )
+            self.channel.broadcast(self.other_replicas(), accept)
+            instance.add_accept(self.address, instance.proposal_digest)
+        if instance.accept_sent and instance.has_accept_quorum(self.quorum_accept()):
+            instance.decide()
+            self._on_decided(instance)
+
+    # ------------------------------------------------------------------
+    # decision and execution
+    # ------------------------------------------------------------------
+
+    def _on_decided(self, instance: Instance) -> None:
+        assert instance.cid == self.next_cid
+        self.stats["decided"] += 1
+        self.last_decided = instance.cid
+        self.next_cid = instance.cid + 1
+        value = instance.decided_value
+        timestamp = instance.decided_timestamp
+        self.decision_log.append((instance.cid, value, timestamp))
+        del self.instances[instance.cid]
+
+        if value != b"":
+            batch = decode(value)
+            for request in batch.requests:
+                key = request.key()
+                self.pending.pop(key, None)
+                self._inflight_keys.discard(key)
+            self._exec_channel.put(
+                (
+                    self._install_epoch,
+                    instance.cid,
+                    batch.requests,
+                    timestamp,
+                    instance.epoch,
+                )
+            )
+        self.synchronizer.on_decision()
+        self._drain_future()
+        self._maybe_propose()
+
+    def _executor(self):
+        """The execution thread(s), in decided order.
+
+        With ``execution_lanes == 1`` this is the classic single execution
+        thread — the determinism bottleneck of §IV-C(b). With more lanes
+        (the §VII-b extension, following Alchieri et al.) this generator
+        acts as the deterministic *dispatcher*: it walks decided batches
+        in order, deduplicates, and hands each request to the lane its
+        ``service.lane_of`` names; operations with lane ``None`` (and
+        reconfigurations) are barriers that wait for every lane to drain.
+        """
+        serial = self.config.execution_lanes == 1
+        while True:
+            epoch, cid, requests, timestamp, regency = yield self._exec_channel.get()
+            if epoch != self._install_epoch:
+                continue  # stale: queued before a state-transfer install
+            for order, request in enumerate(requests):
+                if epoch != self._install_epoch:
+                    break  # an install landed mid-batch
+                if not self._dedup_dispatch(request):
+                    continue
+                lane = None
+                if not serial and not request.operation.startswith(RECONFIG_MARKER):
+                    lane = self.service.lane_of(request.operation)
+                if serial or lane is None:
+                    if not serial:
+                        yield self._drain_lanes()
+                    cost = self.service.cost_of(request.operation)
+                    if cost > 0:
+                        yield self.sim.timeout(cost)
+                    if epoch != self._install_epoch:
+                        break  # an install landed during the cost wait
+                    self._execute_one(cid, order, request, timestamp, regency)
+                    post = self.service.post_cost()
+                    if post > 0:
+                        yield self.sim.timeout(post)
+                else:
+                    channel = self._lane_channels[lane % len(self._lane_channels)]
+                    self._lane_inflight += 1
+                    channel.put((epoch, cid, order, request, timestamp, regency))
+            if epoch != self._install_epoch:
+                continue
+            self.executed_cid = cid
+            if (cid + 1) % self.config.checkpoint_interval == 0:
+                if not serial:
+                    yield self._drain_lanes()  # checkpoint needs a quiesced state
+                self._take_checkpoint(cid)
+
+    def _dedup_dispatch(self, request: ClientRequest) -> bool:
+        """Deterministic at-dispatch dedup (dispatch order = decided order)."""
+        last = self._dispatched_seq.get(request.client_id, -1)
+        if request.sequence <= last:
+            return False
+        self._dispatched_seq[request.client_id] = request.sequence
+        return True
+
+    def _lane_worker(self, channel):
+        while True:
+            epoch, cid, order, request, timestamp, regency = yield channel.get()
+            if epoch == self._install_epoch:
+                cost = self.service.cost_of(request.operation)
+                if cost > 0:
+                    yield self.sim.timeout(cost)
+            if epoch == self._install_epoch:
+                self._execute_one(cid, order, request, timestamp, regency)
+                post = self.service.post_cost()
+                if post > 0:
+                    yield self.sim.timeout(post)
+            self._lane_idle()
+
+    def _lane_idle(self) -> None:
+        self._lane_inflight -= 1
+        if self._lane_inflight == 0 and self._drain_waiter is not None:
+            waiter, self._drain_waiter = self._drain_waiter, None
+            waiter.succeed(None)
+
+    def _drain_lanes(self):
+        """Event that triggers once every lane has finished its backlog."""
+        from repro.sim.events import Event
+
+        event = Event(self.sim, name=f"drain:{self.address}")
+        if self._lane_inflight == 0:
+            event.succeed(None)
+        else:
+            # The dispatcher is the only drain waiter, by construction.
+            self._drain_waiter = event
+        return event
+
+    def _execute_one(
+        self, cid: int, order: int, request: ClientRequest, timestamp: float, regency: int
+    ) -> None:
+        last = self._last_executed_seq.get(request.client_id, -1)
+        if request.sequence <= last and self.config.execution_lanes == 1:
+            # Duplicate delivered through replay. (With parallel lanes the
+            # dispatcher already deduplicated, and cross-lane completion
+            # order must not trigger false positives here.)
+            return
+        context = MessageContext(
+            cid=cid,
+            order=order,
+            timestamp=timestamp,
+            regency=regency,
+            client_id=request.client_id,
+            sequence=request.sequence,
+            replica=self.address,
+        )
+        if request.operation.startswith(RECONFIG_MARKER):
+            result = self._apply_reconfiguration(request.operation)
+        else:
+            try:
+                result = self.service.execute(request.operation, context)
+            except Exception as exc:  # deterministic service error
+                result = encode(("error", str(exc)))
+        self._last_executed_seq[request.client_id] = max(last, request.sequence)
+        self.stats["executed"] += 1
+        reply = Reply(
+            replica=self.address,
+            client_id=request.client_id,
+            sequence=request.sequence,
+            result=result,
+            view_id=self.view.view_id,
+            regency=self.regency,
+        )
+        self._last_reply[request.client_id] = reply
+        self.stats["replies"] += 1
+        if self.active:
+            self.channel.send(request.reply_to, reply)
+
+    def _snapshot_blob(self) -> bytes:
+        """Service snapshot plus the client dedup table, as one blob.
+
+        The dedup table is replica metadata that must travel with the
+        service state: a recovering replica that installed state without
+        it would re-execute retransmitted requests.
+        """
+        return encode(
+            (
+                self.service.snapshot(),
+                tuple(sorted(self._last_executed_seq.items())),
+            )
+        )
+
+    def _take_checkpoint(self, cid: int) -> None:
+        self.checkpoint_cid = cid
+        self.checkpoint_snapshot = self._snapshot_blob()
+        self.decision_log = [entry for entry in self.decision_log if entry[0] > cid]
+        self.stats["checkpoints"] += 1
+
+    # ------------------------------------------------------------------
+    # reconfiguration
+    # ------------------------------------------------------------------
+
+    def _apply_reconfiguration(self, operation: bytes) -> bytes:
+        try:
+            reconfig = decode(operation[len(RECONFIG_MARKER):])
+        except DecodeError:
+            return encode(("error", "malformed reconfiguration"))
+        if not isinstance(reconfig, ReconfigRequest):
+            return encode(("error", "malformed reconfiguration"))
+        payload = encode((reconfig.admin, reconfig.join, reconfig.leave, reconfig.new_f))
+        signature = Signature(reconfig.admin, reconfig.signature)
+        if reconfig.admin != "admin" or not self.verifier.verify(signature, payload):
+            return encode(("error", "unauthorized reconfiguration"))
+        addresses = [a for a in self.view.addresses if a not in reconfig.leave]
+        addresses.extend(a for a in reconfig.join if a not in addresses)
+        if (
+            tuple(addresses) == self.view.addresses
+            and reconfig.new_f == self.view.f
+        ):
+            # Idempotent replay: a replica bootstrapped with the post-change
+            # view re-executes this command during state-transfer replay;
+            # the membership is already in effect, so keep the view id.
+            return encode(("ok", self.view.view_id))
+        try:
+            new_view = View(self.view.view_id + 1, tuple(addresses), reconfig.new_f)
+        except ValueError as exc:
+            return encode(("error", str(exc)))
+        self.view = new_view
+        self.synchronizer.on_view_change()
+        if not new_view.contains(self.address):
+            self.halt()
+        return encode(("ok", new_view.view_id))
+
+    # ------------------------------------------------------------------
+    # asynchronous push (server -> client)
+    # ------------------------------------------------------------------
+
+    def push(self, client_id: str, stream: str, order: tuple, payload: bytes) -> None:
+        """Send an asynchronous message to a client-side listener."""
+        if not self.active:
+            return
+        message = PushMessage(
+            replica=self.address,
+            client_id=client_id,
+            stream=stream,
+            order=order,
+            payload=payload,
+        )
+        self.stats["pushes"] += 1
+        self.channel.send(client_id, message)
+
+    # ------------------------------------------------------------------
+    # watchdog: request timeouts trigger the synchronization phase
+    # ------------------------------------------------------------------
+
+    def _watchdog(self):
+        interval = self.config.request_timeout / 4
+        while True:
+            yield self.sim.timeout(interval)
+            if not self.active:
+                return  # halted (removed or rejuvenated): stop ticking
+            if not self.pending:
+                continue
+            if self.synchronizer.in_progress or self.state_transfer.in_progress:
+                continue  # escalation is handled by the sync timer
+            now = self.sim.now
+            oldest = min(arrival for _request, arrival in self.pending.values())
+            if (
+                now - oldest > self.config.request_timeout
+                and now - self.last_progress > self.config.request_timeout
+            ):
+                self.synchronizer.suspect()
+
+    # ------------------------------------------------------------------
+    # dispatch table
+    # ------------------------------------------------------------------
+
+    _dispatch_table = {
+        ClientRequest: _on_client_request,
+        Propose: on_propose,
+        WriteMsg: on_write,
+        AcceptMsg: on_accept,
+        Stop: lambda self, m: self.synchronizer.on_stop(m),
+        StopData: lambda self, m: self.synchronizer.on_stop_data(m),
+        Sync: lambda self, m: self.synchronizer.on_sync(m),
+        StateRequest: lambda self, m: self.state_transfer.on_request(m),
+        StateReply: lambda self, m: self.state_transfer.on_reply(m),
+    }

@@ -1,0 +1,204 @@
+"""State transfer: how a lagging or recovering replica catches up.
+
+A replica that observes consensus traffic for a slot beyond the one it is
+waiting on asks its peers for state. Each peer answers with its latest
+checkpoint (service snapshot + client dedup table), the decided log after
+the checkpoint, and its current view. The requester waits for ``f+1``
+replies with identical content — one of them is then guaranteed to come
+from a correct replica — installs the snapshot and replays the log
+through its normal execution path.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.bftsmart.messages import StateReply, StateRequest
+from repro.crypto import digest
+from repro.wire import decode, encode
+
+if typing.TYPE_CHECKING:
+    from repro.bftsmart.replica import ServiceReplica
+
+
+class StateTransfer:
+    """Drives state transfer for one replica."""
+
+    #: Minimum time between two state requests (seconds).
+    RETRY_INTERVAL = 0.5
+
+    def __init__(self, replica: "ServiceReplica") -> None:
+        self.replica = replica
+        self.in_progress = False
+        self._last_request_at = -float("inf")
+        self._replies: dict[str, StateReply] = {}
+        self._highest_observed = -1
+        self._retry_scheduled = False
+        #: Completed transfers (metrics / tests).
+        self.completed = 0
+
+    # -- requesting ----------------------------------------------------------
+
+    def notice_gap(self, observed_cid: int, force: bool = False) -> None:
+        """Called when traffic for a future slot reveals we are behind.
+
+        ``force`` (used by the retry path) also requests state when
+        ``observed_cid == next_cid``: that instance may have decided at
+        the peers while this replica was still installing the previous
+        transfer, in which case no further traffic would ever re-trigger
+        the gap detection.
+        """
+        replica = self.replica
+        self._highest_observed = max(self._highest_observed, observed_cid)
+        if observed_cid <= replica.next_cid and not (
+            force and observed_cid == replica.next_cid
+        ):
+            return
+        now = replica.sim.now
+        if now - self._last_request_at < self.RETRY_INTERVAL:
+            self._schedule_retry()
+            return
+        self._last_request_at = now
+        self.in_progress = True
+        self._replies.clear()
+        request = StateRequest(sender=replica.address, from_cid=replica.next_cid)
+        replica.channel.broadcast(replica.other_replicas(), request)
+
+    def bootstrap(self) -> None:
+        """Fetch state unconditionally (fresh or rejuvenated replica boot).
+
+        A replacement replica that happens to be the current leader would
+        otherwise stall the whole group for a request-timeout: it has
+        nothing to propose from and only learns it is behind when peers'
+        traffic reveals a gap. If the peers are no further along (initial
+        deployment), the matching replies simply abort the transfer.
+        """
+        replica = self.replica
+        self._last_request_at = replica.sim.now
+        self._highest_observed = max(self._highest_observed, replica.next_cid)
+        self.in_progress = True
+        self._replies.clear()
+        request = StateRequest(sender=replica.address, from_cid=replica.next_cid)
+        replica.channel.broadcast(replica.other_replicas(), request)
+        self._schedule_retry()
+
+    # -- serving -------------------------------------------------------------
+
+    def on_request(self, message: StateRequest) -> None:
+        replica = self.replica
+        reply = StateReply(
+            sender=replica.address,
+            checkpoint_cid=replica.checkpoint_cid,
+            snapshot=replica.checkpoint_snapshot,
+            log=tuple(replica.decision_log),
+            view=replica.view,
+        )
+        replica.channel.send(message.sender, reply)
+
+    # -- receiving -------------------------------------------------------------
+
+    def on_reply(self, message: StateReply) -> None:
+        replica = self.replica
+        if not self.in_progress:
+            return
+        if not replica.view.contains(message.sender):
+            return
+        self._replies[message.sender] = message
+        groups: dict[bytes, list] = {}
+        for reply in self._replies.values():
+            key = digest(
+                encode(
+                    (
+                        reply.checkpoint_cid,
+                        reply.snapshot,
+                        reply.log,
+                        reply.view.view_id,
+                    )
+                )
+            )
+            groups.setdefault(key, []).append(reply)
+        threshold = replica.view.f + 1
+        for replies in groups.values():
+            if len(replies) >= threshold:
+                self._install(replies[0])
+                return
+
+    # -- installing ---------------------------------------------------------------
+
+    def _install(self, reply: StateReply) -> None:
+        replica = self.replica
+        top_cid = max(
+            [reply.checkpoint_cid] + [entry[0] for entry in reply.log]
+        )
+        if top_cid <= replica.last_decided:
+            # Peers agree but are no further along than we are; the gap
+            # message was stale. Abort and wait for real progress.
+            self.in_progress = False
+            return
+
+        if reply.view.view_id > replica.view.view_id:
+            replica.view = reply.view
+            replica.synchronizer.on_view_change()
+
+        # Invalidate any executor backlog queued before this install —
+        # replaying it against the freshly installed state would corrupt
+        # the dedup table and skip parts of this install's own replay.
+        replica._install_epoch += 1
+
+        snapshot_blob = decode(reply.snapshot)
+        service_snapshot, dedup_table = snapshot_blob
+        replica.service.install_snapshot(service_snapshot)
+        replica._last_executed_seq = dict(dedup_table)
+        # Align the dispatcher's dedup view with the installed state:
+        # pre-checkpoint requests must be skipped, replayed ones must pass.
+        replica._dispatched_seq = dict(dedup_table)
+        replica._last_reply.clear()
+
+        replica.checkpoint_cid = reply.checkpoint_cid
+        replica.checkpoint_snapshot = reply.snapshot
+        replica.executed_cid = reply.checkpoint_cid
+        replica.decision_log = list(reply.log)
+        replica.instances.clear()
+        replica._inflight_keys.clear()
+
+        last = reply.checkpoint_cid
+        for cid, value, timestamp in sorted(reply.log, key=lambda e: e[0]):
+            last = max(last, cid)
+            if value != b"":
+                batch = decode(value)
+                for request in batch.requests:
+                    replica.pending.pop(request.key(), None)
+                replica._exec_channel.put(
+                    (
+                        replica._install_epoch,
+                        cid,
+                        batch.requests,
+                        timestamp,
+                        replica.regency,
+                    )
+                )
+        replica.last_decided = last
+        replica.next_cid = last + 1
+        replica.last_progress = replica.sim.now
+        self.in_progress = False
+        self.completed += 1
+        # Consensus traffic that arrived during the transfer was buffered;
+        # joining the live protocol from it avoids another transfer round.
+        replica._drain_future()
+        if self._highest_observed >= replica.next_cid:
+            # Decisions kept landing while we transferred (or the slot we
+            # observed may have decided without us); go again once the
+            # retry interval allows.
+            self._schedule_retry()
+        replica._maybe_propose()
+
+    def _schedule_retry(self) -> None:
+        if self._retry_scheduled:
+            return
+        self._retry_scheduled = True
+        self.replica.sim.call_later(self.RETRY_INTERVAL, self._retry)
+
+    def _retry(self) -> None:
+        self._retry_scheduled = False
+        if self._highest_observed >= self.replica.next_cid:
+            self.notice_gap(self._highest_observed, force=True)

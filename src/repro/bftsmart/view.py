@@ -1,0 +1,52 @@
+"""Views: the current membership and leader of a replication group.
+
+A view changes only through reconfiguration (adding/removing replicas);
+leader changes within a view bump the *regency* instead, following
+BFT-SMaRt's Mod-SMaRt terminology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.wire import wire_type
+
+
+@wire_type(10)
+@dataclass(frozen=True)
+class View:
+    """Immutable membership snapshot.
+
+    Attributes
+    ----------
+    view_id:
+        Monotonic view number, bumped by reconfigurations.
+    addresses:
+        Tuple of replica addresses, index position = replica id.
+    f:
+        Fault threshold for this membership.
+    """
+
+    view_id: int
+    addresses: tuple
+    f: int
+
+    def __post_init__(self) -> None:
+        if len(self.addresses) < 3 * self.f + 1:
+            raise ValueError(
+                f"view with {len(self.addresses)} replicas cannot tolerate f={self.f}"
+            )
+
+    @property
+    def n(self) -> int:
+        return len(self.addresses)
+
+    def leader_for(self, regency: int) -> str:
+        """The leader address under ``regency`` (round-robin rotation)."""
+        return self.addresses[regency % self.n]
+
+    def index_of(self, address: str) -> int:
+        return self.addresses.index(address)
+
+    def contains(self, address: str) -> bool:
+        return address in self.addresses

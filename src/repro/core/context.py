@@ -1,0 +1,67 @@
+"""ContextInfo: deterministic environmental inputs for the Master core.
+
+Challenge §III-B(c): the original Master reads timestamps from the
+operating system, so replicas would stamp the same event differently.
+SMaRt-SCADA's Adapter "add[s] a timestamp and ordering information to
+each incoming message" and the DA/AE subsystems "retrieve this
+information from ContextInfo" (§IV-C). This class is that module: before
+driving the Master core with an ordered message, the Adapter calls
+:meth:`begin` with the consensus-assigned context; the Master's injected
+``clock`` and ``event_id_source`` callables then read from here, making
+every derived timestamp, event id and push-ordering key identical across
+replicas.
+"""
+
+from __future__ import annotations
+
+from repro.bftsmart.service import MessageContext
+
+
+class ContextInfo:
+    """Per-replica holder of the current operation's ordering data."""
+
+    def __init__(self) -> None:
+        self.timestamp = 0.0
+        self.cid = -1
+        self.order = 0
+        self._event_seq = 0
+        self._push_seq = 0
+        self._active = False
+
+    def begin(self, ctx: MessageContext) -> None:
+        """Enter the context of one ordered operation."""
+        self.timestamp = ctx.timestamp
+        self.cid = ctx.cid
+        self.order = ctx.order
+        self._event_seq = 0
+        self._push_seq = 0
+        self._active = True
+
+    def end(self) -> None:
+        self._active = False
+
+    # -- what the Master core consumes ------------------------------------
+
+    def now(self) -> float:
+        """Deterministic timestamp (the leader's PROPOSE clock)."""
+        if not self._active:
+            raise RuntimeError("ContextInfo read outside an ordered operation")
+        return self.timestamp
+
+    def next_event_id(self) -> str:
+        """Deterministic event id: derived from the total order."""
+        if not self._active:
+            raise RuntimeError("ContextInfo read outside an ordered operation")
+        self._event_seq += 1
+        return f"evt-{self.cid}-{self.order}-{self._event_seq}"
+
+    def next_order_key(self) -> tuple:
+        """Ordering key for the next outbound (asynchronous) message.
+
+        Attached to every push so receivers can vote and identify the
+        context a message was produced in (challenge §III-B(d)).
+        """
+        if not self._active:
+            raise RuntimeError("ContextInfo read outside an ordered operation")
+        self._push_seq += 1
+        return (self.cid, self.order, self._push_seq)

@@ -1,0 +1,122 @@
+"""ProxyFrontend: a Frontend's transparent gateway into the BFT Master.
+
+"The ProxyFrontend [...] employs the BFT client of the library to
+transmit all messages that come from the Frontend to the SCADA Master.
+When the SCADA Master needs to communicate with the Frontend, the
+ProxyFrontend receives messages from the client-side of the library and
+forwards them using the DA client" (§IV-A). It also votes f+1 matching
+pushed WriteValues before handing them to the Frontend (§IV-D-b).
+"""
+
+from __future__ import annotations
+
+from repro.bftsmart.client import ServiceProxy
+from repro.bftsmart.config import GroupConfig
+from repro.bftsmart.view import View
+from repro.core.adapter import SCADA_STREAM
+from repro.crypto import KeyStore
+from repro.neoscada.da.client import DAClient
+from repro.neoscada.messages import (
+    BrowseReply,
+    ItemUpdate,
+    WriteResult,
+    WriteValue,
+)
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.wire import DecodeError, decode, encode
+
+
+class ProxyFrontend:
+    """One Frontend's proxy in SMaRt-SCADA."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        address: str,
+        frontend_address: str,
+        config: GroupConfig,
+        keystore: KeyStore,
+        invoke_timeout: float = 1.0,
+    ) -> None:
+        self.sim = sim
+        self.address = address
+        self.frontend_address = frontend_address
+        self.endpoint = net.endpoint(address)
+        self.endpoint.set_handler(self._on_local_message)
+
+        self.bft = ServiceProxy(
+            sim=sim,
+            net=net,
+            client_id=f"{address}-bft",
+            keystore=keystore,
+            view=View(0, config.addresses, config.f),
+            invoke_timeout=invoke_timeout,
+        )
+        self.bft.pushes.set_handler(SCADA_STREAM, self._on_push)
+
+        self.da_client = DAClient(address, self.endpoint.send)
+        self.stats = {
+            "updates_in": 0,
+            "writes_out": 0,
+            "write_results_in": 0,
+            "invoke_failures": 0,
+        }
+        self._started = False
+
+    def start(self) -> None:
+        """Subscribe to the Frontend so its updates flow into the order."""
+        if self._started:
+            return
+        self._started = True
+        self.da_client.subscribe(self.frontend_address, "*")
+        self.da_client.browse(self.frontend_address)
+
+    # ------------------------------------------------------------------
+    # frontend-facing side
+    # ------------------------------------------------------------------
+
+    def _on_local_message(self, message, src: str) -> None:
+        if isinstance(message, ItemUpdate):
+            self.stats["updates_in"] += 1
+            self._submit(message)
+            return
+        if isinstance(message, WriteResult):
+            self.stats["write_results_in"] += 1
+            self._submit(message)
+            return
+        if isinstance(message, BrowseReply):
+            # Teaches the replicated Master this Frontend's item directory
+            # (and therefore which proxy owns which item).
+            self._submit(message)
+            return
+
+    def _submit(self, message) -> None:
+        event = self.bft.invoke_ordered(encode(message))
+        event.add_callback(self._on_invoke_done)
+
+    def _on_invoke_done(self, event) -> None:
+        if not event.ok:
+            event.defused = True
+            self.stats["invoke_failures"] += 1
+
+    # ------------------------------------------------------------------
+    # replica-facing side: voted pushes (WriteValue towards the field)
+    # ------------------------------------------------------------------
+
+    def _on_push(self, order: tuple, payload: bytes) -> None:
+        try:
+            message = decode(payload)
+        except DecodeError:
+            return
+        if isinstance(message, WriteValue):
+            self.stats["writes_out"] += 1
+            rewritten = WriteValue(
+                item_id=message.item_id,
+                value=message.value,
+                op_id=message.op_id,
+                reply_to=self.address,
+                operator=message.operator,
+            )
+            self.endpoint.send(self.frontend_address, rewritten)

@@ -1,0 +1,174 @@
+"""ProxyHMI: the HMI's transparent gateway into the replicated Master.
+
+"The ProxyHMI receives the HMI messages and sends them via its BFT
+client, to the ProxyMaster. [...] In this proxy, we have a DA server and
+an AE server which simulate the servers available in the SCADA Master"
+(§IV-A). The HMI connects to this proxy exactly as it would to a real
+Master — the replication is invisible (challenge a). Inbound
+asynchronous messages (ItemUpdate / EventUpdate / WriteResult) arrive as
+replica pushes and are delivered to the HMI only after f+1 matching
+copies (§IV-D: "the ProxyHMI waits for f+1 matching messages").
+"""
+
+from __future__ import annotations
+
+from repro.bftsmart.client import ServiceProxy
+from repro.bftsmart.config import GroupConfig
+from repro.bftsmart.view import View
+from repro.core.adapter import SCADA_STREAM
+from repro.crypto import KeyStore
+from repro.neoscada.ae.server import AEServer
+from repro.neoscada.da.server import DAServer
+from repro.neoscada.messages import (
+    BrowseReply,
+    BrowseRequest,
+    EventQuery,
+    EventUpdate,
+    ItemUpdate,
+    Subscribe,
+    SubscribeEvents,
+    WriteResult,
+    WriteValue,
+)
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.wire import DecodeError, decode, encode
+
+
+class ProxyHMI:
+    """The HMI-side proxy of SMaRt-SCADA."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        address: str,
+        config: GroupConfig,
+        keystore: KeyStore,
+        invoke_timeout: float = 1.0,
+    ) -> None:
+        self.sim = sim
+        self.address = address
+        self.endpoint = net.endpoint(address)
+        self.endpoint.set_handler(self._on_local_message)
+
+        self.bft = ServiceProxy(
+            sim=sim,
+            net=net,
+            client_id=f"{address}-bft",
+            keystore=keystore,
+            view=View(0, config.addresses, config.f),
+            invoke_timeout=invoke_timeout,
+        )
+        self.bft.pushes.set_handler(SCADA_STREAM, self._on_push)
+
+        # Local DA/AE servers simulating the Master's, for the HMI side.
+        self.da_server = DAServer(self.endpoint.send, on_write=self._on_hmi_write)
+        self.ae_server = AEServer(self.endpoint.send)
+
+        #: origin op_id -> HMI reply address for in-flight writes.
+        self._write_origins: dict[str, str] = {}
+        #: FIFO of HMI addresses awaiting a BrowseReply.
+        self._browse_waiters: list = []
+        self.stats = {
+            "forwarded_writes": 0,
+            "updates_out": 0,
+            "events_out": 0,
+            "write_results_out": 0,
+            "invoke_failures": 0,
+        }
+        self._started = False
+
+    def start(self) -> None:
+        """Subscribe this proxy to everything in the replicated Master."""
+        if self._started:
+            return
+        self._started = True
+        self._submit(Subscribe(subscriber=self.bft.client_id, item_id="*"))
+        self._submit(SubscribeEvents(subscriber=self.bft.client_id, item_id="*"))
+
+    # ------------------------------------------------------------------
+    # HMI-facing side
+    # ------------------------------------------------------------------
+
+    def _on_local_message(self, message, src: str) -> None:
+        if isinstance(message, BrowseRequest):
+            self._browse_waiters.append(message.reply_to)
+            self._submit(BrowseRequest(reply_to=self.bft.client_id))
+            return
+        if isinstance(message, EventQuery):
+            self._forward_event_query(message)
+            return
+        if self.da_server.dispatch(message, src):
+            return
+        if self.ae_server.dispatch(message, src):
+            return
+
+    def _forward_event_query(self, query: EventQuery) -> None:
+        """History queries ride the read-only (unordered) library path."""
+        origin = query.reply_to
+        rewritten = EventQuery(
+            query_id=query.query_id,
+            reply_to=self.bft.client_id,
+            item_id=query.item_id,
+            start=query.start,
+            end=query.end,
+            event_type=query.event_type,
+            limit=query.limit,
+        )
+        event = self.bft.invoke_unordered(encode(rewritten))
+
+        def on_done(ev) -> None:
+            if not ev.ok:
+                ev.defused = True
+                self.stats["invoke_failures"] += 1
+                return
+            self.endpoint.send(origin, decode(ev.value))
+
+        event.add_callback(on_done)
+
+    def _on_hmi_write(self, message: WriteValue, src: str) -> None:
+        """Rewrite the reply path and push the write into the total order."""
+        self.stats["forwarded_writes"] += 1
+        self._write_origins[message.op_id] = message.reply_to
+        rewritten = WriteValue(
+            item_id=message.item_id,
+            value=message.value,
+            op_id=message.op_id,
+            reply_to=self.bft.client_id,
+            operator=message.operator,
+        )
+        self._submit(rewritten)
+
+    def _submit(self, message) -> None:
+        event = self.bft.invoke_ordered(encode(message))
+        event.add_callback(self._on_invoke_done)
+
+    def _on_invoke_done(self, event) -> None:
+        if not event.ok:
+            event.defused = True
+            self.stats["invoke_failures"] += 1
+
+    # ------------------------------------------------------------------
+    # replica-facing side: voted pushes
+    # ------------------------------------------------------------------
+
+    def _on_push(self, order: tuple, payload: bytes) -> None:
+        try:
+            message = decode(payload)
+        except DecodeError:
+            return
+        if isinstance(message, ItemUpdate):
+            self.stats["updates_out"] += 1
+            self.da_server.publish(message.item_id, message.value)
+        elif isinstance(message, EventUpdate):
+            self.stats["events_out"] += 1
+            self.ae_server.publish(message.event)
+        elif isinstance(message, WriteResult):
+            origin = self._write_origins.pop(message.op_id, None)
+            if origin is not None:
+                self.stats["write_results_out"] += 1
+                self.endpoint.send(origin, message)
+        elif isinstance(message, BrowseReply):
+            if self._browse_waiters:
+                self.endpoint.send(self._browse_waiters.pop(0), message)

@@ -1,0 +1,133 @@
+"""Proactive recovery (rejuvenation) of SCADA Master replicas.
+
+The intrusion-tolerance literature the paper builds on (Castro & Liskov's
+proactive recovery; Veríssimo et al.'s intrusion-tolerant architectures,
+the paper's [8] and [14]) periodically restarts replicas from a clean
+image so that an adversary must compromise more than ``f`` replicas
+*within one rejuvenation window* rather than over the system's lifetime.
+
+This module implements that operational pattern on top of the
+reproduction's machinery: rejuvenating a replica tears its ProxyMaster
+down and boots a pristine replacement at the same address, which then
+state-transfers the whole Master state back in from its peers. A
+:class:`RejuvenationScheduler` cycles through the group one replica at a
+time (never exceeding the ``f`` simultaneous "faults" the group
+tolerates).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.proxy_master import ProxyMaster
+
+if typing.TYPE_CHECKING:
+    from repro.core.system import SmartScadaSystem
+
+
+def rejuvenate_replica(system: "SmartScadaSystem", index: int, handler_config=None) -> ProxyMaster:
+    """Replace one Master replica with a pristine instance.
+
+    The old instance is halted and detached; the new one starts from an
+    empty state (fresh service, fresh Master core) and catches up through
+    the ordinary state-transfer protocol. ``handler_config`` is a
+    ``fn(proxy_master)`` that re-attaches the deployment's handler chains
+    (configuration is not replicated state and must be re-applied, just
+    as a restarted real replica re-reads its config files).
+
+    Returns the new ProxyMaster (also swapped into
+    ``system.proxy_masters``).
+    """
+    old = system.proxy_masters[index]
+    old.replica.halt()
+    view = old.replica.view
+    replacement = ProxyMaster(
+        system.sim,
+        system.net,
+        index,
+        system.config,
+        system.keystore,
+        view=view,
+    )
+    if handler_config is not None:
+        handler_config(replacement)
+    system.proxy_masters[index] = replacement
+    # Fetch state immediately: if this address is the current leader, the
+    # group would otherwise stall for a whole request-timeout before the
+    # synchronization phase deposed the amnesiac newcomer.
+    replacement.replica.state_transfer.bootstrap()
+    return replacement
+
+
+class RejuvenationScheduler:
+    """Cycles proactive recovery through the replica group.
+
+    Parameters
+    ----------
+    system:
+        The running deployment.
+    period:
+        Seconds between consecutive rejuvenations (one replica each).
+    handler_config:
+        ``fn(proxy_master)`` re-applying handler chains to a fresh
+        replica (see :func:`rejuvenate_replica`).
+    settle_time:
+        How long after a rejuvenation the scheduler verifies the replica
+        caught up before moving on (diagnostics only).
+    """
+
+    def __init__(
+        self,
+        system: "SmartScadaSystem",
+        period: float,
+        handler_config=None,
+        settle_time: float = 2.0,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("rejuvenation period must be positive")
+        self.system = system
+        self.period = period
+        self.handler_config = handler_config
+        self.settle_time = settle_time
+        self.rejuvenations = 0
+        self.recovered_in_time = 0
+        self._process = None
+
+    def start(self) -> None:
+        if self._process is not None:
+            raise RuntimeError("scheduler already started")
+        self._process = self.system.sim.process(
+            self._run(), name="rejuvenation-scheduler"
+        )
+
+    def stop(self) -> None:
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("stop")
+
+    def _run(self):
+        from repro.sim.process import Interrupted
+
+        sim = self.system.sim
+        index = 0
+        try:
+            while True:
+                yield sim.timeout(self.period)
+                count = len(self.system.proxy_masters)
+                target = index % count
+                index += 1
+                replacement = rejuvenate_replica(
+                    self.system, target, handler_config=self.handler_config
+                )
+                self.rejuvenations += 1
+                yield sim.timeout(self.settle_time)
+                peers = [
+                    pm.replica
+                    for pm in self.system.proxy_masters
+                    if pm is not replacement and pm.replica.active
+                ]
+                if peers and replacement.replica.last_decided >= min(
+                    p.last_decided for p in peers
+                ) - 1:
+                    self.recovered_in_time += 1
+        except Interrupted:
+            return

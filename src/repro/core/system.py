@@ -1,0 +1,248 @@
+"""Whole-deployment builders for both systems under study.
+
+:func:`build_neoscada` assembles the original three-machine deployment
+(Frontend, SCADA Master, HMI); :func:`build_smartscada` assembles the
+six-machine replicated one (Frontend + proxy, n ProxyMasters, HMI +
+proxy) exactly as §V describes. Both return a handle object exposing the
+components, so tests, examples and benchmarks configure items/handlers
+and drive traffic uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import (
+    DEFAULT_HOP_LATENCY,
+    DEFAULT_LOCAL_LATENCY,
+    SmartScadaConfig,
+    neoscada_costs,
+)
+from repro.core.proxy_frontend import ProxyFrontend
+from repro.core.proxy_hmi import ProxyHMI
+from repro.core.proxy_master import ProxyMaster
+from repro.crypto import KeyStore
+from repro.neoscada.frontend import Frontend
+from repro.neoscada.hmi import HMI
+from repro.neoscada.master import MasterCosts, ScadaMaster
+from repro.net.latency import LanLatency
+from repro.net.network import Network
+from repro.net.trace import NetworkTrace
+from repro.sim.kernel import Simulator
+
+
+def make_network(
+    sim: Simulator,
+    hop_latency: float = DEFAULT_HOP_LATENCY,
+    trace: bool = False,
+) -> Network:
+    """A switched-LAN network like the paper's Gigabit testbed."""
+    return Network(
+        sim,
+        latency=LanLatency(
+            base=hop_latency,
+            jitter=hop_latency / 5,
+            rng=sim.rng.stream("net.jitter"),
+        ),
+        trace=NetworkTrace(enabled=trace),
+    )
+
+
+@dataclass
+class NeoScadaSystem:
+    """Handle to an assembled (unreplicated) NeoSCADA deployment."""
+
+    sim: Simulator
+    net: Network
+    frontends: list
+    master: ScadaMaster
+    hmi: HMI
+
+    @property
+    def frontend(self) -> Frontend:
+        return self.frontends[0]
+
+    def start(self) -> None:
+        for frontend in self.frontends:
+            frontend.start()
+        self.master.start()
+        self.hmi.start()
+        # Let subscriptions and browses settle.
+        self.sim.run(until=self.sim.now + 0.05)
+
+    def attach_handlers(self, item_id: str, chain_factory) -> None:
+        self.master.attach_handlers(item_id, chain_factory())
+
+
+def build_neoscada(
+    sim: Simulator,
+    net: Network | None = None,
+    frontend_count: int = 1,
+    costs: MasterCosts | None = None,
+    workers: int = 4,
+    jitter: float = 0.2,
+    write_timeout: float | None = 5.0,
+    audit_writes: bool = False,
+) -> NeoScadaSystem:
+    """Assemble the paper's three-machine NeoSCADA deployment."""
+    net = net if net is not None else make_network(sim)
+    frontends = [
+        Frontend(sim, net, f"frontend-{i}") for i in range(frontend_count)
+    ]
+    master = ScadaMaster(
+        sim,
+        net,
+        "scada-master",
+        frontends=[fe.address for fe in frontends],
+        costs=costs if costs is not None else neoscada_costs(),
+        workers=workers,
+        jitter=jitter,
+        write_timeout=write_timeout,
+        audit_writes=audit_writes,
+    )
+    hmi = HMI(sim, net, "hmi", master_address="scada-master")
+    return NeoScadaSystem(sim=sim, net=net, frontends=frontends, master=master, hmi=hmi)
+
+
+@dataclass
+class SmartScadaSystem:
+    """Handle to an assembled SMaRt-SCADA deployment."""
+
+    sim: Simulator
+    net: Network
+    config: SmartScadaConfig
+    keystore: KeyStore
+    frontends: list
+    proxy_frontends: list
+    proxy_masters: list
+    proxy_hmi: ProxyHMI
+    hmi: HMI
+
+    @property
+    def frontend(self) -> Frontend:
+        return self.frontends[0]
+
+    @property
+    def masters(self) -> list:
+        return [pm.master for pm in self.proxy_masters]
+
+    @property
+    def replicas(self) -> list:
+        return [pm.replica for pm in self.proxy_masters]
+
+    def start(self) -> None:
+        for frontend in self.frontends:
+            frontend.start()
+        for proxy_frontend in self.proxy_frontends:
+            proxy_frontend.start()
+        self.proxy_hmi.start()
+        self.hmi.start()
+        # Let subscriptions, browses and the first consensus settle.
+        self.sim.run(until=self.sim.now + 0.2)
+
+    def attach_handlers(self, item_id: str, chain_factory) -> None:
+        """Attach an identical handler chain to every Master replica.
+
+        ``chain_factory()`` is called once per replica — handler
+        instances hold state and must never be shared between replicas.
+        """
+        for proxy_master in self.proxy_masters:
+            proxy_master.attach_handlers(item_id, chain_factory())
+
+    def state_digests(self) -> list:
+        """Per-replica digests of the full Master state (for divergence checks)."""
+        from repro.crypto import digest
+
+        return [
+            digest(pm.service.snapshot())
+            for pm in self.proxy_masters
+            if pm.replica.active
+        ]
+
+    def update_views(self, view) -> None:
+        """Propagate a post-reconfiguration membership to every client.
+
+        BFT-SMaRt clients learn new views from their view storage; this
+        plays that role for the deployment's proxies and adapter clients.
+        """
+        self.proxy_hmi.bft.update_view(view)
+        for proxy_frontend in self.proxy_frontends:
+            proxy_frontend.bft.update_view(view)
+        for proxy_master in self.proxy_masters:
+            proxy_master.vote_client.update_view(view)
+
+
+def build_smartscada(
+    sim: Simulator,
+    net: Network | None = None,
+    config: SmartScadaConfig | None = None,
+    frontend_count: int = 1,
+    keystore: KeyStore | None = None,
+    replica_classes: dict | None = None,
+) -> SmartScadaSystem:
+    """Assemble the paper's six-machine SMaRt-SCADA deployment.
+
+    One Frontend (+proxy), ``config.n`` ProxyMasters, one HMI (+proxy);
+    each component shares a machine with its proxy, modelled as
+    loopback-speed links between the pairs. ``replica_classes`` overrides
+    the BFT-server class of specific replica indices (Byzantine drills:
+    ``{1: SilentReplica}``).
+    """
+    net = net if net is not None else make_network(sim)
+    config = config if config is not None else SmartScadaConfig()
+    keystore = keystore if keystore is not None else KeyStore()
+    replica_classes = replica_classes or {}
+    group = config.group_config()
+
+    frontends = []
+    proxy_frontends = []
+    for i in range(frontend_count):
+        frontend = Frontend(sim, net, f"frontend-{i}")
+        proxy = ProxyFrontend(
+            sim,
+            net,
+            f"proxy-frontend-{i}",
+            frontend_address=frontend.address,
+            config=group,
+            keystore=keystore,
+            invoke_timeout=config.invoke_timeout,
+        )
+        net.set_local_pair(frontend.address, proxy.address, DEFAULT_LOCAL_LATENCY)
+        frontends.append(frontend)
+        proxy_frontends.append(proxy)
+
+    proxy_masters = [
+        ProxyMaster(
+            sim,
+            net,
+            index,
+            config,
+            keystore,
+            group=group,
+            replica_class=replica_classes.get(index),
+        )
+        for index in range(config.n)
+    ]
+
+    proxy_hmi = ProxyHMI(
+        sim,
+        net,
+        "proxy-hmi",
+        config=group,
+        keystore=keystore,
+        invoke_timeout=config.invoke_timeout,
+    )
+    hmi = HMI(sim, net, "hmi", master_address="proxy-hmi")
+    net.set_local_pair("hmi", "proxy-hmi", DEFAULT_LOCAL_LATENCY)
+
+    return SmartScadaSystem(
+        sim=sim,
+        net=net,
+        config=config,
+        keystore=keystore,
+        frontends=frontends,
+        proxy_frontends=proxy_frontends,
+        proxy_masters=proxy_masters,
+        proxy_hmi=proxy_hmi,
+        hmi=hmi,
+    )

@@ -1,0 +1,112 @@
+"""The logical-timeout protocol (§IV-D).
+
+When the replicated Master forwards a WriteValue to a Frontend, its DA
+client blocks until the WriteResult comes back; an attacker who drops
+either message would block the Master forever. Following Kirsch et al.,
+each Adapter arms a local timer when the write is forwarded. On expiry
+it broadcasts a timeout vote to the other Adapters — here the vote
+travels through the same Byzantine total order as everything else, so
+all replicas observe the same vote sequence. When a majority of distinct
+replicas have voted for an operation that is still pending, every
+replica deterministically synthesizes an **empty (failed) WriteResult**,
+unblocking the Master.
+"""
+
+from __future__ import annotations
+
+from repro.bftsmart.messages import TimeoutVote
+from repro.neoscada.messages import WriteResult
+from repro.sim.kernel import Simulator
+
+
+class LogicalTimeoutManager:
+    """Per-replica side of the logical-timeout protocol.
+
+    Parameters
+    ----------
+    sim:
+        The simulator (for the local timers).
+    replica_address:
+        Identity stamped on outgoing votes.
+    timeout:
+        Local timer duration in seconds.
+    majority:
+        Distinct voters required to synthesize the empty WriteResult.
+    send_vote:
+        ``fn(TimeoutVote)`` — submits the vote into the total order
+        (wired to the replica's own BFT client by the ProxyMaster).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        replica_address: str,
+        timeout: float,
+        majority: int,
+        send_vote,
+    ) -> None:
+        self.sim = sim
+        self.replica_address = replica_address
+        self.timeout = timeout
+        self.majority = majority
+        self._send_vote = send_vote
+        #: master_op_id -> item_id for writes awaiting a WriteResult.
+        self._armed: dict[str, str] = {}
+        #: master_op_id -> set of replica addresses that voted (ordered).
+        self._votes: dict[str, set] = {}
+        self._voted_locally: set = set()
+        self.stats = {"armed": 0, "votes_sent": 0, "synthesized": 0}
+
+    # -- local timers ------------------------------------------------------
+
+    def arm(self, master_op: str, item_id: str) -> None:
+        """Start the local timer for a forwarded write."""
+        if master_op in self._armed:
+            return
+        self._armed[master_op] = item_id
+        self.stats["armed"] += 1
+        self.sim.call_later(self.timeout, self._expire, master_op)
+
+    def disarm(self, master_op: str) -> None:
+        """The WriteResult arrived through the total order: cancel."""
+        self._armed.pop(master_op, None)
+        self._votes.pop(master_op, None)
+
+    def _expire(self, master_op: str) -> None:
+        if master_op not in self._armed or master_op in self._voted_locally:
+            return
+        self._voted_locally.add(master_op)
+        self.stats["votes_sent"] += 1
+        self._send_vote(
+            TimeoutVote(replica=self.replica_address, operation_key=(master_op,))
+        )
+
+    # -- ordered votes (identical at every replica) --------------------------
+
+    def on_ordered_vote(self, vote: TimeoutVote, valid_voters) -> WriteResult | None:
+        """Process a vote delivered by consensus.
+
+        Returns the WriteResult to synthesize when the majority is
+        reached for a still-pending operation, else ``None``. Votes from
+        addresses outside ``valid_voters`` are ignored (a Byzantine node
+        cannot stuff the ballot by inventing voter identities — each vote
+        arrives through its sender's authenticated client).
+        """
+        (master_op,) = vote.operation_key
+        if vote.replica not in valid_voters:
+            return None
+        item_id = self._armed.get(master_op)
+        if item_id is None:
+            return None
+        voters = self._votes.setdefault(master_op, set())
+        voters.add(vote.replica)
+        if len(voters) < self.majority:
+            return None
+        self.disarm(master_op)
+        self.stats["synthesized"] += 1
+        return WriteResult(
+            item_id=item_id,
+            op_id=master_op,
+            success=False,
+            reason="logical timeout: no WriteResult from the frontend",
+        )

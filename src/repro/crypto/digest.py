@@ -1,0 +1,37 @@
+"""Content digests used for reply voting, checkpoints and state transfer."""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Number of bytes of the truncated digest carried in protocol messages.
+DIGEST_SIZE = 20
+
+
+def sha256(data: bytes) -> bytes:
+    """Full SHA-256 digest of ``data``."""
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise TypeError(f"digest input must be bytes, got {type(data).__name__}")
+    return hashlib.sha256(bytes(data)).digest()
+
+
+def digest(data: bytes) -> bytes:
+    """Truncated SHA-256 digest (``DIGEST_SIZE`` bytes) of ``data``.
+
+    Used wherever the protocols compare message or state contents:
+    f+1 reply voting, PROPOSE value hashes, checkpoint digests.
+    """
+    return sha256(data)[:DIGEST_SIZE]
+
+
+def combine(*parts: bytes) -> bytes:
+    """Digest of a length-prefixed concatenation of ``parts``.
+
+    Length prefixes prevent ambiguity between e.g. ``(b"ab", b"c")`` and
+    ``(b"a", b"bc")``.
+    """
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(len(part).to_bytes(4, "big"))
+        hasher.update(part)
+    return hasher.digest()[:DIGEST_SIZE]

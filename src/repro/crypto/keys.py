@@ -1,0 +1,54 @@
+"""Key management for the simulated deployment.
+
+A :class:`KeyStore` plays the role of the key distribution the paper gets
+from TLS session establishment and BFT-SMaRt's shared-secret setup: every
+pair of principals shares a symmetric key, and every principal has a
+"signing" key. Keys are derived deterministically from a root secret so a
+whole deployment can be generated from one seed; an attacker model in the
+tests can still be given *wrong* keys to exercise rejection paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+
+def _derive(root: bytes, label: str) -> bytes:
+    return hmac.new(root, label.encode("utf-8"), hashlib.sha256).digest()
+
+
+class KeyStore:
+    """Derives and caches pairwise and per-principal keys.
+
+    Parameters
+    ----------
+    root_secret:
+        Deployment-wide secret all honest principals share out-of-band.
+        Principals configured with a different root secret produce MACs
+        and signatures that honest verifiers reject.
+    """
+
+    def __init__(self, root_secret: bytes = b"smart-scada-deployment") -> None:
+        if not root_secret:
+            raise ValueError("root secret must be non-empty")
+        self._root = bytes(root_secret)
+        self._pair_cache: dict[tuple[str, str], bytes] = {}
+        self._signing_cache: dict[str, bytes] = {}
+
+    def pair_key(self, a: str, b: str) -> bytes:
+        """Symmetric key shared by principals ``a`` and ``b`` (order-free)."""
+        lo, hi = sorted((a, b))
+        key = self._pair_cache.get((lo, hi))
+        if key is None:
+            key = _derive(self._root, f"pair:{lo}:{hi}")
+            self._pair_cache[(lo, hi)] = key
+        return key
+
+    def signing_key(self, principal: str) -> bytes:
+        """The per-principal key used by the simulated signature scheme."""
+        key = self._signing_cache.get(principal)
+        if key is None:
+            key = _derive(self._root, f"sign:{principal}")
+            self._signing_cache[principal] = key
+        return key

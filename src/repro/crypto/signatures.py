@@ -1,0 +1,56 @@
+"""Simulated digital signatures.
+
+The slow path of BFT protocols (leader-change STOP-DATA proofs, state
+transfer certificates, reconfiguration commands) uses digital signatures.
+Real asymmetric crypto adds nothing to the behaviour being reproduced, so
+this module simulates an EUF-CMA signature with an HMAC under the signer's
+per-principal key: only the signer (and the trusted KeyStore, standing in
+for the PKI) can produce a tag that verifies. The substitution is recorded
+in DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.crypto.keys import KeyStore
+
+SIGNATURE_SIZE = 32
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A detached signature over some payload."""
+
+    signer: str
+    tag: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.tag) != SIGNATURE_SIZE:
+            raise ValueError(f"signature tag must be {SIGNATURE_SIZE} bytes")
+
+
+class Signer:
+    """Produces signatures on behalf of one principal."""
+
+    def __init__(self, me: str, keystore: KeyStore) -> None:
+        self.me = me
+        self._key = keystore.signing_key(me)
+
+    def sign(self, payload: bytes) -> Signature:
+        tag = hmac.new(self._key, payload, hashlib.sha256).digest()
+        return Signature(signer=self.me, tag=tag)
+
+
+class Verifier:
+    """Verifies signatures from any principal (stands in for a PKI)."""
+
+    def __init__(self, keystore: KeyStore) -> None:
+        self._keystore = keystore
+
+    def verify(self, signature: Signature, payload: bytes) -> bool:
+        key = self._keystore.signing_key(signature.signer)
+        expected = hmac.new(key, payload, hashlib.sha256).digest()
+        return hmac.compare_digest(expected, signature.tag)

@@ -1,0 +1,86 @@
+"""An Eclipse-NeoSCADA-style SCADA construction kit.
+
+Implements the functional subset of NeoSCADA the paper exercises (and a
+little more): items with quality/timestamps, the DA and AE communication
+interfaces, the default handler set (Scale, Override, Monitor, Block),
+event storage, the SCADA Master with its concurrent worker pool, the
+Frontend protocol translator with a Modbus-style field protocol,
+simulated RTUs with physical process models, and the HMI.
+"""
+
+from repro.neoscada.ae import AEClient, AEServer, EventRecord, Severity
+from repro.neoscada.archive import TrendBucket, TrendRecorder, ValueArchive
+from repro.neoscada.da import DAClient, DAServer, SubscriptionManager
+from repro.neoscada.frontend import Frontend
+from repro.neoscada.handlers import (
+    Block,
+    Handler,
+    HandlerChain,
+    HandlerContext,
+    HandlerResult,
+    Monitor,
+    Override,
+    Scale,
+)
+from repro.neoscada.hmi import HMI
+from repro.neoscada.items import Item, ItemRegistry
+from repro.neoscada.master import ExecutionOutcome, MasterCosts, ScadaMaster
+from repro.neoscada.messages import (
+    BrowseReply,
+    BrowseRequest,
+    EventUpdate,
+    ItemUpdate,
+    Subscribe,
+    SubscribeEvents,
+    Unsubscribe,
+    UnsubscribeEvents,
+    WriteResult,
+    WriteValue,
+)
+from repro.neoscada.rtu import RTU
+from repro.neoscada.rtu104 import Iec104RTU
+from repro.neoscada.storage import EventStorage
+from repro.neoscada.values import DataValue, Quality
+
+__all__ = [
+    "AEClient",
+    "AEServer",
+    "Block",
+    "BrowseReply",
+    "BrowseRequest",
+    "DAClient",
+    "DAServer",
+    "DataValue",
+    "EventRecord",
+    "EventStorage",
+    "EventUpdate",
+    "ExecutionOutcome",
+    "Frontend",
+    "HMI",
+    "Handler",
+    "HandlerChain",
+    "HandlerContext",
+    "HandlerResult",
+    "Iec104RTU",
+    "Item",
+    "ItemRegistry",
+    "ItemUpdate",
+    "MasterCosts",
+    "Monitor",
+    "Override",
+    "Quality",
+    "RTU",
+    "ScadaMaster",
+    "Scale",
+    "Severity",
+    "Subscribe",
+    "SubscribeEvents",
+    "SubscriptionManager",
+    "TrendBucket",
+    "TrendRecorder",
+    "Unsubscribe",
+    "UnsubscribeEvents",
+    "ValueArchive",
+    "WriteResult",
+    "WriteValue",
+]

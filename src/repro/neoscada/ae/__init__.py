@@ -1,0 +1,7 @@
+"""Alarms & Events (AE) interface: event subscription and notification."""
+
+from repro.neoscada.ae.client import AEClient
+from repro.neoscada.ae.events import EventRecord, Severity
+from repro.neoscada.ae.server import AEServer
+
+__all__ = ["AEClient", "AEServer", "EventRecord", "Severity"]

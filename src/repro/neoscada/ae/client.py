@@ -1,0 +1,29 @@
+"""Alarms & Events client: event subscription and reception."""
+
+from __future__ import annotations
+
+from repro.neoscada.messages import EventUpdate, SubscribeEvents, UnsubscribeEvents
+
+
+class AEClient:
+    """Client side of the Alarms & Events interface."""
+
+    def __init__(self, address: str, send, on_event=None) -> None:
+        self.address = address
+        self._send = send
+        self._on_event = on_event
+        self.events_received = 0
+
+    def subscribe(self, server: str, item_id: str = "*") -> None:
+        self._send(server, SubscribeEvents(subscriber=self.address, item_id=item_id))
+
+    def unsubscribe(self, server: str, item_id: str = "*") -> None:
+        self._send(server, UnsubscribeEvents(subscriber=self.address, item_id=item_id))
+
+    def dispatch(self, message, src: str) -> bool:
+        if isinstance(message, EventUpdate):
+            self.events_received += 1
+            if self._on_event is not None:
+                self._on_event(message.event, src)
+            return True
+        return False

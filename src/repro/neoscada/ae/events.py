@@ -1,0 +1,40 @@
+"""Event records for the Alarms & Events subsystem."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.wire import wire_type
+
+
+@wire_type(62)
+class Severity(enum.Enum):
+    """Operational severity of an event."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ALARM = "alarm"
+    ERROR = "error"
+
+
+@wire_type(63)
+@dataclass(frozen=True)
+class EventRecord:
+    """One event, as created by a handler and persisted in storage.
+
+    ``event_id`` must be assigned deterministically by the creator; in
+    the replicated Master it derives from the ordering information in
+    ContextInfo so that all replicas produce byte-identical records.
+    """
+
+    event_id: str
+    item_id: str
+    event_type: str
+    severity: Severity
+    value: object
+    message: str
+    timestamp: float
+
+    def matches(self, item_id: str) -> bool:
+        return item_id in ("*", self.item_id)

@@ -1,0 +1,35 @@
+"""Alarms & Events server: event fan-out to subscribers."""
+
+from __future__ import annotations
+
+from repro.neoscada.ae.events import EventRecord
+from repro.neoscada.da.subscription import SubscriptionManager
+from repro.neoscada.messages import EventUpdate, SubscribeEvents, UnsubscribeEvents
+
+
+class AEServer:
+    """Server side of the Alarms & Events interface."""
+
+    def __init__(self, send) -> None:
+        self._send = send
+        self.subscriptions = SubscriptionManager()
+        self.published = 0
+
+    def dispatch(self, message, src: str) -> bool:
+        if isinstance(message, SubscribeEvents):
+            self.subscriptions.subscribe(message.subscriber, message.item_id)
+            return True
+        if isinstance(message, UnsubscribeEvents):
+            self.subscriptions.unsubscribe(message.subscriber, message.item_id)
+            return True
+        return False
+
+    def publish(self, event: EventRecord) -> int:
+        """Send an EventUpdate to every matching subscriber."""
+        update = EventUpdate(event=event)
+        count = 0
+        for subscriber in self.subscriptions.subscribers_for(event.item_id):
+            self._send(subscriber, update)
+            count += 1
+        self.published += count
+        return count

@@ -1,0 +1,7 @@
+"""Data Access (DA) interface: read/update values, perform writes."""
+
+from repro.neoscada.da.client import DAClient
+from repro.neoscada.da.server import DAServer
+from repro.neoscada.da.subscription import SubscriptionManager
+
+__all__ = ["DAClient", "DAServer", "SubscriptionManager"]

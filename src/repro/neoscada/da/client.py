@@ -1,0 +1,110 @@
+"""Data Access client: the consuming side of the DA interface.
+
+A DA client lives inside components that *mirror* items from elsewhere
+(the SCADA Master towards Frontends, the HMI towards the Master). It
+subscribes, receives ItemUpdates, and issues WriteValue operations whose
+WriteResults are correlated by operation id.
+"""
+
+from __future__ import annotations
+
+from repro.neoscada.messages import (
+    BrowseReply,
+    BrowseRequest,
+    ItemUpdate,
+    Subscribe,
+    Unsubscribe,
+    WriteResult,
+    WriteValue,
+)
+
+
+class DAClient:
+    """Client side of the Data Access interface.
+
+    Parameters
+    ----------
+    address:
+        The owning component's network address (used as subscriber id
+        and reply-to).
+    send:
+        ``fn(dst_address, message)`` transport.
+    on_update:
+        ``fn(message: ItemUpdate, src)`` invoked for incoming updates.
+    on_browse:
+        Optional ``fn(message: BrowseReply, src)``.
+    """
+
+    def __init__(self, address: str, send, on_update=None, on_browse=None) -> None:
+        self.address = address
+        self._send = send
+        self._on_update = on_update
+        self._on_browse = on_browse
+        #: op_id -> fn(WriteResult) for outstanding writes.
+        self._pending_writes: dict[str, object] = {}
+        self._op_counter = 0
+        self.updates_received = 0
+
+    # -- subscriptions ------------------------------------------------------------
+
+    def subscribe(self, server: str, item_id: str = "*") -> None:
+        self._send(server, Subscribe(subscriber=self.address, item_id=item_id))
+
+    def unsubscribe(self, server: str, item_id: str = "*") -> None:
+        self._send(server, Unsubscribe(subscriber=self.address, item_id=item_id))
+
+    def browse(self, server: str) -> None:
+        self._send(server, BrowseRequest(reply_to=self.address))
+
+    # -- writes ---------------------------------------------------------------------
+
+    def next_op_id(self) -> str:
+        self._op_counter += 1
+        return f"{self.address}:op{self._op_counter}"
+
+    def write(
+        self,
+        server: str,
+        item_id: str,
+        value,
+        on_result,
+        operator: str = "",
+        op_id: str | None = None,
+    ) -> str:
+        """Issue a write; ``on_result(WriteResult)`` fires on completion."""
+        op_id = op_id if op_id is not None else self.next_op_id()
+        self._pending_writes[op_id] = on_result
+        self._send(
+            server,
+            WriteValue(
+                item_id=item_id,
+                value=value,
+                op_id=op_id,
+                reply_to=self.address,
+                operator=operator,
+            ),
+        )
+        return op_id
+
+    def pending_write_count(self) -> int:
+        return len(self._pending_writes)
+
+    # -- inbound ---------------------------------------------------------------------
+
+    def dispatch(self, message, src: str) -> bool:
+        """Handle a DA message; returns False if not DA-client traffic."""
+        if isinstance(message, ItemUpdate):
+            self.updates_received += 1
+            if self._on_update is not None:
+                self._on_update(message, src)
+            return True
+        if isinstance(message, WriteResult):
+            callback = self._pending_writes.pop(message.op_id, None)
+            if callback is not None:
+                callback(message)
+            return True
+        if isinstance(message, BrowseReply):
+            if self._on_browse is not None:
+                self._on_browse(message, src)
+            return True
+        return False

@@ -1,0 +1,86 @@
+"""Data Access server: the publishing side of the DA interface.
+
+A DA server lives inside a component that *owns* items (Frontend, SCADA
+Master, ProxyHMI). It accepts subscriptions, fans ItemUpdates out to
+subscribers, and hands incoming WriteValue messages to the owner's write
+callback.
+"""
+
+from __future__ import annotations
+
+from repro.neoscada.messages import (
+    BrowseReply,
+    BrowseRequest,
+    ItemUpdate,
+    Subscribe,
+    Unsubscribe,
+    WriteValue,
+)
+from repro.neoscada.da.subscription import SubscriptionManager
+from repro.neoscada.values import DataValue
+
+
+class DAServer:
+    """Server side of the Data Access interface.
+
+    Parameters
+    ----------
+    send:
+        ``fn(dst_address, message)`` — the owning component's transport.
+    on_write:
+        ``fn(message: WriteValue, src)`` invoked for incoming writes.
+    browse_source:
+        Zero-argument callable returning ``[(item_id, writable), ...]``
+        for BrowseRequest answers.
+    on_subscribe:
+        Optional ``fn(subscriber, item_id)`` hook (the Frontend uses it
+        to send initial values to new subscribers).
+    """
+
+    def __init__(self, send, on_write=None, browse_source=None, on_subscribe=None) -> None:
+        self._send = send
+        self._on_write = on_write
+        self._browse_source = browse_source
+        self._on_subscribe = on_subscribe
+        self.subscriptions = SubscriptionManager()
+        self.published = 0
+
+    # -- inbound ---------------------------------------------------------------
+
+    def dispatch(self, message, src: str) -> bool:
+        """Handle a DA message; returns False if it is not DA-server traffic."""
+        if isinstance(message, Subscribe):
+            self.subscriptions.subscribe(message.subscriber, message.item_id)
+            if self._on_subscribe is not None:
+                self._on_subscribe(message.subscriber, message.item_id)
+            return True
+        if isinstance(message, Unsubscribe):
+            self.subscriptions.unsubscribe(message.subscriber, message.item_id)
+            return True
+        if isinstance(message, WriteValue):
+            if self._on_write is not None:
+                self._on_write(message, src)
+            return True
+        if isinstance(message, BrowseRequest):
+            items = tuple(self._browse_source() if self._browse_source else ())
+            self._send(message.reply_to, BrowseReply(items=items))
+            return True
+        return False
+
+    # -- outbound ----------------------------------------------------------------
+
+    def publish(self, item_id: str, value: DataValue, exclude: str | None = None) -> int:
+        """Send an ItemUpdate to every subscriber; returns the fan-out."""
+        update = ItemUpdate(item_id=item_id, value=value)
+        count = 0
+        for subscriber in self.subscriptions.subscribers_for(item_id):
+            if subscriber == exclude:
+                continue
+            self._send(subscriber, update)
+            count += 1
+        self.published += count
+        return count
+
+    def send_to(self, subscriber: str, item_id: str, value: DataValue) -> None:
+        """Send one targeted ItemUpdate (initial value on subscribe)."""
+        self._send(subscriber, ItemUpdate(item_id=item_id, value=value))

@@ -1,0 +1,41 @@
+"""Subscription bookkeeping shared by the DA and AE servers."""
+
+from __future__ import annotations
+
+
+class SubscriptionManager:
+    """Tracks which subscriber addresses want which item ids.
+
+    ``"*"`` subscribes to everything — the SCADA Master subscribes to all
+    of a Frontend's items this way, and the HMI typically does the same
+    towards the Master.
+    """
+
+    def __init__(self) -> None:
+        self._by_item: dict[str, set] = {}
+
+    def subscribe(self, subscriber: str, item_id: str) -> None:
+        self._by_item.setdefault(item_id, set()).add(subscriber)
+
+    def unsubscribe(self, subscriber: str, item_id: str) -> None:
+        subscribers = self._by_item.get(item_id)
+        if subscribers is not None:
+            subscribers.discard(subscriber)
+            if not subscribers:
+                del self._by_item[item_id]
+
+    def drop_subscriber(self, subscriber: str) -> None:
+        """Remove a subscriber from every item (session teardown)."""
+        for item_id in list(self._by_item):
+            self.unsubscribe(subscriber, item_id)
+
+    def subscribers_for(self, item_id: str) -> list:
+        """Deterministically ordered subscribers for one item."""
+        exact = self._by_item.get(item_id, set())
+        wildcard = self._by_item.get("*", set())
+        return sorted(exact | wildcard)
+
+    def is_subscribed(self, subscriber: str, item_id: str) -> bool:
+        return subscriber in self._by_item.get(item_id, set()) or (
+            subscriber in self._by_item.get("*", set())
+        )

@@ -1,0 +1,7 @@
+"""Field process models driving RTU registers."""
+
+from repro.neoscada.field.process import FieldProcess, clamp_register
+from repro.neoscada.field.powergrid import PowerFeeder
+from repro.neoscada.field.watertank import WaterTank
+
+__all__ = ["FieldProcess", "PowerFeeder", "WaterTank", "clamp_register"]

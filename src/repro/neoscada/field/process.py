@@ -1,0 +1,35 @@
+"""Field process models: the physics behind the RTU registers.
+
+A :class:`FieldProcess` evolves a set of register values over time and
+reacts to actuator writes. RTUs step their process periodically and
+expose the resulting registers over Modbus. Models must draw randomness
+only from the RNG they are given, so runs stay reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class FieldProcess:
+    """Base class for simulated physical processes."""
+
+    def initial_registers(self) -> dict:
+        """Register map at time zero: ``{register_number: int_value}``."""
+        raise NotImplementedError
+
+    def step(self, dt: float, rng: random.Random, registers: dict) -> dict:
+        """Advance the physics by ``dt`` seconds.
+
+        Receives the current register map (including any actuator writes
+        applied since the last step) and returns the registers to update.
+        """
+        raise NotImplementedError
+
+    def on_write(self, register: int, value: int, registers: dict) -> None:
+        """Hook invoked when the SCADA side writes an actuator register."""
+
+
+def clamp_register(value: float) -> int:
+    """Round and clamp a model output into the 16-bit register range."""
+    return max(0, min(0xFFFF, int(round(value))))

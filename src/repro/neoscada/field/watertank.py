@@ -1,0 +1,57 @@
+"""A water-tank model for water-supply scenarios.
+
+Registers
+---------
+0: level in millimetres
+1: inflow in decilitres/second
+2: pump state (0 = off, 1 = on) — writable actuator
+3: valve opening percent (0–100) — writable actuator
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.neoscada.field.process import FieldProcess, clamp_register
+
+LEVEL = 0
+INFLOW = 1
+PUMP = 2
+VALVE = 3
+
+
+class WaterTank(FieldProcess):
+    """A tank filled by a pump and drained through a valve."""
+
+    def __init__(
+        self,
+        capacity_mm: float = 5000.0,
+        initial_level_mm: float = 2500.0,
+        pump_rate_mm_s: float = 25.0,
+        drain_rate_mm_s: float = 20.0,
+        noise: float = 0.05,
+    ) -> None:
+        self.capacity_mm = capacity_mm
+        self.level = initial_level_mm
+        self.pump_rate = pump_rate_mm_s
+        self.drain_rate = drain_rate_mm_s
+        self.noise = noise
+
+    def initial_registers(self) -> dict:
+        return {
+            LEVEL: clamp_register(self.level),
+            INFLOW: 0,
+            PUMP: 1,
+            VALVE: 50,
+        }
+
+    def step(self, dt: float, rng: random.Random, registers: dict) -> dict:
+        pump_on = registers.get(PUMP, 0) == 1
+        valve_pct = registers.get(VALVE, 0) / 100.0
+        inflow = self.pump_rate * (1.0 + rng.gauss(0.0, self.noise)) if pump_on else 0.0
+        outflow = self.drain_rate * valve_pct * (1.0 + rng.gauss(0.0, self.noise))
+        self.level = min(self.capacity_mm, max(0.0, self.level + (inflow - outflow) * dt))
+        return {
+            LEVEL: clamp_register(self.level),
+            INFLOW: clamp_register(inflow * 10),
+        }

@@ -1,0 +1,334 @@
+"""The Frontend: protocol translator between RTUs and the SCADA Master.
+
+A Frontend owns *source* items mapped to RTU registers, polls the RTUs
+over the Modbus-style protocol, publishes changed values as ItemUpdates
+to its DA subscribers, and translates WriteValue operations into
+register writes (paper Figure 2).
+
+For workload generation the paper "simplified this experiment by
+removing the RTUs, as the Frontend generate[s] the messages" — the
+:meth:`inject_update` method provides exactly that path.
+"""
+
+from __future__ import annotations
+
+from repro.neoscada.da.server import DAServer
+from repro.neoscada.items import ItemRegistry
+from repro.neoscada.messages import WriteResult, WriteValue
+from repro.neoscada.protocols.iec104 import Iec104Client
+from repro.neoscada.protocols.modbus import (
+    ExceptionReply,
+    ModbusClient,
+    ReadReply,
+    WriteReply,
+    check_register_value,
+)
+from repro.neoscada.values import DataValue, Quality
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+
+
+class Frontend:
+    """One protocol-translating Frontend."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        address: str,
+        poll_interval: float = 0.5,
+        write_timeout: float = 2.0,
+    ) -> None:
+        self.sim = sim
+        self.address = address
+        self.poll_interval = poll_interval
+        self.write_timeout = write_timeout
+
+        self.endpoint = net.endpoint(address)
+        self.endpoint.set_handler(self._on_message)
+
+        self.items = ItemRegistry()
+        #: item_id -> (rtu_address, register); items without a mapping are
+        #: workload-injected only.
+        self.mapping: dict[str, tuple] = {}
+        self._reverse: dict[tuple, str] = {}
+
+        self.da_server = DAServer(
+            self.endpoint.send,
+            on_write=self._on_write,
+            browse_source=lambda: [
+                (item.item_id, item.writable) for item in self.items
+            ],
+            on_subscribe=self._on_subscribe,
+        )
+        self.modbus = ModbusClient(address, self.endpoint.send)
+        self.iec104 = Iec104Client(address, self.endpoint.send)
+        self.iec104.on_spontaneous = self._on_spontaneous
+        #: item_id -> (rtu_address, information object address).
+        self.iec104_mapping: dict[str, tuple] = {}
+        self._iec104_reverse: dict[tuple, str] = {}
+        self.stats = {"published": 0, "writes": 0, "write_failures": 0, "polls": 0}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+
+    def add_item(
+        self,
+        item_id: str,
+        rtu: str | None = None,
+        register: int | None = None,
+        writable: bool = False,
+        initial=None,
+    ):
+        """Declare an item, optionally backed by an RTU register."""
+        item = self.items.register(item_id, initial=initial, writable=writable)
+        if rtu is not None:
+            if register is None:
+                raise ValueError("an RTU-backed item needs a register number")
+            self.mapping[item_id] = (rtu, register)
+            self._reverse[(rtu, register)] = item_id
+        return item
+
+    def add_iec104_item(
+        self,
+        item_id: str,
+        rtu: str,
+        ioa: int,
+        writable: bool = False,
+        initial=None,
+    ):
+        """Declare an item backed by an IEC-104 information object.
+
+        Unlike Modbus items these are *not* polled: the substation pushes
+        spontaneous updates, and the frontend interrogates once at start.
+        """
+        item = self.items.register(item_id, initial=initial, writable=writable)
+        self.iec104_mapping[item_id] = (rtu, ioa)
+        self._iec104_reverse[(rtu, ioa)] = item_id
+        return item
+
+    def start(self) -> None:
+        """Start the RTU polling loop and the IEC-104 sessions."""
+        if self._started:
+            return
+        self._started = True
+        if self.mapping:
+            self.sim.process(self._poll_loop(), name=f"frontend-poll:{self.address}")
+        for rtu in {rtu for rtu, _ioa in self.iec104_mapping.values()}:
+            self.iec104.start_data_transfer(rtu)
+            self.iec104.interrogate(rtu, self._make_interrogation_handler(rtu))
+
+    # ------------------------------------------------------------------
+    # IEC-104 (RTU pushes, Frontend translates)
+    # ------------------------------------------------------------------
+
+    def _make_interrogation_handler(self, rtu: str):
+        def on_reply(reply) -> None:
+            for ioa, value, _timestamp in reply.points:
+                item_id = self._iec104_reverse.get((rtu, ioa))
+                if item_id is not None:
+                    self._publish(item_id, value)
+
+        return on_reply
+
+    def _on_spontaneous(self, rtu: str, update) -> None:
+        item_id = self._iec104_reverse.get((rtu, update.ioa))
+        if item_id is None:
+            return
+        item = self.items.get(item_id)
+        if item.value.value != update.value or not item.value.is_good:
+            self._publish(item_id, update.value)
+
+    # ------------------------------------------------------------------
+    # polling (RTU -> Frontend -> subscribers)
+    # ------------------------------------------------------------------
+
+    def _poll_loop(self):
+        while True:
+            yield self.sim.timeout(self.poll_interval)
+            self.stats["polls"] += 1
+            for rtu, runs in self._register_runs().items():
+                for start, count in runs:
+                    self.modbus.read(
+                        rtu, start, count, self._make_read_handler(rtu, start)
+                    )
+
+    def _register_runs(self) -> dict:
+        """Contiguous register runs to poll, grouped per RTU."""
+        per_rtu: dict[str, list] = {}
+        for rtu, register in self.mapping.values():
+            per_rtu.setdefault(rtu, []).append(register)
+        runs: dict[str, list] = {}
+        for rtu, registers in per_rtu.items():
+            registers.sort()
+            grouped = []
+            start = prev = registers[0]
+            for register in registers[1:]:
+                if register == prev + 1:
+                    prev = register
+                    continue
+                grouped.append((start, prev - start + 1))
+                start = prev = register
+            grouped.append((start, prev - start + 1))
+            runs[rtu] = grouped
+        return runs
+
+    def _make_read_handler(self, rtu: str, start: int):
+        def on_reply(reply) -> None:
+            if isinstance(reply, ExceptionReply):
+                return
+            assert isinstance(reply, ReadReply)
+            for offset, raw in enumerate(reply.values):
+                item_id = self._reverse.get((rtu, start + offset))
+                if item_id is None:
+                    continue
+                item = self.items.get(item_id)
+                if item.value.value != raw or not item.value.is_good:
+                    self._publish(item_id, raw)
+
+        return on_reply
+
+    def _publish(self, item_id: str, raw) -> None:
+        value = DataValue(raw, Quality.GOOD, self.sim.now)
+        self.items.update(item_id, value)
+        self.stats["published"] += 1
+        self.da_server.publish(item_id, value)
+
+    def inject_update(self, item_id: str, raw) -> None:
+        """Produce an update without an RTU (the paper's workload path)."""
+        if item_id not in self.items:
+            self.items.register(item_id)
+        self._publish(item_id, raw)
+
+    # ------------------------------------------------------------------
+    # writes (Master -> Frontend -> RTU)
+    # ------------------------------------------------------------------
+
+    def _on_write(self, message: WriteValue, src: str) -> None:
+        self.stats["writes"] += 1
+        item = self.items.try_get(message.item_id)
+        if item is None or not item.writable:
+            self._write_failed(
+                message,
+                f"unknown item {message.item_id!r}"
+                if item is None
+                else f"item {message.item_id!r} is not writable",
+            )
+            return
+        iec104_mapping = self.iec104_mapping.get(message.item_id)
+        if iec104_mapping is not None:
+            self._write_via_iec104(message, iec104_mapping)
+            return
+        mapping = self.mapping.get(message.item_id)
+        if mapping is None:
+            # Injected (RTU-less) item: apply locally and confirm — this is
+            # the write path of the paper's RTU-less evaluation setup.
+            self._publish(message.item_id, message.value)
+            self.endpoint.send(
+                message.reply_to,
+                WriteResult(
+                    item_id=message.item_id,
+                    op_id=message.op_id,
+                    success=True,
+                ),
+            )
+            return
+        if not check_register_value(message.value):
+            self._write_failed(message, f"value {message.value!r} does not fit a register")
+            return
+        rtu, register = mapping
+        done = {"answered": False}
+
+        def on_reply(reply) -> None:
+            if done["answered"]:
+                return
+            done["answered"] = True
+            if isinstance(reply, WriteReply):
+                self._publish(message.item_id, reply.value)
+                self.endpoint.send(
+                    message.reply_to,
+                    WriteResult(
+                        item_id=message.item_id, op_id=message.op_id, success=True
+                    ),
+                )
+            else:
+                self._write_failed(message, f"modbus exception {reply.code}")
+
+        def on_timeout() -> None:
+            if done["answered"]:
+                return
+            done["answered"] = True
+            self._write_failed(message, "RTU did not answer")
+
+        self.modbus.write(rtu, register, message.value, on_reply)
+        self.sim.call_later(self.write_timeout, on_timeout)
+
+    def _write_via_iec104(self, message: WriteValue, mapping: tuple) -> None:
+        rtu, ioa = mapping
+        if not check_register_value(message.value):
+            self._write_failed(
+                message, f"value {message.value!r} does not fit an information object"
+            )
+            return
+        done = {"answered": False}
+
+        def on_confirm(confirm) -> None:
+            if done["answered"]:
+                return
+            done["answered"] = True
+            if confirm.ok:
+                self._publish(message.item_id, message.value)
+                self.endpoint.send(
+                    message.reply_to,
+                    WriteResult(
+                        item_id=message.item_id, op_id=message.op_id, success=True
+                    ),
+                )
+            else:
+                self._write_failed(message, confirm.reason)
+
+        def on_timeout() -> None:
+            if done["answered"]:
+                return
+            done["answered"] = True
+            self._write_failed(message, "substation did not confirm the command")
+
+        self.iec104.command(rtu, ioa, message.value, on_confirm)
+        self.sim.call_later(self.write_timeout, on_timeout)
+
+    def _write_failed(self, message: WriteValue, reason: str) -> None:
+        self.stats["write_failures"] += 1
+        self.endpoint.send(
+            message.reply_to,
+            WriteResult(
+                item_id=message.item_id,
+                op_id=message.op_id,
+                success=False,
+                reason=reason,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # inbound dispatch
+    # ------------------------------------------------------------------
+
+    def _on_subscribe(self, subscriber: str, item_id: str) -> None:
+        """Send current values to a new subscriber (initial sync)."""
+        if item_id == "*":
+            for item in self.items:
+                if item.value.value is not None:
+                    self.da_server.send_to(subscriber, item.item_id, item.value)
+        else:
+            item = self.items.try_get(item_id)
+            if item is not None and item.value.value is not None:
+                self.da_server.send_to(subscriber, item_id, item.value)
+
+    def _on_message(self, message, src: str) -> None:
+        if self.da_server.dispatch(message, src):
+            return
+        if self.modbus.dispatch(message, src):
+            return
+        if self.iec104.dispatch(message, src):
+            return

@@ -1,0 +1,19 @@
+"""NeoSCADA's default item handlers: Scale, Override, Monitor, Block."""
+
+from repro.neoscada.handlers.base import Handler, HandlerContext, HandlerResult
+from repro.neoscada.handlers.block import Block
+from repro.neoscada.handlers.chain import HandlerChain
+from repro.neoscada.handlers.monitor import Monitor
+from repro.neoscada.handlers.override import Override
+from repro.neoscada.handlers.scale import Scale
+
+__all__ = [
+    "Block",
+    "Handler",
+    "HandlerChain",
+    "HandlerContext",
+    "HandlerResult",
+    "Monitor",
+    "Override",
+    "Scale",
+]

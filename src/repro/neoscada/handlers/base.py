@@ -1,0 +1,98 @@
+"""Handler framework.
+
+Handlers are attached to the SCADA Master's items "to obtain enhanced
+functionalities" (paper §II-A): they can transform a value, raise
+events, and block write operations. A handler must be deterministic
+given its inputs and the :class:`HandlerContext` — the context is where
+all environmental information (the clock, the event-id source) comes
+from, which is exactly the seam the replicated Master uses to feed
+deterministic timestamps (§IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.neoscada.ae.events import EventRecord, Severity
+from repro.neoscada.values import DataValue
+
+
+@dataclass
+class HandlerContext:
+    """Environment for one handler invocation.
+
+    Attributes
+    ----------
+    item_id:
+        The item being processed.
+    now:
+        The timestamp to stamp on derived events. In the original Master
+        this is the wall clock; in the replicated Master it comes from
+        ContextInfo (identical across replicas).
+    event_id_source:
+        Zero-argument callable returning a fresh, deterministic event id.
+    is_write:
+        True when processing a WriteValue rather than an ItemUpdate.
+    operator:
+        Operator identity for authorization decisions (writes only).
+    previous:
+        The item's value before this message.
+    """
+
+    item_id: str
+    now: float
+    event_id_source: object
+    is_write: bool = False
+    operator: str = ""
+    previous: DataValue | None = None
+
+    def make_event(
+        self,
+        event_type: str,
+        severity: Severity,
+        value,
+        message: str,
+    ) -> EventRecord:
+        """Build an event stamped with the context's deterministic data."""
+        return EventRecord(
+            event_id=self.event_id_source(),
+            item_id=self.item_id,
+            event_type=event_type,
+            severity=severity,
+            value=value,
+            message=message,
+            timestamp=self.now,
+        )
+
+
+@dataclass
+class HandlerResult:
+    """Outcome of one handler invocation.
+
+    ``value`` is the (possibly transformed) value passed to the next
+    handler; ``events`` are appended to the chain's event list;
+    ``blocked`` (with ``block_reason``) aborts a write operation.
+    """
+
+    value: DataValue
+    events: list = field(default_factory=list)
+    blocked: bool = False
+    block_reason: str = ""
+
+
+class Handler:
+    """Base class for item handlers."""
+
+    #: Simulated CPU cost of one invocation (seconds); cost models add
+    #: these up to price a message's trip through the chain.
+    cost: float = 0.0
+
+    def process(self, value: DataValue, ctx: HandlerContext) -> HandlerResult:
+        raise NotImplementedError
+
+    def state(self) -> tuple:
+        """Canonical internal state for snapshots (default: stateless)."""
+        return ()
+
+    def restore(self, state: tuple) -> None:
+        """Restore internal state from :meth:`state` output."""

@@ -1,0 +1,82 @@
+"""Block handler: write authorization.
+
+NeoSCADA's ``Block`` handler "blocks an operation while it waits for
+some condition to be verified" (paper §II-A). When it denies a write,
+the Master answers the operator with *two* messages: a failed
+WriteResult over DA, and an EventUpdate over AE carrying the reason
+(paper §II-B-b) — the Master logic implements that double reply; this
+handler provides the decision and the logged event.
+"""
+
+from __future__ import annotations
+
+from repro.neoscada.ae.events import Severity
+from repro.neoscada.handlers.base import Handler, HandlerContext, HandlerResult
+from repro.neoscada.values import DataValue
+
+
+class Block(Handler):
+    """Denies write operations according to a policy.
+
+    Parameters
+    ----------
+    allowed_operators:
+        If given, only these operator identities may write.
+    predicate:
+        Optional ``fn(value, ctx) -> (allowed: bool, reason: str)`` for
+        arbitrary conditions (interlocks, value ranges...). Must be a
+        deterministic function of its arguments.
+    blocked:
+        If True, every write is denied (maintenance lock).
+    """
+
+    cost = 0.000003
+
+    def __init__(
+        self,
+        allowed_operators: tuple | None = None,
+        predicate=None,
+        blocked: bool = False,
+    ) -> None:
+        self.allowed_operators = allowed_operators
+        self.predicate = predicate
+        self.blocked = blocked
+
+    def process(self, value: DataValue, ctx: HandlerContext) -> HandlerResult:
+        if not ctx.is_write:
+            return HandlerResult(value=value)
+        reason = self._deny_reason(value, ctx)
+        if reason is None:
+            return HandlerResult(value=value)
+        event = ctx.make_event(
+            event_type="write-denied",
+            severity=Severity.WARNING,
+            value=value.value,
+            message=reason,
+        )
+        return HandlerResult(
+            value=value, events=[event], blocked=True, block_reason=reason
+        )
+
+    def _deny_reason(self, value: DataValue, ctx: HandlerContext) -> str | None:
+        if self.blocked:
+            return "item is locked for maintenance"
+        if (
+            self.allowed_operators is not None
+            and ctx.operator not in self.allowed_operators
+        ):
+            return f"operator {ctx.operator!r} is not authorized"
+        if self.predicate is not None:
+            allowed, reason = self.predicate(value, ctx)
+            if not allowed:
+                return reason or "write rejected by policy"
+        return None
+
+    def state(self) -> tuple:
+        return (self.blocked,)
+
+    def restore(self, state: tuple) -> None:
+        (self.blocked,) = state
+
+    def __repr__(self) -> str:
+        return f"Block(blocked={self.blocked})"

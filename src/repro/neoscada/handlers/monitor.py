@@ -1,0 +1,93 @@
+"""Monitor handler: threshold alarms.
+
+NeoSCADA's ``Monitor`` handler "checks whether a value passes a certain
+threshold" (paper §II-A); when it does, an alarm event is created, saved
+in storage and propagated to AE subscribers. This is the handler the
+paper adds for the Figure 8(b) alarm experiments.
+"""
+
+from __future__ import annotations
+
+from repro.neoscada.ae.events import Severity
+from repro.neoscada.handlers.base import Handler, HandlerContext, HandlerResult
+from repro.neoscada.values import DataValue
+
+
+class Monitor(Handler):
+    """Raises an alarm event whenever the value is out of bounds.
+
+    Parameters
+    ----------
+    high, low:
+        Alarm if ``value > high`` or ``value < low`` (either optional).
+    severity:
+        Severity of the raised events.
+    edge_triggered:
+        If True, only the transitions into/out of the alarm state raise
+        events; if False (default, and what the Figure 8(b) experiment
+        needs), every out-of-bounds update raises one.
+    """
+
+    cost = 0.000004
+
+    def __init__(
+        self,
+        high: float | None = None,
+        low: float | None = None,
+        severity: Severity = Severity.ALARM,
+        edge_triggered: bool = False,
+    ) -> None:
+        if high is None and low is None:
+            raise ValueError("Monitor needs at least one bound")
+        self.high = high
+        self.low = low
+        self.severity = severity
+        self.edge_triggered = edge_triggered
+        self.in_alarm = False
+
+    def _violates(self, raw) -> str | None:
+        if not isinstance(raw, (int, float)) or isinstance(raw, bool):
+            return None
+        if self.high is not None and raw > self.high:
+            return f"value {raw} above high limit {self.high}"
+        if self.low is not None and raw < self.low:
+            return f"value {raw} below low limit {self.low}"
+        return None
+
+    def process(self, value: DataValue, ctx: HandlerContext) -> HandlerResult:
+        if not value.is_good:
+            return HandlerResult(value=value)
+        violation = self._violates(value.value)
+        events = []
+        if violation is not None:
+            if not (self.edge_triggered and self.in_alarm):
+                events.append(
+                    ctx.make_event(
+                        event_type="alarm",
+                        severity=self.severity,
+                        value=value.value,
+                        message=violation,
+                    )
+                )
+            self.in_alarm = True
+        else:
+            if self.edge_triggered and self.in_alarm:
+                events.append(
+                    ctx.make_event(
+                        event_type="alarm-cleared",
+                        severity=Severity.INFO,
+                        value=value.value,
+                        message="value back within limits",
+                    )
+                )
+            self.in_alarm = False
+        return HandlerResult(value=value, events=events)
+
+    def state(self) -> tuple:
+        return (self.in_alarm,)
+
+    def restore(self, state: tuple) -> None:
+        (self.in_alarm,) = state
+
+    def __repr__(self) -> str:
+        return f"Monitor(high={self.high}, low={self.low})"

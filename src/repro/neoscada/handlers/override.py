@@ -1,0 +1,53 @@
+"""Override handler: force an item to a fixed value.
+
+NeoSCADA's ``Override`` handler "overrides the current value of an item
+with a predefined value" (paper §II-A) — operators use it to pin a
+reading while a sensor is under maintenance. The overridden value is
+marked BLOCKED quality so downstream consumers can tell.
+"""
+
+from __future__ import annotations
+
+from repro.neoscada.ae.events import Severity
+from repro.neoscada.handlers.base import Handler, HandlerContext, HandlerResult
+from repro.neoscada.values import DataValue, Quality
+
+
+class Override(Handler):
+    """Replaces incoming values with a fixed one while active."""
+
+    cost = 0.000002
+
+    def __init__(self, value=None, active: bool = False) -> None:
+        self.value = value
+        self.active = active
+
+    def activate(self, value) -> None:
+        self.value = value
+        self.active = True
+
+    def deactivate(self) -> None:
+        self.active = False
+
+    def process(self, value: DataValue, ctx: HandlerContext) -> HandlerResult:
+        if not self.active:
+            return HandlerResult(value=value)
+        overridden = DataValue(
+            value=self.value, quality=Quality.BLOCKED, timestamp=ctx.now
+        )
+        event = ctx.make_event(
+            event_type="override",
+            severity=Severity.INFO,
+            value=self.value,
+            message=f"value overridden to {self.value!r}",
+        )
+        return HandlerResult(value=overridden, events=[event])
+
+    def state(self) -> tuple:
+        return (self.value, self.active)
+
+    def restore(self, state: tuple) -> None:
+        self.value, self.active = state
+
+    def __repr__(self) -> str:
+        return f"Override(value={self.value!r}, active={self.active})"

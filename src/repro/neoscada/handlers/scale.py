@@ -1,0 +1,34 @@
+"""Scale handler: linear transformation of numeric values.
+
+NeoSCADA's default ``Scale`` handler "scales the value of an item"
+(paper §II-A) — typically converting raw RTU register integers into
+engineering units (e.g. ``volts = register * 0.1``).
+"""
+
+from __future__ import annotations
+
+from repro.neoscada.handlers.base import Handler, HandlerContext, HandlerResult
+from repro.neoscada.values import DataValue
+
+
+class Scale(Handler):
+    """Applies ``value * factor + offset`` to numeric values.
+
+    Non-numeric and non-good-quality values pass through untouched.
+    """
+
+    cost = 0.000002
+
+    def __init__(self, factor: float = 1.0, offset: float = 0.0) -> None:
+        self.factor = factor
+        self.offset = offset
+
+    def process(self, value: DataValue, ctx: HandlerContext) -> HandlerResult:
+        raw = value.value
+        if not value.is_good or not isinstance(raw, (int, float)) or isinstance(raw, bool):
+            return HandlerResult(value=value)
+        scaled = raw * self.factor + self.offset
+        return HandlerResult(value=value.with_value(scaled))
+
+    def __repr__(self) -> str:
+        return f"Scale(factor={self.factor}, offset={self.offset})"

@@ -1,0 +1,165 @@
+"""The Human-Machine Interface: the operator's window into the plant.
+
+The HMI subscribes to the SCADA Master's items over DA and to its events
+over AE, keeps a live view model of values and alarms, and lets the
+operator issue writes and wait synchronously for their outcome (the
+paper's Write-value use case). Pointing ``master_address`` at a ProxyHMI
+instead of a real Master is all it takes to run against SMaRt-SCADA —
+the replication is transparent, as §IV-C requires.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.neoscada.ae.client import AEClient
+from repro.neoscada.da.client import DAClient
+from repro.neoscada.messages import EventQuery, EventQueryReply, WriteResult
+from repro.neoscada.values import DataValue
+from repro.net.network import Network
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+
+
+class HMI:
+    """One operator workstation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        address: str,
+        master_address: str,
+        operator: str = "operator-1",
+        event_log_size: int = 10_000,
+    ) -> None:
+        self.sim = sim
+        self.address = address
+        self.master_address = master_address
+        self.operator = operator
+
+        self.endpoint = net.endpoint(address)
+        self.endpoint.set_handler(self._on_message)
+
+        self.da = DAClient(address, self.endpoint.send, on_update=self._on_update)
+        self.ae = AEClient(address, self.endpoint.send, on_event=self._on_event)
+
+        #: Live view model: item_id -> latest DataValue.
+        self.values: dict[str, DataValue] = {}
+        #: Recent events, newest last.
+        self.events: deque = deque(maxlen=event_log_size)
+        #: Optional observers: fn(item_id, value) / fn(event).
+        self.on_value_change = None
+        self.on_alarm = None
+
+        self.stats = {"updates": 0, "events": 0, "writes": 0, "write_failures": 0}
+        self._query_counter = 0
+        self._pending_queries: dict[str, Event] = {}
+        self._started = False
+
+    def start(self) -> None:
+        """Subscribe to everything the Master offers."""
+        if self._started:
+            return
+        self._started = True
+        self.da.subscribe(self.master_address, "*")
+        self.ae.subscribe(self.master_address, "*")
+        self.da.browse(self.master_address)
+
+    # ------------------------------------------------------------------
+    # operator actions
+    # ------------------------------------------------------------------
+
+    def write(self, item_id: str, value) -> Event:
+        """Request an item change; the event triggers with the WriteResult.
+
+        Use from a process: ``result = yield hmi.write("breaker", 0)``.
+        """
+        self.stats["writes"] += 1
+        done = Event(self.sim, name=f"write:{item_id}")
+
+        def on_result(result: WriteResult) -> None:
+            if not result.success:
+                self.stats["write_failures"] += 1
+            done.succeed(result)
+
+        self.da.write(
+            self.master_address,
+            item_id,
+            value,
+            on_result,
+            operator=self.operator,
+        )
+        return done
+
+    def query_events(
+        self,
+        item_id: str = "*",
+        start: float = float("-inf"),
+        end: float = float("inf"),
+        event_type: str | None = None,
+        limit: int | None = 100,
+    ) -> Event:
+        """Query the Master's event history (read-only).
+
+        The returned event triggers with a list of
+        :class:`~repro.neoscada.ae.events.EventRecord`. Use from a
+        process: ``events = yield hmi.query_events("feeder.voltage")``.
+        """
+        self._query_counter += 1
+        query_id = f"{self.address}:q{self._query_counter}"
+        done = Event(self.sim, name=f"query:{query_id}")
+        self._pending_queries[query_id] = done
+        self.endpoint.send(
+            self.master_address,
+            EventQuery(
+                query_id=query_id,
+                reply_to=self.address,
+                item_id=item_id,
+                start=start,
+                end=end,
+                event_type=event_type,
+                limit=limit,
+            ),
+        )
+        return done
+
+    def value_of(self, item_id: str):
+        """Latest known raw value of an item (None if never seen)."""
+        value = self.values.get(item_id)
+        return value.value if value is not None else None
+
+    def alarms(self, item_id: str = "*") -> list:
+        """Alarm-severity events currently in the log."""
+        return [
+            event
+            for event in self.events
+            if event.matches(item_id) and event.event_type == "alarm"
+        ]
+
+    # ------------------------------------------------------------------
+    # inbound
+    # ------------------------------------------------------------------
+
+    def _on_update(self, message, src: str) -> None:
+        self.stats["updates"] += 1
+        self.values[message.item_id] = message.value
+        if self.on_value_change is not None:
+            self.on_value_change(message.item_id, message.value)
+
+    def _on_event(self, event, src: str) -> None:
+        self.stats["events"] += 1
+        self.events.append(event)
+        if self.on_alarm is not None and event.event_type == "alarm":
+            self.on_alarm(event)
+
+    def _on_message(self, message, src: str) -> None:
+        if isinstance(message, EventQueryReply):
+            pending = self._pending_queries.pop(message.query_id, None)
+            if pending is not None:
+                pending.succeed(list(message.events))
+            return
+        if self.da.dispatch(message, src):
+            return
+        if self.ae.dispatch(message, src):
+            return

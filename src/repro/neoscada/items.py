@@ -1,0 +1,96 @@
+"""Items: the named data points of a SCADA deployment.
+
+An item represents one sensor or actuator value ("Item i" in the paper's
+Figure 2). Frontends own *source* items backed by RTU registers; the
+SCADA Master holds *mirror* items that represent them; the HMI maps the
+Master's items again. All three layers share this registry type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.neoscada.values import DataValue, Quality
+
+
+@dataclass
+class Item:
+    """One named data point and its latest value."""
+
+    item_id: str
+    value: DataValue = field(
+        default_factory=lambda: DataValue(None, Quality.UNCERTAIN, 0.0)
+    )
+    #: Free-form metadata (units, description, register mapping...).
+    attributes: dict = field(default_factory=dict)
+    #: Whether write operations may target this item (actuators).
+    writable: bool = False
+
+
+class ItemRegistry:
+    """An ordered collection of items, keyed by id."""
+
+    def __init__(self) -> None:
+        self._items: dict[str, Item] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item_id: str) -> bool:
+        return item_id in self._items
+
+    def __iter__(self):
+        return iter(self._items.values())
+
+    def ids(self) -> list:
+        return list(self._items)
+
+    def register(
+        self,
+        item_id: str,
+        initial=None,
+        writable: bool = False,
+        attributes: dict | None = None,
+    ) -> Item:
+        """Create an item; re-registering an existing id is an error."""
+        if item_id in self._items:
+            raise ValueError(f"item {item_id!r} already registered")
+        value = (
+            DataValue(None, Quality.UNCERTAIN, 0.0)
+            if initial is None
+            else DataValue(initial, Quality.GOOD, 0.0)
+        )
+        item = Item(
+            item_id=item_id,
+            value=value,
+            attributes=dict(attributes or {}),
+            writable=writable,
+        )
+        self._items[item_id] = item
+        return item
+
+    def get(self, item_id: str) -> Item:
+        try:
+            return self._items[item_id]
+        except KeyError:
+            raise KeyError(f"unknown item {item_id!r}")
+
+    def try_get(self, item_id: str) -> Item | None:
+        return self._items.get(item_id)
+
+    def update(self, item_id: str, value: DataValue) -> Item:
+        """Store a new value for an existing item."""
+        item = self.get(item_id)
+        item.value = value
+        return item
+
+    def ensure(self, item_id: str) -> Item:
+        """Fetch the item, creating a placeholder mirror if unknown.
+
+        Mirror layers (Master, HMI) learn items lazily from updates.
+        """
+        item = self._items.get(item_id)
+        if item is None:
+            item = Item(item_id=item_id)
+            self._items[item_id] = item
+        return item

@@ -1,0 +1,145 @@
+"""DA and AE wire messages (wire ids 52–69).
+
+These mirror the operations of NeoSCADA's two communication interfaces:
+Data Access (subscribe / ItemUpdate / WriteValue / WriteResult) and
+Alarms & Events (subscribe / EventUpdate), plus browse for discovery.
+The names and payloads follow the paper's Figures 3 and 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.neoscada.values import DataValue
+from repro.wire import wire_type
+
+
+# -- Data Access (DA) ---------------------------------------------------------
+
+
+@wire_type(52)
+@dataclass(frozen=True)
+class Subscribe:
+    """Subscribe ``subscriber`` to value updates of ``item_id``.
+
+    ``item_id`` may be ``"*"`` to subscribe to every item (what the
+    SCADA Master does towards each Frontend).
+    """
+
+    subscriber: str
+    item_id: str
+
+
+@wire_type(53)
+@dataclass(frozen=True)
+class Unsubscribe:
+    subscriber: str
+    item_id: str
+
+
+@wire_type(54)
+@dataclass(frozen=True)
+class ItemUpdate:
+    """A new value for an item — ``ItemUpdate(ID, val)`` in the paper."""
+
+    item_id: str
+    value: DataValue
+
+
+@wire_type(55)
+@dataclass(frozen=True)
+class WriteValue:
+    """Request to change an item — ``WriteValue(ID, val)`` in the paper.
+
+    ``op_id`` correlates the eventual :class:`WriteResult`;
+    ``reply_to`` is where the result must be routed; ``operator`` is the
+    human identity for the Block handler's authorization decision.
+    """
+
+    item_id: str
+    value: object
+    op_id: str
+    reply_to: str
+    operator: str = ""
+
+
+@wire_type(56)
+@dataclass(frozen=True)
+class WriteResult:
+    """Outcome of a write — ``WriteResult(ID)`` in the paper."""
+
+    item_id: str
+    op_id: str
+    success: bool
+    reason: str = ""
+
+
+@wire_type(57)
+@dataclass(frozen=True)
+class BrowseRequest:
+    """Ask a component for its item directory."""
+
+    reply_to: str
+
+
+@wire_type(58)
+@dataclass(frozen=True)
+class BrowseReply:
+    """Item directory: tuple of (item_id, writable) pairs."""
+
+    items: tuple
+
+
+# -- Alarms & Events (AE) -----------------------------------------------------
+
+
+@wire_type(59)
+@dataclass(frozen=True)
+class SubscribeEvents:
+    """Subscribe ``subscriber`` to events of ``item_id`` (or ``"*"``)."""
+
+    subscriber: str
+    item_id: str
+
+
+@wire_type(60)
+@dataclass(frozen=True)
+class UnsubscribeEvents:
+    subscriber: str
+    item_id: str
+
+
+@wire_type(61)
+@dataclass(frozen=True)
+class EventUpdate:
+    """An alarm/event notification — ``EventUpdate(ID)`` in the paper."""
+
+    event: object  # EventRecord
+
+
+@wire_type(64)
+@dataclass(frozen=True)
+class EventQuery:
+    """Read-only query of the Master's event history.
+
+    Served from the event storage; in the replicated deployment this
+    travels the *unordered* (read-only) path of the replication library
+    and the client accepts n-f matching answers.
+    """
+
+    query_id: str
+    reply_to: str
+    item_id: str = "*"
+    start: float = float("-inf")
+    end: float = float("inf")
+    event_type: str | None = None
+    limit: int | None = 100
+
+
+@wire_type(65)
+@dataclass(frozen=True)
+class EventQueryReply:
+    """Answer to an :class:`EventQuery`: matching events, oldest first."""
+
+    query_id: str
+    events: tuple

@@ -1,0 +1,25 @@
+"""Field protocols (Modbus-style register access)."""
+
+from repro.neoscada.protocols.modbus import (
+    ILLEGAL_ADDRESS,
+    ILLEGAL_VALUE,
+    ExceptionReply,
+    ModbusClient,
+    ReadRegisters,
+    ReadReply,
+    WriteRegister,
+    WriteReply,
+    check_register_value,
+)
+
+__all__ = [
+    "ExceptionReply",
+    "ILLEGAL_ADDRESS",
+    "ILLEGAL_VALUE",
+    "ModbusClient",
+    "ReadRegisters",
+    "ReadReply",
+    "WriteRegister",
+    "WriteReply",
+    "check_register_value",
+]

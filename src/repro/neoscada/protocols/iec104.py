@@ -1,0 +1,129 @@
+"""A simplified IEC 60870-5-104-style telecontrol protocol.
+
+NeoSCADA is a protocol "construction kit" (Modbus, Siemens S7, ... —
+"others can be added", paper §II). This module adds a second field
+protocol with a genuinely different interaction model from Modbus
+polling: IEC-104 substations *push* changed values spontaneously and
+answer general interrogations, and commands are confirmed explicitly.
+
+The simplification keeps the operational semantics (information object
+addresses, general interrogation, spontaneous transmission with
+deadband, command confirmation) and drops the transport framing
+(APCI sequence numbers, test frames).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.wire import wire_type
+
+#: Cause-of-transmission values (subset of the standard's COT field).
+COT_SPONTANEOUS = 3
+COT_INTERROGATED = 20
+COT_ACTIVATION_CONFIRM = 7
+
+
+@wire_type(76)
+@dataclass(frozen=True)
+class StartDataTransfer:
+    """STARTDT: the controlling station asks for spontaneous updates."""
+
+    reply_to: str
+
+
+@wire_type(77)
+@dataclass(frozen=True)
+class GeneralInterrogation:
+    """C_IC: ask for a snapshot of every information object."""
+
+    req_id: int
+    reply_to: str
+
+
+@wire_type(78)
+@dataclass(frozen=True)
+class InterrogationReply:
+    """The snapshot: tuple of ``(ioa, value, timestamp)`` triples."""
+
+    req_id: int
+    points: tuple
+
+
+@wire_type(79)
+@dataclass(frozen=True)
+class SpontaneousUpdate:
+    """M_ME spontaneous measured-value report for one object."""
+
+    ioa: int
+    value: int
+    timestamp: float
+    cot: int = COT_SPONTANEOUS
+
+
+@wire_type(80)
+@dataclass(frozen=True)
+class Command:
+    """C_SC/C_SE: set an information object (direct-execute)."""
+
+    req_id: int
+    reply_to: str
+    ioa: int
+    value: int
+
+
+@wire_type(81)
+@dataclass(frozen=True)
+class CommandConfirm:
+    """ACTCON: positive/negative confirmation of a command."""
+
+    req_id: int
+    ioa: int
+    ok: bool
+    reason: str = ""
+
+
+class Iec104Client:
+    """Controlling-station side: correlation + callbacks for one owner."""
+
+    def __init__(self, address: str, send) -> None:
+        self.address = address
+        self._send = send
+        self._req_counter = 0
+        self._pending: dict[int, object] = {}
+        #: fn(rtu_address, SpontaneousUpdate) for pushed values.
+        self.on_spontaneous = None
+
+    def start_data_transfer(self, rtu: str) -> None:
+        self._send(rtu, StartDataTransfer(reply_to=self.address))
+
+    def interrogate(self, rtu: str, on_reply) -> int:
+        self._req_counter += 1
+        self._pending[self._req_counter] = on_reply
+        self._send(
+            rtu, GeneralInterrogation(req_id=self._req_counter, reply_to=self.address)
+        )
+        return self._req_counter
+
+    def command(self, rtu: str, ioa: int, value: int, on_confirm) -> int:
+        self._req_counter += 1
+        self._pending[self._req_counter] = on_confirm
+        self._send(
+            rtu,
+            Command(
+                req_id=self._req_counter, reply_to=self.address, ioa=ioa, value=value
+            ),
+        )
+        return self._req_counter
+
+    def dispatch(self, message, src: str) -> bool:
+        if isinstance(message, (InterrogationReply, CommandConfirm)):
+            callback = self._pending.pop(message.req_id, None)
+            if callback is not None:
+                callback(message)
+            return True
+        if isinstance(message, SpontaneousUpdate):
+            if self.on_spontaneous is not None:
+                self.on_spontaneous(src, message)
+            return True
+        return False

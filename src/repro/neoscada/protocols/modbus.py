@@ -1,0 +1,120 @@
+"""A simplified Modbus-TCP-style register protocol.
+
+NeoSCADA natively speaks Modbus TCP/RTU to field devices (paper §II);
+this module provides the equivalent for the simulated RTUs: 16-bit
+holding registers, read-multiple and write-single function codes, and
+exception replies. Values outside the register range raise exceptions
+exactly like a real slave would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.wire import wire_type
+
+#: Inclusive bounds of a 16-bit holding register.
+REGISTER_MIN = 0
+REGISTER_MAX = 0xFFFF
+
+# Exception codes (subset of the Modbus spec).
+ILLEGAL_ADDRESS = 2
+ILLEGAL_VALUE = 3
+
+
+@wire_type(70)
+@dataclass(frozen=True)
+class ReadRegisters:
+    """Function 0x03: read ``count`` holding registers from ``start``."""
+
+    req_id: int
+    reply_to: str
+    start: int
+    count: int
+
+
+@wire_type(71)
+@dataclass(frozen=True)
+class ReadReply:
+    req_id: int
+    start: int
+    values: tuple
+
+
+@wire_type(72)
+@dataclass(frozen=True)
+class WriteRegister:
+    """Function 0x06: write a single holding register."""
+
+    req_id: int
+    reply_to: str
+    register: int
+    value: int
+
+
+@wire_type(73)
+@dataclass(frozen=True)
+class WriteReply:
+    req_id: int
+    register: int
+    value: int
+
+
+@wire_type(74)
+@dataclass(frozen=True)
+class ExceptionReply:
+    req_id: int
+    code: int
+
+
+def check_register_value(value) -> bool:
+    """Whether ``value`` fits a 16-bit holding register."""
+    return (
+        isinstance(value, int)
+        and not isinstance(value, bool)
+        and REGISTER_MIN <= value <= REGISTER_MAX
+    )
+
+
+class ModbusClient:
+    """Request/reply correlation for a component polling RTUs."""
+
+    def __init__(self, address: str, send) -> None:
+        self.address = address
+        self._send = send
+        self._req_counter = 0
+        self._pending: dict[int, object] = {}
+
+    def read(self, rtu: str, start: int, count: int, on_reply) -> int:
+        """Read registers; ``on_reply(ReadReply | ExceptionReply)``."""
+        self._req_counter += 1
+        req_id = self._req_counter
+        self._pending[req_id] = on_reply
+        self._send(
+            rtu,
+            ReadRegisters(
+                req_id=req_id, reply_to=self.address, start=start, count=count
+            ),
+        )
+        return req_id
+
+    def write(self, rtu: str, register: int, value: int, on_reply) -> int:
+        """Write one register; ``on_reply(WriteReply | ExceptionReply)``."""
+        self._req_counter += 1
+        req_id = self._req_counter
+        self._pending[req_id] = on_reply
+        self._send(
+            rtu,
+            WriteRegister(
+                req_id=req_id, reply_to=self.address, register=register, value=value
+            ),
+        )
+        return req_id
+
+    def dispatch(self, message, src: str) -> bool:
+        if isinstance(message, (ReadReply, WriteReply, ExceptionReply)):
+            callback = self._pending.pop(message.req_id, None)
+            if callback is not None:
+                callback(message)
+            return True
+        return False

@@ -1,0 +1,121 @@
+"""Remote Terminal Units: field devices exposing registers over Modbus.
+
+An RTU "aggregates data from sensors located in the field, and executes
+commands in the actuators" (paper §I). Here a seeded field-process model
+plays the sensors/actuators, stepped periodically; the register map is
+served to Frontends through the Modbus-style protocol.
+"""
+
+from __future__ import annotations
+
+from repro.neoscada.field.process import FieldProcess
+from repro.neoscada.protocols.modbus import (
+    ILLEGAL_ADDRESS,
+    ILLEGAL_VALUE,
+    ExceptionReply,
+    ReadRegisters,
+    ReadReply,
+    WriteRegister,
+    WriteReply,
+    check_register_value,
+)
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+
+
+class RTU:
+    """One remote terminal unit."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        address: str,
+        process: FieldProcess | None = None,
+        step_interval: float = 0.5,
+        writable_registers: tuple = (),
+    ) -> None:
+        self.sim = sim
+        self.address = address
+        self.endpoint = net.endpoint(address)
+        self.endpoint.set_handler(self._on_message)
+        self.process_model = process
+        self.step_interval = step_interval
+        self.writable_registers = set(writable_registers)
+        self.registers: dict[int, int] = {}
+        self._rng = sim.rng.stream(f"rtu.{address}")
+        self.stats = {"reads": 0, "writes": 0, "errors": 0}
+        if process is not None:
+            self.registers.update(process.initial_registers())
+            sim.process(self._stepper(), name=f"rtu-step:{address}")
+
+    # -- physics -----------------------------------------------------------
+
+    def _stepper(self):
+        while True:
+            yield self.sim.timeout(self.step_interval)
+            updates = self.process_model.step(
+                self.step_interval, self._rng, self.registers
+            )
+            self.registers.update(updates)
+
+    def set_register(self, register: int, value: int) -> None:
+        """Directly set a register (tests and manual scenarios)."""
+        self.registers[register] = value
+
+    # -- Modbus server --------------------------------------------------------
+
+    def _on_message(self, message, src: str) -> None:
+        if isinstance(message, ReadRegisters):
+            self._handle_read(message)
+        elif isinstance(message, WriteRegister):
+            self._handle_write(message)
+
+    def _handle_read(self, message: ReadRegisters) -> None:
+        self.stats["reads"] += 1
+        if message.count < 1:
+            self._error(message, ILLEGAL_VALUE)
+            return
+        missing = [
+            r
+            for r in range(message.start, message.start + message.count)
+            if r not in self.registers
+        ]
+        if missing:
+            self._error(message, ILLEGAL_ADDRESS)
+            return
+        values = tuple(
+            self.registers[r]
+            for r in range(message.start, message.start + message.count)
+        )
+        self.endpoint.send(
+            message.reply_to,
+            ReadReply(req_id=message.req_id, start=message.start, values=values),
+        )
+
+    def _handle_write(self, message: WriteRegister) -> None:
+        self.stats["writes"] += 1
+        if message.register not in self.registers:
+            self._error(message, ILLEGAL_ADDRESS)
+            return
+        if message.register not in self.writable_registers:
+            self._error(message, ILLEGAL_ADDRESS)
+            return
+        if not check_register_value(message.value):
+            self._error(message, ILLEGAL_VALUE)
+            return
+        self.registers[message.register] = message.value
+        if self.process_model is not None:
+            self.process_model.on_write(message.register, message.value, self.registers)
+        self.endpoint.send(
+            message.reply_to,
+            WriteReply(
+                req_id=message.req_id, register=message.register, value=message.value
+            ),
+        )
+
+    def _error(self, message, code: int) -> None:
+        self.stats["errors"] += 1
+        self.endpoint.send(
+            message.reply_to, ExceptionReply(req_id=message.req_id, code=code)
+        )

@@ -1,0 +1,131 @@
+"""An IEC-104-style substation RTU: event-driven instead of polled.
+
+Where the Modbus :class:`~repro.neoscada.rtu.RTU` waits to be polled,
+this controlled station *pushes* spontaneous updates to every connected
+controlling station whenever an information object changes by more than
+its deadband — the telecontrol pattern of real power-grid substations.
+"""
+
+from __future__ import annotations
+
+from repro.neoscada.field.process import FieldProcess
+from repro.neoscada.protocols.iec104 import (
+    Command,
+    CommandConfirm,
+    GeneralInterrogation,
+    InterrogationReply,
+    SpontaneousUpdate,
+    StartDataTransfer,
+)
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+
+
+class Iec104RTU:
+    """One controlled station speaking the simplified IEC-104 protocol.
+
+    Parameters
+    ----------
+    process:
+        Field model whose registers become the information objects
+        (register number = information object address).
+    deadband:
+        Minimum absolute change that triggers a spontaneous report.
+    writable_ioas:
+        Information objects that accept commands (actuators).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        address: str,
+        process: FieldProcess | None = None,
+        step_interval: float = 0.5,
+        writable_ioas: tuple = (),
+        deadband: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.address = address
+        self.endpoint = net.endpoint(address)
+        self.endpoint.set_handler(self._on_message)
+        self.process_model = process
+        self.step_interval = step_interval
+        self.writable_ioas = set(writable_ioas)
+        self.deadband = deadband
+        self.points: dict[int, int] = {}
+        self._published: dict[int, int] = {}
+        self._subscribers: list = []
+        self._rng = sim.rng.stream(f"rtu104.{address}")
+        self.stats = {"spontaneous": 0, "interrogations": 0, "commands": 0, "rejected": 0}
+        if process is not None:
+            self.points.update(process.initial_registers())
+            sim.process(self._stepper(), name=f"rtu104-step:{address}")
+
+    def set_point(self, ioa: int, value: int) -> None:
+        """Directly set an information object (tests, manual scenarios)."""
+        self.points[ioa] = value
+        self._report_changes()
+
+    # -- physics ---------------------------------------------------------------
+
+    def _stepper(self):
+        while True:
+            yield self.sim.timeout(self.step_interval)
+            updates = self.process_model.step(self.step_interval, self._rng, self.points)
+            self.points.update(updates)
+            self._report_changes()
+
+    def _report_changes(self) -> None:
+        for ioa, value in self.points.items():
+            previous = self._published.get(ioa)
+            if previous is not None and abs(value - previous) <= self.deadband:
+                continue
+            self._published[ioa] = value
+            update = SpontaneousUpdate(ioa=ioa, value=value, timestamp=self.sim.now)
+            for subscriber in self._subscribers:
+                self.stats["spontaneous"] += 1
+                self.endpoint.send(subscriber, update)
+
+    # -- protocol server ----------------------------------------------------------
+
+    def _on_message(self, message, src: str) -> None:
+        if isinstance(message, StartDataTransfer):
+            if message.reply_to not in self._subscribers:
+                self._subscribers.append(message.reply_to)
+            return
+        if isinstance(message, GeneralInterrogation):
+            self.stats["interrogations"] += 1
+            points = tuple(
+                (ioa, value, self.sim.now) for ioa, value in sorted(self.points.items())
+            )
+            self.endpoint.send(
+                message.reply_to,
+                InterrogationReply(req_id=message.req_id, points=points),
+            )
+            return
+        if isinstance(message, Command):
+            self._handle_command(message)
+
+    def _handle_command(self, message: Command) -> None:
+        self.stats["commands"] += 1
+        if message.ioa not in self.points or message.ioa not in self.writable_ioas:
+            self.stats["rejected"] += 1
+            self.endpoint.send(
+                message.reply_to,
+                CommandConfirm(
+                    req_id=message.req_id,
+                    ioa=message.ioa,
+                    ok=False,
+                    reason=f"object {message.ioa} is not commandable",
+                ),
+            )
+            return
+        self.points[message.ioa] = message.value
+        if self.process_model is not None:
+            self.process_model.on_write(message.ioa, message.value, self.points)
+        self.endpoint.send(
+            message.reply_to,
+            CommandConfirm(req_id=message.req_id, ioa=message.ioa, ok=True),
+        )
+        self._report_changes()

@@ -1,0 +1,58 @@
+"""Value model: variant values with quality and timestamp.
+
+NeoSCADA items carry a *variant* value plus a quality flag and a source
+timestamp; this module defines that triple. Only scalar variants are
+allowed (int, float, bool, str, None) — the protocol layer depends on
+values being canonically serializable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.wire import wire_type
+
+_SCALARS = (int, float, bool, str, type(None))
+
+
+@wire_type(50)
+class Quality(enum.Enum):
+    """Fitness of a value for operational use."""
+
+    GOOD = "good"
+    BAD = "bad"
+    UNCERTAIN = "uncertain"
+    TIMEOUT = "timeout"
+    BLOCKED = "blocked"
+
+
+@wire_type(51)
+@dataclass(frozen=True)
+class DataValue:
+    """One sampled value of an item."""
+
+    value: object
+    quality: Quality = Quality.GOOD
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, _SCALARS):
+            raise TypeError(
+                f"item values must be scalars, got {type(self.value).__name__}"
+            )
+
+    def with_value(self, value, timestamp: float | None = None) -> "DataValue":
+        """Copy with a new raw value (and optionally a new timestamp)."""
+        return DataValue(
+            value=value,
+            quality=self.quality,
+            timestamp=self.timestamp if timestamp is None else timestamp,
+        )
+
+    def with_quality(self, quality: Quality) -> "DataValue":
+        return DataValue(value=self.value, quality=quality, timestamp=self.timestamp)
+
+    @property
+    def is_good(self) -> bool:
+        return self.quality is Quality.GOOD

@@ -1,0 +1,43 @@
+"""Simulated network: endpoints, latency models, faults, tracing."""
+
+from repro.net.endpoint import Endpoint
+from repro.net.faults import (
+    Delay,
+    Delivery,
+    Drop,
+    Duplicate,
+    Envelope,
+    FaultInjector,
+    FaultRule,
+    Partition,
+    Tamper,
+)
+from repro.net.latency import (
+    ConstantLatency,
+    LanLatency,
+    LatencyModel,
+    UniformLatency,
+)
+from repro.net.network import Network, UnknownEndpoint
+from repro.net.trace import Hop, NetworkTrace
+
+__all__ = [
+    "ConstantLatency",
+    "Delay",
+    "Delivery",
+    "Drop",
+    "Duplicate",
+    "Endpoint",
+    "Envelope",
+    "FaultInjector",
+    "FaultRule",
+    "Hop",
+    "LanLatency",
+    "LatencyModel",
+    "Network",
+    "NetworkTrace",
+    "Partition",
+    "Tamper",
+    "UniformLatency",
+    "UnknownEndpoint",
+]

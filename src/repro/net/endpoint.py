@@ -1,0 +1,48 @@
+"""Network endpoints: the addressable attachment points of components."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.channels import Channel
+
+if typing.TYPE_CHECKING:
+    from repro.net.network import Network
+
+
+class Endpoint:
+    """One addressable network attachment.
+
+    Incoming messages go to the registered handler if one is set
+    (``handler(payload, src)``), otherwise they are buffered in
+    :attr:`inbox` for a process to ``yield endpoint.inbox.get()``.
+    """
+
+    def __init__(self, network: "Network", address: str) -> None:
+        self.network = network
+        self.address = address
+        self.inbox = Channel(network.sim, name=f"inbox:{address}")
+        self._handler = None
+        #: A downed endpoint neither sends nor receives (crashed node).
+        self.down = False
+
+    def set_handler(self, handler) -> None:
+        """Route deliveries to ``handler(payload, src)`` instead of inbox."""
+        self._handler = handler
+
+    def send(self, dst: str, payload, kind: str | None = None) -> None:
+        """Send ``payload`` to the endpoint addressed ``dst``."""
+        if self.down:
+            return
+        self.network.send(self.address, dst, payload, kind=kind)
+
+    def _deliver(self, payload, src: str) -> None:
+        if self.down:
+            return
+        if self._handler is not None:
+            self._handler(payload, src)
+        else:
+            self.inbox.put(payload)
+
+    def __repr__(self) -> str:
+        return f"<Endpoint {self.address}>"

@@ -1,0 +1,199 @@
+"""Network fault injection.
+
+Rules are evaluated in registration order against each sent message; the
+first matching rule decides its fate (drop, extra delay, duplication or
+payload tampering). This is how tests and benchmarks exercise the paper's
+attack scenarios — most importantly the dropped ``WriteValue`` /
+``WriteResult`` messages that the logical-timeout protocol of §IV-D must
+survive — without touching protocol code.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight: what fault rules and traces see."""
+
+    src: str
+    dst: str
+    kind: str
+    size: int
+    payload: object
+    sent_at: float
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One planned delivery produced by the fault pipeline."""
+
+    payload: object
+    extra_delay: float = 0.0
+
+
+class FaultRule:
+    """Base class: filtering by src/dst glob patterns, kind, predicate.
+
+    Parameters
+    ----------
+    src, dst:
+        ``fnmatch``-style glob patterns on endpoint addresses
+        (``"replica-*"`` matches every replica). ``None`` matches all.
+    kind:
+        Exact message-kind match (the payload class name), or ``None``.
+    predicate:
+        Optional ``fn(envelope) -> bool`` for arbitrary conditions.
+    probability:
+        Chance the rule fires on a matching message (needs the injector's
+        seeded RNG stream; 1.0 = always).
+    max_count:
+        The rule disarms after firing this many times (``None`` = forever).
+    """
+
+    def __init__(
+        self,
+        src: str | None = None,
+        dst: str | None = None,
+        kind: str | None = None,
+        predicate=None,
+        probability: float = 1.0,
+        max_count: int | None = None,
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.predicate = predicate
+        self.probability = probability
+        self.max_count = max_count
+        self.fired = 0
+
+    def matches(self, envelope: Envelope, rng: random.Random) -> bool:
+        if self.max_count is not None and self.fired >= self.max_count:
+            return False
+        if self.src is not None and not fnmatch.fnmatchcase(envelope.src, self.src):
+            return False
+        if self.dst is not None and not fnmatch.fnmatchcase(envelope.dst, self.dst):
+            return False
+        if self.kind is not None and envelope.kind != self.kind:
+            return False
+        if self.predicate is not None and not self.predicate(envelope):
+            return False
+        if self.probability < 1.0 and rng.random() >= self.probability:
+            return False
+        self.fired += 1
+        return True
+
+    def apply(self, envelope: Envelope) -> list:
+        """Return the deliveries to perform (empty list = dropped)."""
+        raise NotImplementedError
+
+
+class Drop(FaultRule):
+    """Silently discard matching messages."""
+
+    def apply(self, envelope: Envelope) -> list:
+        return []
+
+
+class Delay(FaultRule):
+    """Add ``extra`` seconds of delay to matching messages."""
+
+    def __init__(self, extra: float, **filters) -> None:
+        super().__init__(**filters)
+        if extra < 0:
+            raise ValueError("extra delay cannot be negative")
+        self.extra = extra
+
+    def apply(self, envelope: Envelope) -> list:
+        return [Delivery(envelope.payload, extra_delay=self.extra)]
+
+
+class Duplicate(FaultRule):
+    """Deliver matching messages ``copies + 1`` times, ``spacing`` apart."""
+
+    def __init__(self, copies: int = 1, spacing: float = 0.0, **filters) -> None:
+        super().__init__(**filters)
+        if copies < 1:
+            raise ValueError("copies must be >= 1")
+        self.copies = copies
+        self.spacing = spacing
+
+    def apply(self, envelope: Envelope) -> list:
+        return [
+            Delivery(envelope.payload, extra_delay=i * self.spacing)
+            for i in range(self.copies + 1)
+        ]
+
+
+class Tamper(FaultRule):
+    """Replace the payload with ``transform(payload)`` (Byzantine link)."""
+
+    def __init__(self, transform, **filters) -> None:
+        super().__init__(**filters)
+        self.transform = transform
+
+    def apply(self, envelope: Envelope) -> list:
+        return [Delivery(self.transform(envelope.payload))]
+
+
+class Partition(FaultRule):
+    """Drop every message crossing between the given address groups.
+
+    ``groups`` is a list of address lists; messages between two different
+    groups are dropped, messages inside a group (or involving an address
+    in no group) pass. Call :meth:`heal` to lift the partition.
+    """
+
+    def __init__(self, groups: list, **filters) -> None:
+        super().__init__(**filters)
+        self._group_of = {}
+        for index, group in enumerate(groups):
+            for address in group:
+                self._group_of[address] = index
+        self.healed = False
+
+    def matches(self, envelope: Envelope, rng: random.Random) -> bool:
+        if self.healed:
+            return False
+        src_group = self._group_of.get(envelope.src)
+        dst_group = self._group_of.get(envelope.dst)
+        if src_group is None or dst_group is None or src_group == dst_group:
+            return False
+        return super().matches(envelope, rng)
+
+    def heal(self) -> None:
+        self.healed = True
+
+    def apply(self, envelope: Envelope) -> list:
+        return []
+
+
+class FaultInjector:
+    """Ordered pipeline of fault rules applied to every sent message."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self.rules: list[FaultRule] = []
+
+    def add(self, rule: FaultRule) -> FaultRule:
+        self.rules.append(rule)
+        return rule
+
+    def remove(self, rule: FaultRule) -> None:
+        self.rules.remove(rule)
+
+    def clear(self) -> None:
+        self.rules.clear()
+
+    def process(self, envelope: Envelope) -> list:
+        """First matching rule decides; default is normal delivery."""
+        for rule in self.rules:
+            if rule.matches(envelope, self._rng):
+                return rule.apply(envelope)
+        return [Delivery(envelope.payload)]

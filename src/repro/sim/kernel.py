@@ -1,0 +1,156 @@
+"""The discrete-event simulation kernel.
+
+The :class:`Simulator` owns a binary heap of ``(time, priority, seq, event)``
+entries. Popping entries in heap order and running each event's callbacks is
+the *only* execution mechanism in the simulation, which makes runs fully
+deterministic: two runs with the same seeds produce identical event orders.
+
+Time is a float in **seconds** of simulated time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Generator, Iterable
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+
+#: Default heap priority. Lower runs first among same-time entries.
+NORMAL = 0
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. scheduling into the past)."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for all named RNG streams (see :class:`RngRegistry`).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._heap: list = []
+        self._seq = 0
+        self._running = False
+        self.rng = RngRegistry(seed)
+        #: Number of events dispatched so far (for diagnostics/metrics).
+        self.dispatched = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling --------------------------------------------------------
+
+    def _enqueue(self, delay: float, event: Event, priority: int = NORMAL) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s into the past")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def event(self, name: str | None = None) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value=None) -> Timeout:
+        """An event that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value=value)
+
+    def call_soon(self, fn: Callable, *args) -> Event:
+        """Run ``fn(*args)`` at the current time, after pending events."""
+        return self.call_later(0.0, fn, *args)
+
+    def call_later(self, delay: float, fn: Callable, *args) -> Event:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds.
+
+        Returns the underlying event; its value is ``fn``'s return value.
+        """
+        event = Event(self, name=f"call:{getattr(fn, '__name__', fn)}")
+
+        def runner(ev: Event) -> None:
+            fn(*args)
+
+        event.callbacks.append(runner)
+        event._value = None
+        self._enqueue(delay, event)
+        return event
+
+    def process(self, generator: Generator, name: str | None = None) -> Process:
+        """Start a new process driving ``generator``.
+
+        The generator yields :class:`Event` objects and is resumed with each
+        event's value once it triggers. The returned :class:`Process` is
+        itself an event that triggers when the generator returns.
+        """
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Race: triggers with ``(index, value)`` of the first event."""
+        return AnyOf(self, list(events))
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Barrier: triggers with the list of all event values."""
+        return AllOf(self, list(events))
+
+    # -- running -----------------------------------------------------------
+
+    def run(self, until: float | None = None, stop_on: Event | None = None) -> float:
+        """Run until the heap drains or simulated time reaches ``until``.
+
+        With ``stop_on``, the run also stops right after that event has
+        been processed — the natural way to wait for one outcome in a
+        world where background processes keep the heap non-empty forever.
+        Returns the simulated time at which the run stopped. ``until``
+        values in the past are a no-op (time never moves backward).
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run)")
+        if until is not None and until < self._now:
+            return self._now
+        self._running = True
+        try:
+            while self._heap:
+                if stop_on is not None and stop_on.processed:
+                    break
+                when, _priority, _seq, event = self._heap[0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._heap)
+                self._now = when
+                self.dispatched += 1
+                event._dispatch()
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_process(self, generator: Generator, until: float | None = None):
+        """Start ``generator`` as a process, run, and return its result.
+
+        The run stops as soon as the process finishes (even if other work
+        remains scheduled). ``until`` bounds the *absolute* simulated time;
+        raises if the process did not finish by then.
+        """
+        proc = self.process(generator)
+        self.run(until=until, stop_on=proc)
+        if not proc.triggered:
+            raise SimulationError("process did not finish before the run ended")
+        return proc.value
+
+    def peek(self) -> float | None:
+        """Time of the next scheduled event, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def __repr__(self) -> str:
+        return f"<Simulator t={self._now:.6f} pending={len(self._heap)}>"

@@ -1,0 +1,126 @@
+"""Generator-based processes for the simulation kernel.
+
+A process wraps a generator that yields :class:`~repro.sim.events.Event`
+objects. Each time a yielded event triggers, the process resumes with the
+event's value; if the event failed, the exception is thrown into the
+generator (so processes can ``try/except`` around ``yield``).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:
+    from repro.sim.kernel import Simulator
+
+
+class Interrupted(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause=None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """An event that triggers when its generator returns.
+
+    The process starts on the next kernel step (never synchronously inside
+    the constructor), so creation order never perturbs execution order.
+    """
+
+    __slots__ = ("generator", "_waiting_on", "_started")
+
+    def __init__(self, sim: "Simulator", generator, name: str | None = None) -> None:
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process target must be a generator, got {generator!r}")
+        self.generator = generator
+        self._waiting_on: Event | None = None
+        self._started = False
+        # Kick off via an initial event so startup goes through the heap.
+        start = Event(sim, name=f"start:{self.name}")
+        start._value = None
+        start.callbacks.append(self._on_start)
+        sim._enqueue(0.0, start)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause=None) -> None:
+        """Throw :class:`Interrupted` into the process at the current time.
+
+        Interrupting an already-finished process is a no-op.
+        """
+        if self.triggered:
+            return
+        wake = Event(self.sim, name=f"interrupt:{self.name}")
+        wake._value = None
+        wake.callbacks.append(lambda ev: self._on_interrupt(cause))
+        self.sim._enqueue(0.0, wake)
+
+    # -- driving the generator --------------------------------------------
+
+    def _on_start(self, event: Event) -> None:
+        if self.triggered or self._started:
+            return
+        self._started = True
+        self._step(None, is_error=False)
+
+    def _on_interrupt(self, cause) -> None:
+        if self.triggered:
+            return
+        if not self._started:
+            # Interrupted before the first step: fail the whole process.
+            self._started = True
+            self.generator.close()
+            self.fail(Interrupted(cause))
+            return
+        # Detach from whatever we were waiting on; that event may still
+        # trigger later, in which case _resume ignores the stale wakeup.
+        waiting, self._waiting_on = self._waiting_on, None
+        if waiting is not None:
+            waiting.defused = True
+            cancel = getattr(waiting, "cancel", None)
+            if cancel is not None:
+                cancel()
+        self._step(Interrupted(cause), is_error=True)
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered or event is not self._waiting_on:
+            # Stale wakeup from an event we stopped waiting on.
+            if event.exception is not None:
+                event.defused = True
+            return
+        if event.exception is not None:
+            event.defused = True
+            self._step(event.exception, is_error=True)
+        else:
+            self._step(event._value, is_error=False)
+
+    def _step(self, value, is_error: bool) -> None:
+        self._waiting_on = None
+        try:
+            if is_error:
+                target = self.generator.throw(value)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.fail(
+                TypeError(
+                    f"process {self.name!r} yielded {target!r}; "
+                    "processes must yield Event objects"
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)

@@ -1,0 +1,230 @@
+"""Binary tag-length-value codec.
+
+The codec handles ``None``, booleans, ints of any size, floats, strings,
+bytes, lists, tuples, dicts (string keys not required), registered enums
+and registered dataclasses. Encoding is canonical: equal values produce
+identical bytes, so content digests of encoded messages are well-defined —
+that property is what reply voting and PROPOSE hashing rely on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import struct
+
+from repro.wire.errors import DecodeError, EncodeError
+from repro.wire.registry import GLOBAL_REGISTRY, TypeRegistry
+
+_NONE = 0x00
+_TRUE = 0x01
+_FALSE = 0x02
+_INT = 0x03
+_FLOAT = 0x04
+_STR = 0x05
+_BYTES = 0x06
+_LIST = 0x07
+_TUPLE = 0x08
+_DICT = 0x09
+_DATACLASS = 0x0A
+_ENUM = 0x0B
+
+_FLOAT_STRUCT = struct.Struct(">d")
+
+
+def _write_uvarint(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_uvarint(data: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise DecodeError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 4096:
+            # Arbitrary-size ints are supported, but a wire value that
+            # claims more than 4096 bits is an attack, not a number.
+            raise DecodeError("varint too long")
+
+
+class Codec:
+    """Encoder/decoder bound to a type registry."""
+
+    def __init__(self, registry: TypeRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else GLOBAL_REGISTRY
+
+    # -- public API ---------------------------------------------------------
+
+    def encode(self, value) -> bytes:
+        out = bytearray()
+        self._encode(out, value)
+        return bytes(out)
+
+    def decode(self, data: bytes):
+        value, pos = self._decode(data, 0)
+        if pos != len(data):
+            raise DecodeError(f"{len(data) - pos} trailing bytes after value")
+        return value
+
+    # -- encoding -----------------------------------------------------------
+
+    def _encode(self, out: bytearray, value) -> None:
+        if value is None:
+            out.append(_NONE)
+        elif value is True:
+            out.append(_TRUE)
+        elif value is False:
+            out.append(_FALSE)
+        elif isinstance(value, int):
+            out.append(_INT)
+            # Sign-and-magnitude varint: supports arbitrary-size ints.
+            negative = value < 0
+            magnitude = -value if negative else value
+            _write_uvarint(out, (magnitude << 1) | (1 if negative else 0))
+        elif isinstance(value, float):
+            out.append(_FLOAT)
+            out += _FLOAT_STRUCT.pack(value)
+        elif isinstance(value, str):
+            encoded = value.encode("utf-8")
+            out.append(_STR)
+            _write_uvarint(out, len(encoded))
+            out += encoded
+        elif isinstance(value, (bytes, bytearray, memoryview)):
+            raw = bytes(value)
+            out.append(_BYTES)
+            _write_uvarint(out, len(raw))
+            out += raw
+        elif isinstance(value, list):
+            out.append(_LIST)
+            _write_uvarint(out, len(value))
+            for item in value:
+                self._encode(out, item)
+        elif isinstance(value, tuple):
+            out.append(_TUPLE)
+            _write_uvarint(out, len(value))
+            for item in value:
+                self._encode(out, item)
+        elif isinstance(value, dict):
+            out.append(_DICT)
+            _write_uvarint(out, len(value))
+            for key, item in value.items():
+                self._encode(out, key)
+                self._encode(out, item)
+        elif isinstance(value, enum.Enum):
+            out.append(_ENUM)
+            _write_uvarint(out, self.registry.id_of(type(value)))
+            self._encode(out, value.value)
+        elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+            out.append(_DATACLASS)
+            cls = type(value)
+            _write_uvarint(out, self.registry.id_of(cls))
+            fields = self.registry.fields_of(cls)
+            _write_uvarint(out, len(fields))
+            for field in fields:
+                self._encode(out, getattr(value, field.name))
+        else:
+            raise EncodeError(f"cannot encode {type(value).__name__}: {value!r}")
+
+    # -- decoding -----------------------------------------------------------
+
+    def _decode(self, data: bytes, pos: int):
+        if pos >= len(data):
+            raise DecodeError("truncated input")
+        tag = data[pos]
+        pos += 1
+        if tag == _NONE:
+            return None, pos
+        if tag == _TRUE:
+            return True, pos
+        if tag == _FALSE:
+            return False, pos
+        if tag == _INT:
+            raw, pos = _read_uvarint(data, pos)
+            magnitude = raw >> 1
+            return (-magnitude if raw & 1 else magnitude), pos
+        if tag == _FLOAT:
+            if pos + 8 > len(data):
+                raise DecodeError("truncated float")
+            return _FLOAT_STRUCT.unpack_from(data, pos)[0], pos + 8
+        if tag == _STR:
+            length, pos = _read_uvarint(data, pos)
+            if pos + length > len(data):
+                raise DecodeError("truncated string")
+            try:
+                return data[pos : pos + length].decode("utf-8"), pos + length
+            except UnicodeDecodeError as exc:
+                raise DecodeError(f"invalid utf-8: {exc}")
+        if tag == _BYTES:
+            length, pos = _read_uvarint(data, pos)
+            if pos + length > len(data):
+                raise DecodeError("truncated bytes")
+            return data[pos : pos + length], pos + length
+        if tag in (_LIST, _TUPLE):
+            count, pos = _read_uvarint(data, pos)
+            items = []
+            for _ in range(count):
+                item, pos = self._decode(data, pos)
+                items.append(item)
+            return (tuple(items) if tag == _TUPLE else items), pos
+        if tag == _DICT:
+            count, pos = _read_uvarint(data, pos)
+            result = {}
+            for _ in range(count):
+                key, pos = self._decode(data, pos)
+                value, pos = self._decode(data, pos)
+                result[key] = value
+            return result, pos
+        if tag == _ENUM:
+            type_id, pos = _read_uvarint(data, pos)
+            cls = self.registry.type_of(type_id)
+            raw, pos = self._decode(data, pos)
+            try:
+                return cls(raw), pos
+            except ValueError as exc:
+                raise DecodeError(f"invalid enum value for {cls.__name__}: {exc}")
+        if tag == _DATACLASS:
+            type_id, pos = _read_uvarint(data, pos)
+            cls = self.registry.type_of(type_id)
+            count, pos = _read_uvarint(data, pos)
+            fields = self.registry.fields_of(cls)
+            if count != len(fields):
+                raise DecodeError(
+                    f"{cls.__name__}: expected {len(fields)} fields, got {count}"
+                )
+            values = []
+            for _ in range(count):
+                value, pos = self._decode(data, pos)
+                values.append(value)
+            try:
+                return cls(*values), pos
+            except (TypeError, ValueError) as exc:
+                raise DecodeError(f"cannot construct {cls.__name__}: {exc}")
+        raise DecodeError(f"unknown tag byte {tag:#04x}")
+
+
+#: Codec over the global registry; what the protocol stacks use.
+DEFAULT_CODEC = Codec()
+
+
+def encode(value) -> bytes:
+    """Encode ``value`` with the default (global-registry) codec."""
+    return DEFAULT_CODEC.encode(value)
+
+
+def decode(data: bytes):
+    """Decode ``data`` with the default (global-registry) codec."""
+    return DEFAULT_CODEC.decode(data)

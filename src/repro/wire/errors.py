@@ -1,0 +1,13 @@
+"""Codec error types."""
+
+
+class WireError(Exception):
+    """Base class for serialization failures."""
+
+
+class EncodeError(WireError):
+    """Raised when a value cannot be serialized."""
+
+
+class DecodeError(WireError):
+    """Raised when bytes cannot be parsed back into a value."""

@@ -1,0 +1,65 @@
+"""Registry of serializable message types.
+
+Protocol messages are frozen dataclasses (and a few enums). Each class is
+registered under a stable numeric id; the codec serializes instances as
+``(type_id, field values in declaration order)``. Registration is explicit
+— the decoder only ever instantiates classes that were registered, which
+is the property that makes deserialization of attacker-controlled bytes
+safe (unlike Java serialization, which the original systems used).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.wire.errors import DecodeError, EncodeError
+
+
+class TypeRegistry:
+    """Maps numeric ids to dataclass/enum types and back."""
+
+    def __init__(self) -> None:
+        self._by_id: dict[int, type] = {}
+        self._by_type: dict[type, int] = {}
+
+    def register(self, type_id: int):
+        """Class decorator registering a dataclass or Enum under ``type_id``."""
+
+        def decorator(cls: type) -> type:
+            if not (dataclasses.is_dataclass(cls) or issubclass(cls, enum.Enum)):
+                raise TypeError(
+                    f"only dataclasses and enums are serializable, got {cls!r}"
+                )
+            existing = self._by_id.get(type_id)
+            if existing is not None and existing is not cls:
+                raise ValueError(
+                    f"type id {type_id} already registered to {existing.__name__}"
+                )
+            self._by_id[type_id] = cls
+            self._by_type[cls] = type_id
+            return cls
+
+        return decorator
+
+    def id_of(self, cls: type) -> int:
+        try:
+            return self._by_type[cls]
+        except KeyError:
+            raise EncodeError(f"{cls.__name__} is not a registered wire type")
+
+    def type_of(self, type_id: int) -> type:
+        try:
+            return self._by_id[type_id]
+        except KeyError:
+            raise DecodeError(f"unknown wire type id {type_id}")
+
+    def fields_of(self, cls: type) -> tuple:
+        return dataclasses.fields(cls)
+
+
+#: The process-wide registry all protocol modules register into.
+GLOBAL_REGISTRY = TypeRegistry()
+
+#: Convenience alias used as ``@wire_type(ID)`` on message dataclasses.
+wire_type = GLOBAL_REGISTRY.register

@@ -1,0 +1,99 @@
+"""Measurement utilities: throughput windows and latency statistics."""
+
+from __future__ import annotations
+
+import math
+
+
+class ThroughputMeter:
+    """Measures a counter's rate over an explicit steady-state window.
+
+    Benchmarks call :meth:`open_window` after warm-up and
+    :meth:`close_window` before cool-down; the rate excludes both.
+    """
+
+    def __init__(self, sim, sample) -> None:
+        self.sim = sim
+        self._sample = sample
+        self._start_count = None
+        self._start_time = None
+        self._end_count = None
+        self._end_time = None
+
+    def open_window(self) -> None:
+        self._start_count = self._sample()
+        self._start_time = self.sim.now
+
+    def close_window(self) -> None:
+        self._end_count = self._sample()
+        self._end_time = self.sim.now
+
+    @property
+    def count(self) -> int:
+        if self._start_count is None or self._end_count is None:
+            raise RuntimeError("window was not opened/closed")
+        return self._end_count - self._start_count
+
+    @property
+    def duration(self) -> float:
+        return self._end_time - self._start_time
+
+    @property
+    def rate(self) -> float:
+        """Operations per second inside the window."""
+        if self.duration <= 0:
+            return 0.0
+        return self.count / self.duration
+
+
+class LatencyRecorder:
+    """Collects latency samples and reports summary statistics."""
+
+    def __init__(self) -> None:
+        self.samples: list = []
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise ValueError("negative latency")
+        self.samples.append(latency)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            return math.nan
+        return sum(self.samples) / len(self.samples)
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, ``p`` in [0, 100]."""
+        if not self.samples:
+            return math.nan
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be within [0, 100]")
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = rank - low
+        return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def summary(self) -> dict:
+        return {
+            "count": len(self.samples),
+            "mean": self.mean,
+            "p50": self.p50,
+            "p99": self.p99,
+            "max": max(self.samples) if self.samples else math.nan,
+        }

@@ -1,0 +1,112 @@
+"""Network partitions: safety under splits, liveness after healing."""
+
+import pytest
+
+from repro.bftsmart import CounterService, GroupConfig, build_group, build_proxy
+from repro.core import SmartScadaConfig, build_smartscada
+from repro.crypto import KeyStore
+from repro.net import ConstantLatency, Network, Partition
+from repro.sim import Simulator
+from repro.wire import decode, encode
+
+
+def test_even_split_halts_no_split_brain():
+    """2-2 split of n=4: neither side has a quorum; the counter must not
+    advance on either side (no split brain), and heal restores liveness."""
+    sim = Simulator(seed=1)
+    net = Network(sim, latency=ConstantLatency(0.0004))
+    keystore = KeyStore()
+    config = GroupConfig(n=4, f=1, request_timeout=0.5, sync_timeout=1.0)
+    replicas = build_group(sim, net, config, CounterService, keystore)
+    proxy = build_proxy(sim, net, "client-1", config, keystore, invoke_timeout=1.0)
+    proxy.max_attempts = 60  # keep retransmitting across the partition
+
+    rule = net.faults.add(
+        Partition([["replica-0", "replica-1"], ["replica-2", "replica-3"]])
+    )
+    event = proxy.invoke_ordered(encode(("add", 1)))
+    event.defused = True
+    sim.run(until=sim.now + 5)
+    assert all(r.service.value == 0 for r in replicas), "split brain!"
+    assert not event.triggered
+
+    rule.heal()
+    sim.run(until=sim.now + 30, stop_on=event)
+    assert event.ok and decode(event.value) == 1
+    sim.run(until=sim.now + 2)
+    assert all(r.service.value == 1 for r in replicas)
+
+
+def test_minority_partition_catches_up_after_heal():
+    """3-1 split: the majority side keeps working; the isolated replica
+    rejoins via buffering/state transfer once healed."""
+    sim = Simulator(seed=2)
+    net = Network(sim, latency=ConstantLatency(0.0004))
+    keystore = KeyStore()
+    config = GroupConfig(n=4, f=1, request_timeout=0.5, sync_timeout=1.0)
+    replicas = build_group(sim, net, config, CounterService, keystore)
+    proxy = build_proxy(sim, net, "client-1", config, keystore)
+
+    rule = net.faults.add(
+        Partition(
+            [["replica-0", "replica-1", "replica-2", "client-1"], ["replica-3"]]
+        )
+    )
+
+    def client(count):
+        def gen():
+            result = None
+            for _ in range(count):
+                raw = yield proxy.invoke_ordered(encode(("add", 1)))
+                result = decode(raw)
+            return result
+
+        return gen()
+
+    assert sim.run_process(client(5), until=sim.now + 60) == 5
+    assert replicas[3].service.value == 0  # isolated
+    rule.heal()
+    assert sim.run_process(client(3), until=sim.now + 60) == 8
+    for _ in range(30):
+        sim.run(until=sim.now + 0.5)
+        if replicas[3].service.value == 8:
+            break
+    assert all(r.service.value == 8 for r in replicas)
+
+
+def test_scada_survives_partitioned_replica():
+    """SMaRt-SCADA keeps serving the HMI with one Master replica cut off."""
+    sim = Simulator(seed=3)
+    system = build_smartscada(
+        sim, config=SmartScadaConfig(request_timeout=0.5, sync_timeout=1.0)
+    )
+    system.frontend.add_item("sensor", initial=0)
+    system.frontend.add_item("actuator", initial=0, writable=True)
+    system.start()
+    everyone_else = [
+        "replica-0",
+        "replica-1",
+        "replica-2",
+        "frontend-0",
+        "proxy-frontend-0",
+        "proxy-frontend-0-bft",
+        "proxy-hmi",
+        "proxy-hmi-bft",
+        "hmi",
+    ]
+    rule = system.net.faults.add(Partition([everyone_else, ["replica-3"]]))
+    system.frontend.inject_update("sensor", 44)
+
+    def operator():
+        result = yield system.hmi.write("actuator", 2)
+        return result
+
+    result = sim.run_process(operator(), until=sim.now + 30)
+    assert result.success
+    sim.run(until=sim.now + 1)
+    assert system.hmi.value_of("sensor") == 44
+    # Heal; the cut-off replica converges.
+    rule.heal()
+    system.frontend.inject_update("sensor", 45)
+    sim.run(until=sim.now + 5)
+    assert len(set(system.state_digests())) == 1

@@ -1,0 +1,116 @@
+"""Runtime reconfiguration of the replicated SCADA Master group.
+
+BFT-SMaRt's live membership change, exercised at the SCADA level: a
+fifth ProxyMaster joins a running deployment (state-transferring the
+whole Master state — items, storage, subscriptions — on the way in), and
+later a replica is retired. Traffic flows throughout.
+"""
+
+import pytest
+
+from repro.bftsmart import Administrator, View, build_proxy
+from repro.core import SmartScadaConfig, build_smartscada
+from repro.core.proxy_master import ProxyMaster
+from repro.neoscada import HandlerChain, Monitor
+from repro.sim import Simulator
+from repro.wire import decode
+
+
+def test_add_fifth_master_replica_at_runtime():
+    sim = Simulator(seed=17)
+    config = SmartScadaConfig()
+    system = build_smartscada(sim, config=config)
+    system.frontend.add_item("sensor", initial=0)
+    system.frontend.add_item("actuator", initial=0, writable=True)
+    system.attach_handlers("sensor", lambda: HandlerChain([Monitor(high=100.0)]))
+    system.start()
+
+    # Some pre-reconfiguration history (alarms included).
+    for value in (50, 150, 60):
+        system.frontend.inject_update("sensor", value)
+    sim.run(until=sim.now + 0.5)
+
+    # The administrator orders the membership change.
+    group = config.group_config()
+    admin_proxy = build_proxy(
+        sim, system.net, "admin-client", group, system.keystore
+    )
+    admin = Administrator(admin_proxy, system.keystore)
+    event = admin.reconfigure(join=("replica-4",))
+    sim.run(until=sim.now + 2, stop_on=event)
+    assert decode(event.value) == ("ok", 1)
+
+    # Start the new ProxyMaster with the post-change view and the same
+    # handler configuration, and tell the proxies about the new view.
+    new_view = View(
+        1, ("replica-0", "replica-1", "replica-2", "replica-3", "replica-4"), 1
+    )
+    joiner = ProxyMaster(
+        sim, system.net, 4, config, system.keystore, group=group, view=new_view
+    )
+    joiner.attach_handlers("sensor", HandlerChain([Monitor(high=100.0)]))
+    system.proxy_masters.append(joiner)
+    system.update_views(new_view)
+
+    # Keep operating; the joiner state-transfers in.
+    for value in (70, 160):
+        system.frontend.inject_update("sensor", value)
+    sim.run(until=sim.now + 3)
+
+    assert system.hmi.value_of("sensor") == 160
+    assert joiner.replica.state_transfer.completed >= 1
+    assert joiner.master.items.get("sensor").value.value == 160
+    # The joiner's storage has the full alarm history (150 and 160).
+    assert len(joiner.master.storage.query(event_type="alarm")) == 2
+    # All five replicas byte-identical.
+    assert len(set(system.state_digests())) == 1
+
+    # Writes still work against the larger group.
+    def operator():
+        result = yield system.hmi.write("actuator", 9)
+        return result
+
+    result = sim.run_process(operator(), until=sim.now + 10)
+    assert result.success
+
+
+def test_remove_replica_then_survive_one_crash():
+    """Grow to five, retire the original leader, then crash another
+    replica: the remaining four-of-five still tolerate f=1."""
+    sim = Simulator(seed=19)
+    config = SmartScadaConfig(request_timeout=0.5, sync_timeout=1.0)
+    system = build_smartscada(sim, config=config)
+    system.frontend.add_item("sensor", initial=0)
+    system.start()
+    group = config.group_config()
+    admin_proxy = build_proxy(sim, system.net, "admin-client", group, system.keystore)
+    admin = Administrator(admin_proxy, system.keystore)
+
+    # Step 1: add replica-4.
+    event = admin.reconfigure(join=("replica-4",))
+    view1 = View(
+        1, ("replica-0", "replica-1", "replica-2", "replica-3", "replica-4"), 1
+    )
+    joiner = ProxyMaster(
+        sim, system.net, 4, config, system.keystore, group=group, view=view1
+    )
+    system.proxy_masters.append(joiner)
+    sim.run(until=sim.now + 2, stop_on=event)
+    assert decode(event.value) == ("ok", 1)
+    system.update_views(view1)
+    sim.run(until=sim.now + 2)
+
+    # Step 2: retire replica-0.
+    event = admin.reconfigure(leave=("replica-0",))
+    sim.run(until=sim.now + 2, stop_on=event)
+    assert decode(event.value) == ("ok", 2)
+    view2 = View(2, ("replica-1", "replica-2", "replica-3", "replica-4"), 1)
+    system.update_views(view2)
+    sim.run(until=sim.now + 1)
+    assert not system.proxy_masters[0].replica.active
+
+    # Step 3: crash one of the remaining replicas; traffic must survive.
+    system.net.crash("replica-2")
+    system.frontend.inject_update("sensor", 77)
+    sim.run(until=sim.now + 10)
+    assert system.hmi.value_of("sensor") == 77

@@ -1,0 +1,78 @@
+"""Property tests of the per-instance consensus quorum logic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bftsmart.consensus import Instance
+from repro.crypto import digest
+
+REPLICAS = ["r0", "r1", "r2", "r3"]
+QUORUM = 3  # n=4, f=1
+
+
+def apply_votes(instance, votes):
+    """Apply (phase, sender, value) vote triples in order."""
+    for phase, sender, value in votes:
+        if phase == "write":
+            instance.add_write(sender, digest(value))
+        else:
+            instance.add_accept(sender, digest(value))
+
+
+vote_lists = st.lists(
+    st.tuples(
+        st.sampled_from(["write", "accept"]),
+        st.sampled_from(REPLICAS),
+        st.sampled_from([b"good", b"evil"]),
+    ),
+    max_size=24,
+)
+
+
+@given(vote_lists)
+@settings(max_examples=100)
+def test_quorum_never_reached_without_enough_distinct_voters(votes):
+    instance = Instance(0, 0)
+    instance.set_proposal(b"good", 1.0)
+    apply_votes(instance, votes)
+    # Count distinct senders whose FIRST write vote matched the proposal.
+    first_write = {}
+    first_accept = {}
+    for phase, sender, value in votes:
+        table = first_write if phase == "write" else first_accept
+        table.setdefault(sender, value)
+    good_writers = sum(1 for v in first_write.values() if v == b"good")
+    good_accepters = sum(1 for v in first_accept.values() if v == b"good")
+    assert instance.has_write_quorum(QUORUM) == (good_writers >= QUORUM)
+    assert instance.has_accept_quorum(QUORUM) == (good_accepters >= QUORUM)
+
+
+@given(vote_lists)
+@settings(max_examples=100)
+def test_equivocating_votes_never_mix_into_a_quorum(votes):
+    """Votes for different values never combine: with at most 2 distinct
+    honest voters per value, no quorum of 3 can form."""
+    instance = Instance(0, 0)
+    instance.set_proposal(b"good", 1.0)
+    # Adversarial filter: at most two senders ever say "good".
+    filtered = [
+        (phase, sender, value)
+        for phase, sender, value in votes
+        if not (value == b"good" and sender in ("r2", "r3"))
+    ]
+    apply_votes(instance, filtered)
+    assert not instance.has_write_quorum(QUORUM)
+    assert not instance.has_accept_quorum(QUORUM)
+
+
+@given(vote_lists, st.integers(min_value=1, max_value=5))
+@settings(max_examples=50)
+def test_epoch_advance_erases_all_votes(votes, bump):
+    instance = Instance(0, 0)
+    instance.set_proposal(b"good", 1.0)
+    apply_votes(instance, votes)
+    instance.advance_epoch(bump)
+    assert instance.writes == {}
+    assert instance.accepts == {}
+    assert instance.proposal_value is None
+    assert not instance.has_write_quorum(1)

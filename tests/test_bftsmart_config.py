@@ -1,0 +1,77 @@
+"""Unit tests for group configuration and views."""
+
+import pytest
+
+from repro.bftsmart import GroupConfig, View, replica_address
+
+
+def test_default_config_is_4_replicas_f1():
+    cfg = GroupConfig()
+    assert cfg.n == 4
+    assert cfg.f == 1
+    assert cfg.addresses == ("replica-0", "replica-1", "replica-2", "replica-3")
+
+
+def test_n_must_satisfy_bft_bound():
+    with pytest.raises(ValueError):
+        GroupConfig(n=3, f=1)
+    GroupConfig(n=4, f=1)
+    GroupConfig(n=7, f=2)
+    with pytest.raises(ValueError):
+        GroupConfig(n=6, f=2)
+
+
+def test_negative_f_rejected():
+    with pytest.raises(ValueError):
+        GroupConfig(n=1, f=-1)
+
+
+def test_quorum_sizes_match_bft_smart():
+    cfg = GroupConfig(n=4, f=1)
+    assert cfg.write_quorum == 3  # 2f+1
+    assert cfg.accept_quorum == 3
+    assert cfg.stop_quorum == 3
+    assert cfg.stop_join_threshold == 2
+    assert cfg.stop_data_quorum == 3
+    assert cfg.reply_quorum == 2  # f+1
+    assert cfg.unordered_quorum == 3
+
+    cfg7 = GroupConfig(n=7, f=2)
+    assert cfg7.write_quorum == 5
+    assert cfg7.reply_quorum == 3
+
+
+def test_explicit_addresses_validated():
+    GroupConfig(n=4, f=1, addresses=("a", "b", "c", "d"))
+    with pytest.raises(ValueError):
+        GroupConfig(n=4, f=1, addresses=("a", "b"))
+
+
+def test_batch_max_positive():
+    with pytest.raises(ValueError):
+        GroupConfig(batch_max=0)
+
+
+def test_replica_address_format():
+    assert replica_address(3) == "replica-3"
+
+
+def test_view_leader_rotation():
+    view = View(0, ("a", "b", "c", "d"), 1)
+    assert view.leader_for(0) == "a"
+    assert view.leader_for(1) == "b"
+    assert view.leader_for(4) == "a"
+    assert view.leader_for(7) == "d"
+
+
+def test_view_membership_queries():
+    view = View(0, ("a", "b", "c", "d"), 1)
+    assert view.n == 4
+    assert view.contains("c")
+    assert not view.contains("z")
+    assert view.index_of("b") == 1
+
+
+def test_view_respects_bft_bound():
+    with pytest.raises(ValueError):
+        View(0, ("a", "b", "c"), 1)

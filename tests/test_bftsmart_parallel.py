@@ -1,0 +1,163 @@
+"""Tests for the parallel execution extension (§VII-b, Alchieri et al.).
+
+A lane-partitioned service promises that operations in different lanes
+commute; the replica executes them concurrently while lane-less
+operations act as barriers. Classic behaviour (``execution_lanes=1``)
+must be bit-identical to before.
+"""
+
+import pytest
+
+from repro.bftsmart import GroupConfig, KeyValueService, build_group, build_proxy
+from repro.bftsmart.service import MessageContext
+from repro.crypto import KeyStore
+from repro.net import ConstantLatency, Network
+from repro.sim import Simulator
+from repro.wire import decode, encode
+
+
+class LanedKV(KeyValueService):
+    """KV store partitioned by key hash; 'sum' conflicts with everything."""
+
+    #: Simulated CPU cost per operation (the thing lanes parallelize).
+    OP_COST = 0.001
+
+    def lane_of(self, operation: bytes) -> int | None:
+        import zlib
+
+        request = decode(operation)
+        if request[0] in ("put", "get", "delete"):
+            # Lane functions must be stable across processes (unlike
+            # Python's randomized str hash) — all replicas must agree.
+            return zlib.crc32(request[1].encode("utf-8"))
+        return None  # 'sum' needs the whole store: barrier
+
+    def cost_of(self, operation: bytes) -> float:
+        return self.OP_COST
+
+    def execute(self, operation: bytes, ctx: MessageContext) -> bytes:
+        request = decode(operation)
+        if request[0] == "sum":
+            return encode(("ok", sum(v for v in self.data.values())))
+        return super().execute(operation, ctx)
+
+
+def make_world(lanes, seed=1, **config_kwargs):
+    sim = Simulator(seed=seed)
+    net = Network(sim, latency=ConstantLatency(0.0003))
+    keystore = KeyStore()
+    config = GroupConfig(
+        n=4,
+        f=1,
+        execution_lanes=lanes,
+        checkpoint_interval=config_kwargs.pop("checkpoint_interval", 10),
+        **config_kwargs,
+    )
+    replicas = build_group(sim, net, config, LanedKV, keystore)
+    proxy = build_proxy(sim, net, "client-1", config, keystore, invoke_timeout=5.0)
+    return sim, net, replicas, proxy
+
+
+def put_burst(sim, proxy, count, keys=8):
+    def burst():
+        events = [
+            proxy.invoke_ordered(encode(("put", f"k{i % keys}", i)))
+            for i in range(count)
+        ]
+        yield sim.all_of(events)
+        return True
+
+    return sim.run_process(burst(), until=sim.now + 120)
+
+
+def test_lanes_must_be_positive():
+    with pytest.raises(ValueError):
+        GroupConfig(execution_lanes=0)
+
+
+def test_parallel_execution_reaches_same_state_as_serial():
+    def final_state(lanes):
+        sim, _net, replicas, proxy = make_world(lanes)
+        put_burst(sim, proxy, 40)
+        sim.run(until=sim.now + 2)
+        return [tuple(sorted(r.service.data.items())) for r in replicas]
+
+    serial = final_state(1)
+    parallel = final_state(4)
+    assert serial == parallel
+    assert len(set(serial)) == 1  # replicas agree internally too
+
+
+def test_parallel_execution_is_faster_for_costly_ops():
+    def completion_time(lanes):
+        sim, _net, _replicas, proxy = make_world(lanes)
+        put_burst(sim, proxy, 60)
+        return sim.now
+
+    serial_time = completion_time(1)
+    parallel_time = completion_time(8)
+    # 60 ops at 1 ms each: serial needs >= 60 ms of execution; 8 lanes
+    # over 8 keys cut that drastically.
+    assert parallel_time < serial_time * 0.5
+
+
+def test_barrier_operation_sees_all_prior_writes():
+    sim, _net, _replicas, proxy = make_world(lanes=4)
+
+    def scenario():
+        events = [
+            proxy.invoke_ordered(encode(("put", f"k{i}", i + 1))) for i in range(6)
+        ]
+        yield sim.all_of(events)
+        raw = yield proxy.invoke_ordered(encode(("sum", None)))
+        return decode(raw)
+
+    status, total = sim.run_process(scenario(), until=sim.now + 60)
+    assert status == "ok"
+    assert total == sum(range(1, 7))
+
+
+def test_checkpoints_quiesce_lanes():
+    # batch_max=1 forces one cid per request so checkpoints actually fire.
+    sim, _net, replicas, proxy = make_world(lanes=4, batch_max=1, batch_wait=0.0)
+    put_burst(sim, proxy, 35)  # crosses checkpoint_interval=10 boundaries
+    sim.run(until=sim.now + 2)
+    for replica in replicas:
+        assert replica.stats["checkpoints"] >= 1
+        # The checkpoint snapshot decodes and carries consistent state.
+        snapshot, dedup = decode(replica.checkpoint_snapshot)
+        assert isinstance(dict(decode(snapshot)), dict)
+
+
+def test_state_transfer_with_parallel_lanes():
+    sim, net, replicas, proxy = make_world(lanes=4)
+    net.crash("replica-3")
+    put_burst(sim, proxy, 25)
+    net.recover("replica-3")
+    put_burst(sim, proxy, 10)
+    sim.run(until=sim.now + 3)
+    states = [tuple(sorted(r.service.data.items())) for r in replicas]
+    assert len(set(states)) == 1
+    assert replicas[3].state_transfer.completed >= 1
+
+
+def test_default_service_forces_serial_barriers():
+    """A service that never overrides lane_of executes serially even when
+    lanes are configured — safety by default."""
+    from repro.bftsmart import CounterService
+
+    sim = Simulator(seed=1)
+    net = Network(sim, latency=ConstantLatency(0.0003))
+    keystore = KeyStore()
+    config = GroupConfig(n=4, f=1, execution_lanes=8)
+    replicas = build_group(sim, net, config, CounterService, keystore)
+    proxy = build_proxy(sim, net, "client-1", config, keystore)
+
+    def burst():
+        events = [proxy.invoke_ordered(encode(("add", 1))) for _ in range(20)]
+        yield sim.all_of(events)
+        return True
+
+    sim.run_process(burst(), until=sim.now + 60)
+    sim.run(until=sim.now + 1)
+    assert all(r.service.value == 20 for r in replicas)

@@ -1,0 +1,116 @@
+"""Focused tests for the state-transfer protocol."""
+
+import pytest
+
+from repro.bftsmart import (
+    CounterService,
+    GroupConfig,
+    StateReply,
+    StateRequest,
+    build_group,
+    build_proxy,
+)
+from repro.crypto import KeyStore
+from repro.net import ConstantLatency, Network
+from repro.sim import Simulator
+from repro.wire import decode, encode
+
+
+def make_world(seed=1, checkpoint_interval=5):
+    sim = Simulator(seed=seed)
+    net = Network(sim, latency=ConstantLatency(0.0003))
+    keystore = KeyStore()
+    config = GroupConfig(
+        n=4, f=1, checkpoint_interval=checkpoint_interval, request_timeout=0.5
+    )
+    replicas = build_group(sim, net, config, CounterService, keystore)
+    proxy = build_proxy(sim, net, "client-1", config, keystore)
+    return sim, net, replicas, proxy
+
+
+def run_adds(sim, proxy, count):
+    def client():
+        result = None
+        for _ in range(count):
+            raw = yield proxy.invoke_ordered(encode(("add", 1)))
+            result = decode(raw)
+        return result
+
+    return sim.run_process(client(), until=sim.now + 120)
+
+
+def converge(sim, replicas, seconds=10.0):
+    deadline = sim.now + seconds
+    while sim.now < deadline:
+        sim.run(until=sim.now + 0.5)
+        if len({r.last_decided for r in replicas}) == 1:
+            return True
+    return False
+
+
+def test_recovering_replica_replays_from_checkpoint_plus_log():
+    sim, net, replicas, proxy = make_world()
+    net.crash("replica-3")
+    run_adds(sim, proxy, 12)  # checkpoints at cid 4 and 9
+    net.recover("replica-3")
+    run_adds(sim, proxy, 1)
+    assert converge(sim, replicas)
+    assert replicas[3].service.value == 13
+    assert replicas[3].state_transfer.completed >= 1
+    # It replayed from a checkpoint, not from genesis.
+    assert replicas[3].checkpoint_cid >= 4
+
+
+def test_fresh_replica_can_join_from_genesis():
+    sim, net, replicas, proxy = make_world(checkpoint_interval=1000)
+    net.crash("replica-2")
+    run_adds(sim, proxy, 8)
+    net.recover("replica-2")
+    run_adds(sim, proxy, 1)
+    assert converge(sim, replicas)
+    # No checkpoint ever happened: the full decision log replayed.
+    assert replicas[2].service.value == 9
+
+
+def test_state_requests_are_answered_by_peers():
+    sim, net, replicas, proxy = make_world()
+    run_adds(sim, proxy, 7)
+    served_before = replicas[0].channel.rejected
+    # A replica explicitly asks for state.
+    replicas[3].state_transfer.notice_gap(100)
+    sim.run(until=sim.now + 2)
+    # It got answers (grouping may or may not install given the fake gap).
+    assert len(replicas[3].state_transfer._replies) >= 2
+
+
+def test_single_lying_state_reply_cannot_install():
+    """State installs need f+1 identical replies; one forged reply from a
+    Byzantine peer is never enough and never matches the honest ones."""
+    sim, net, replicas, proxy = make_world()
+    run_adds(sim, proxy, 6)
+    # Knock replica-3 out and let it recover while replica-0 forges its
+    # state replies (drop them instead: an opaque Sealed tamper would just
+    # fail the MAC, which is equivalent for the vote).
+    from repro.net import Drop
+
+    net.crash("replica-3")
+    run_adds(sim, proxy, 6)
+    net.faults.add(Drop(src="replica-0", kind="StateReply"))
+    net.recover("replica-3")
+    run_adds(sim, proxy, 1)
+    assert converge(sim, replicas)
+    # Two honest replies (replica-1, replica-2) still satisfy f+1 = 2.
+    assert replicas[3].service.value == 13
+
+
+def test_stale_gap_notice_aborts_cleanly():
+    sim, net, replicas, proxy = make_world()
+    run_adds(sim, proxy, 5)
+    replica = replicas[1]
+    # Claim a gap at a cid everyone has already decided.
+    replica.state_transfer._last_request_at = -1000.0
+    replica.state_transfer.notice_gap(replica.next_cid + 1)
+    sim.run(until=sim.now + 2)
+    assert not replica.state_transfer.in_progress
+    # State unchanged, no bogus rollback.
+    assert replica.service.value == 5

@@ -1,0 +1,33 @@
+"""Smoke tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_demo_command_succeeds(capsys):
+    assert main(["demo", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "HMI temperature : 95" in out
+    assert "replica states identical across n=4: True" in out
+
+
+def test_steps_command_prints_both_flows(capsys):
+    assert main(["steps"]) == 0
+    out = capsys.readouterr().out
+    assert "update flow through neoscada (2 network hops)" in out
+    assert "update flow through smartscada" in out
+    assert "write flow through smartscada" in out
+    assert "Propose" in out
+
+
+def test_fig8_command_fast_window(capsys):
+    assert main(["fig8", "--duration", "0.4"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 8 — full reproduction" in out
+    assert "8(c) synchronous writes" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["no-such-command"])

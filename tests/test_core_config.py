@@ -1,0 +1,72 @@
+"""Tests for deployment configuration and the network factory."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import (
+    DEFAULT_HOP_LATENCY,
+    SmartScadaConfig,
+    make_network,
+    neoscada_costs,
+    smartscada_costs,
+)
+from repro.sim import Simulator
+
+
+def test_default_deployment_matches_the_paper():
+    config = SmartScadaConfig()
+    assert config.n == 4 and config.f == 1  # six machines: 4 masters + 2
+    group = config.group_config()
+    assert group.n == 4
+    assert group.addresses == ("replica-0", "replica-1", "replica-2", "replica-3")
+
+
+def test_timeout_majority_is_strict_majority():
+    assert SmartScadaConfig(n=4, f=1).timeout_majority == 3
+    assert SmartScadaConfig(n=7, f=2).timeout_majority == 4
+
+
+def test_cost_models_encode_the_papers_asymmetry():
+    neo = neoscada_costs()
+    smart = smartscada_costs()
+    # The replicated Master pays the serialization/determinism tax...
+    assert smart.serialization > 0 and neo.serialization == 0
+    assert smart.write_processing > neo.write_processing
+    # ...and its synchronous storage writer is slower than the
+    # original's concurrent batched one.
+    assert smart.storage_service_time > neo.storage_service_time
+    # The raw handler/update processing itself is identical code.
+    assert smart.update_processing == neo.update_processing
+
+
+def test_group_config_propagates_tunables():
+    config = SmartScadaConfig(batch_max=7, request_timeout=9.0)
+    group = config.group_config()
+    assert group.batch_max == 7
+    assert group.request_timeout == 9.0
+
+
+def test_costs_are_immutable_but_replaceable():
+    costs = smartscada_costs()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        costs.serialization = 0.0
+    adjusted = dataclasses.replace(costs, serialization=0.0)
+    assert adjusted.serialization == 0.0
+
+
+def test_make_network_uses_lan_model_and_optional_trace():
+    sim = Simulator(seed=1)
+    net = make_network(sim, trace=True)
+    assert net.trace.enabled
+    a = net.endpoint("a")
+    net.endpoint("b").set_handler(lambda m, s: None)
+    a.send("b", "x")
+    sim.run(until=1.0)
+    hop = net.trace.hops[0]
+    # One hop costs about the configured base latency.
+    latency = hop.delivered_at - hop.sent_at
+    assert DEFAULT_HOP_LATENCY <= latency <= DEFAULT_HOP_LATENCY * 3
+
+    quiet = make_network(Simulator(seed=2))
+    assert not quiet.trace.enabled

@@ -1,0 +1,122 @@
+"""Focused unit tests for ProxyHMI and ProxyFrontend behaviour."""
+
+import pytest
+
+from repro.core import build_smartscada
+from repro.neoscada.messages import (
+    BrowseReply,
+    BrowseRequest,
+    ItemUpdate,
+    WriteResult,
+    WriteValue,
+)
+from repro.sim import Simulator
+
+
+def build(seed=1):
+    sim = Simulator(seed=seed)
+    system = build_smartscada(sim)
+    system.frontend.add_item("sensor", initial=0)
+    system.frontend.add_item("actuator", initial=0, writable=True)
+    system.start()
+    return sim, system
+
+
+def test_proxy_hmi_rewrites_write_reply_path():
+    sim, system = build()
+
+    def operator():
+        result = yield system.hmi.write("actuator", 3)
+        return result
+
+    result = sim.run_process(operator(), until=sim.now + 10)
+    assert result.success
+    # The HMI's original op id came back to the HMI even though the
+    # Master only ever talked to the proxy.
+    assert system.proxy_hmi.stats["forwarded_writes"] == 1
+    assert system.proxy_hmi.stats["write_results_out"] == 1
+    assert not system.proxy_hmi._write_origins  # correlation cleaned up
+
+
+def test_proxy_hmi_browse_round_trip():
+    sim, system = build()
+    replies = []
+    requester = system.net.endpoint("operator-console")
+    requester.set_handler(lambda message, src: replies.append(message))
+    requester.send("proxy-hmi", BrowseRequest(reply_to="operator-console"))
+    sim.run(until=sim.now + 2)
+    assert len(replies) == 1
+    assert isinstance(replies[0], BrowseReply)
+    assert ("actuator", True) in replies[0].items
+
+
+def test_proxy_hmi_counts_invoke_failures():
+    sim, system = build()
+    system.proxy_hmi.bft.max_attempts = 2
+    system.proxy_hmi.bft.invoke_timeout = 0.1
+    for address in ("replica-0", "replica-1", "replica-2", "replica-3"):
+        system.net.crash(address)
+    system.frontend.inject_update("sensor", 1)  # goes nowhere
+    event = system.hmi.write("actuator", 1)
+    event.defused = True
+    sim.run(until=sim.now + 5)
+    assert system.proxy_hmi.stats["invoke_failures"] >= 1
+
+
+def test_proxy_frontend_forwards_updates_and_results_only():
+    sim, system = build()
+    proxy = system.proxy_frontends[0]
+    before = proxy.stats["updates_in"]
+    system.frontend.inject_update("sensor", 5)
+    sim.run(until=sim.now + 0.5)
+    assert proxy.stats["updates_in"] == before + 1
+    # Pushed WriteValues get rewritten towards the frontend.
+    def operator():
+        result = yield system.hmi.write("actuator", 2)
+        return result
+
+    result = sim.run_process(operator(), until=sim.now + 10)
+    assert result.success
+    assert proxy.stats["writes_out"] == 1
+    assert proxy.stats["write_results_in"] == 1
+
+
+def test_proxy_frontend_ignores_unrelated_local_traffic():
+    sim, system = build()
+    proxy = system.proxy_frontends[0]
+    stats_before = dict(proxy.stats)
+    system.net.endpoint("stranger").send(
+        proxy.address, BrowseRequest(reply_to="stranger")
+    )
+    sim.run(until=sim.now + 0.5)
+    assert proxy.stats == stats_before
+
+
+def test_duplicate_pushes_do_not_duplicate_hmi_updates():
+    sim, system = build()
+    from repro.net import Duplicate
+
+    system.net.faults.add(Duplicate(copies=2, kind="PushMessage"))
+    baseline = system.hmi.stats["updates"]  # initial item sync
+    system.frontend.inject_update("sensor", 9)
+    sim.run(until=sim.now + 1)
+    assert system.hmi.stats["updates"] == baseline + 1
+    assert system.hmi.value_of("sensor") == 9
+
+
+def test_hmi_write_result_arrives_exactly_once():
+    sim, system = build()
+    from repro.net import Duplicate
+
+    system.net.faults.add(Duplicate(copies=1, kind="PushMessage"))
+    results = []
+
+    def operator():
+        result = yield system.hmi.write("actuator", 7)
+        results.append(result)
+        yield sim.timeout(1.0)
+        return True
+
+    sim.run_process(operator(), until=sim.now + 15)
+    assert len(results) == 1
+    assert results[0].success

@@ -1,0 +1,108 @@
+"""Unit tests for digests, MACs and simulated signatures."""
+
+import pytest
+
+from repro.crypto import (
+    DIGEST_SIZE,
+    MAC_SIZE,
+    Authenticator,
+    KeyStore,
+    Signer,
+    Verifier,
+    combine,
+    digest,
+    make_mac_vector,
+    sha256,
+    verify_mac_vector,
+)
+
+
+def test_digest_is_deterministic_and_truncated():
+    assert digest(b"abc") == digest(b"abc")
+    assert len(digest(b"abc")) == DIGEST_SIZE
+    assert digest(b"abc") != digest(b"abd")
+
+
+def test_sha256_rejects_non_bytes():
+    with pytest.raises(TypeError):
+        sha256("string")
+
+
+def test_combine_is_unambiguous():
+    assert combine(b"ab", b"c") != combine(b"a", b"bc")
+    assert combine(b"ab", b"c") == combine(b"ab", b"c")
+
+
+def test_pair_keys_are_symmetric():
+    ks = KeyStore()
+    assert ks.pair_key("a", "b") == ks.pair_key("b", "a")
+    assert ks.pair_key("a", "b") != ks.pair_key("a", "c")
+
+
+def test_different_root_secret_gives_different_keys():
+    assert KeyStore(b"one").pair_key("a", "b") != KeyStore(b"two").pair_key("a", "b")
+
+
+def test_empty_root_secret_rejected():
+    with pytest.raises(ValueError):
+        KeyStore(b"")
+
+
+def test_mac_roundtrip():
+    ks = KeyStore()
+    alice = Authenticator("alice", ks)
+    bob = Authenticator("bob", ks)
+    tag = alice.mac("bob", b"payload")
+    assert len(tag) == MAC_SIZE
+    assert bob.verify("alice", b"payload", tag)
+    assert not bob.verify("alice", b"tampered", tag)
+
+
+def test_mac_from_wrong_keystore_rejected():
+    good, bad = KeyStore(b"good"), KeyStore(b"bad")
+    mallory = Authenticator("alice", bad)  # impersonation attempt
+    bob = Authenticator("bob", good)
+    tag = mallory.mac("bob", b"payload")
+    assert not bob.verify("alice", b"payload", tag)
+
+
+def test_mac_vector_verifies_per_receiver():
+    ks = KeyStore()
+    leader = Authenticator("r0", ks)
+    vector = make_mac_vector(leader, ["r1", "r2", "r3"], b"propose")
+    for name in ("r1", "r2", "r3"):
+        receiver = Authenticator(name, ks)
+        assert verify_mac_vector(receiver, vector, b"propose")
+        assert not verify_mac_vector(receiver, vector, b"other")
+
+
+def test_mac_vector_missing_receiver_fails():
+    ks = KeyStore()
+    leader = Authenticator("r0", ks)
+    vector = make_mac_vector(leader, ["r1"], b"propose")
+    outsider = Authenticator("r9", ks)
+    assert not verify_mac_vector(outsider, vector, b"propose")
+
+
+def test_signature_roundtrip():
+    ks = KeyStore()
+    signer = Signer("replica-2", ks)
+    verifier = Verifier(ks)
+    sig = signer.sign(b"stop-data")
+    assert verifier.verify(sig, b"stop-data")
+    assert not verifier.verify(sig, b"stop-data!")
+
+
+def test_signature_binds_signer_identity():
+    ks = KeyStore()
+    verifier = Verifier(ks)
+    sig = Signer("replica-2", ks).sign(b"m")
+    forged = type(sig)(signer="replica-3", tag=sig.tag)
+    assert not verifier.verify(forged, b"m")
+
+
+def test_signature_tag_length_enforced():
+    from repro.crypto import Signature
+
+    with pytest.raises(ValueError):
+        Signature(signer="x", tag=b"short")

@@ -1,0 +1,41 @@
+"""The examples are part of the public API surface: they must keep running.
+
+The quicker examples run in-process here; the long drills
+(byzantine_fault_drill, proactive_recovery) are exercised by their own
+integration tests and run standalone.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name", ["quickstart", "water_treatment_writes"]
+)
+def test_example_runs_clean(name, capsys):
+    module = load_example(name)
+    module.main()  # examples assert their own invariants
+    out = capsys.readouterr().out
+    assert out.strip()
+
+
+def test_all_examples_have_docstrings_and_main():
+    for path in sorted(EXAMPLES_DIR.glob("*.py")):
+        source = path.read_text()
+        assert source.lstrip().startswith('"""'), f"{path.name} lacks a docstring"
+        assert "def main()" in source, f"{path.name} lacks main()"
+        assert 'if __name__ == "__main__":' in source, path.name

@@ -1,0 +1,178 @@
+"""Focused tests for the Frontend (polling, writes, browse) and the HMI."""
+
+import pytest
+
+from repro.neoscada import RTU, Frontend, HMI
+from repro.neoscada.messages import (
+    BrowseReply,
+    BrowseRequest,
+    ItemUpdate,
+    Subscribe,
+    WriteResult,
+    WriteValue,
+)
+from repro.net import ConstantLatency, Drop, Network
+from repro.sim import Simulator
+
+
+def make_world(seed=1):
+    sim = Simulator(seed=seed)
+    net = Network(sim, latency=ConstantLatency(0.0002))
+    return sim, net
+
+
+class Collector:
+    """A minimal subscriber endpoint collecting messages."""
+
+    def __init__(self, net, address):
+        self.received = []
+        self.endpoint = net.endpoint(address)
+        self.endpoint.set_handler(lambda m, src: self.received.append(m))
+
+    def of_kind(self, cls):
+        return [m for m in self.received if isinstance(m, cls)]
+
+
+def test_frontend_publishes_only_changed_registers():
+    sim, net = make_world()
+    rtu = RTU(sim, net, "rtu-1")
+    rtu.set_register(0, 10)
+    frontend = Frontend(sim, net, "fe", poll_interval=0.1)
+    frontend.add_item("sensor", rtu="rtu-1", register=0)
+    subscriber = Collector(net, "sub")
+    frontend.start()
+    frontend.da_server.dispatch(Subscribe(subscriber="sub", item_id="*"), "sub")
+    sim.run(until=1.0)
+    first = len(subscriber.of_kind(ItemUpdate))
+    assert first == 1  # initial change only; register is static
+    rtu.set_register(0, 20)
+    sim.run(until=2.0)
+    assert len(subscriber.of_kind(ItemUpdate)) == first + 1
+
+
+def test_frontend_polls_contiguous_runs_together():
+    sim, net = make_world()
+    frontend = Frontend(sim, net, "fe")
+    for register in (0, 1, 2, 7, 9):
+        frontend.add_item(f"i{register}", rtu="rtu-1", register=register)
+    runs = frontend._register_runs()
+    assert runs == {"rtu-1": [(0, 3), (7, 1), (9, 1)]}
+
+
+def test_frontend_initial_sync_on_subscribe():
+    sim, net = make_world()
+    frontend = Frontend(sim, net, "fe")
+    frontend.add_item("sensor", initial=5)
+    subscriber = Collector(net, "sub")
+    frontend.da_server.dispatch(Subscribe(subscriber="sub", item_id="*"), "sub")
+    sim.run(until=0.5)
+    updates = subscriber.of_kind(ItemUpdate)
+    assert [u.value.value for u in updates] == [5]
+
+
+def test_frontend_write_to_rtu_register():
+    sim, net = make_world()
+    rtu = RTU(sim, net, "rtu-1", writable_registers=(3,))
+    rtu.set_register(3, 0)
+    frontend = Frontend(sim, net, "fe")
+    frontend.add_item("breaker", rtu="rtu-1", register=3, writable=True)
+    requester = Collector(net, "req")
+    net.endpoint("fe")._deliver(
+        WriteValue(item_id="breaker", value=1, op_id="w1", reply_to="req"), "req"
+    )
+    sim.run(until=1.0)
+    results = requester.of_kind(WriteResult)
+    assert len(results) == 1 and results[0].success
+    assert rtu.registers[3] == 1
+
+
+def test_frontend_write_times_out_when_rtu_dead():
+    sim, net = make_world()
+    RTU(sim, net, "rtu-1", writable_registers=(0,)).set_register(0, 0)
+    frontend = Frontend(sim, net, "fe", write_timeout=0.5)
+    frontend.add_item("a", rtu="rtu-1", register=0, writable=True)
+    net.crash("rtu-1")
+    requester = Collector(net, "req")
+    net.endpoint("fe")._deliver(
+        WriteValue(item_id="a", value=1, op_id="w1", reply_to="req"), "req"
+    )
+    sim.run(until=2.0)
+    results = requester.of_kind(WriteResult)
+    assert len(results) == 1
+    assert not results[0].success
+    assert "did not answer" in results[0].reason
+
+
+def test_frontend_write_rejects_bad_values_and_items():
+    sim, net = make_world()
+    frontend = Frontend(sim, net, "fe")
+    frontend.add_item("ro", initial=0, writable=False)
+    frontend.add_item("mapped", rtu="rtu-1", register=0, writable=True)
+    net.endpoint("rtu-1")  # exists but is not a real RTU
+    requester = Collector(net, "req")
+    deliver = net.endpoint("fe")._deliver
+    deliver(WriteValue("ghost", 1, "w1", "req"), "req")
+    deliver(WriteValue("ro", 1, "w2", "req"), "req")
+    deliver(WriteValue("mapped", -5, "w3", "req"), "req")
+    sim.run(until=1.0)
+    results = {r.op_id: r for r in requester.of_kind(WriteResult)}
+    assert not results["w1"].success and "unknown" in results["w1"].reason
+    assert not results["w2"].success and "not writable" in results["w2"].reason
+    assert not results["w3"].success and "does not fit" in results["w3"].reason
+
+
+def test_frontend_browse_lists_items():
+    sim, net = make_world()
+    frontend = Frontend(sim, net, "fe")
+    frontend.add_item("a", initial=0)
+    frontend.add_item("b", initial=0, writable=True)
+    requester = Collector(net, "req")
+    net.endpoint("fe")._deliver(BrowseRequest(reply_to="req"), "req")
+    sim.run(until=0.5)
+    reply = requester.of_kind(BrowseReply)[0]
+    assert reply.items == (("a", False), ("b", True))
+
+
+def test_frontend_duplicate_item_rejected():
+    sim, net = make_world()
+    frontend = Frontend(sim, net, "fe")
+    frontend.add_item("a")
+    with pytest.raises(ValueError):
+        frontend.add_item("a")
+    with pytest.raises(ValueError):
+        frontend.add_item("b", rtu="rtu-1")  # register missing
+
+
+def test_hmi_view_model_and_observers():
+    from repro.core import build_neoscada
+    from repro.neoscada import HandlerChain, Monitor
+
+    sim2 = Simulator(seed=2)
+    system = build_neoscada(sim2)
+    system.frontend.add_item("s", initial=1)
+    system.master.attach_handlers("s", HandlerChain([Monitor(high=10)]))
+    system.start()
+    changes = []
+    alarms = []
+    system.hmi.on_value_change = lambda item, value: changes.append((item, value.value))
+    system.hmi.on_alarm = alarms.append
+    system.frontend.inject_update("s", 50)
+    sim2.run(until=sim2.now + 0.5)
+    assert ("s", 50) in changes
+    assert len(alarms) == 1
+    assert system.hmi.value_of("s") == 50
+    assert system.hmi.value_of("never-seen") is None
+
+
+def test_hmi_event_log_is_bounded():
+    sim, net = make_world()
+    hmi = HMI(sim, net, "hmi", master_address="nowhere", event_log_size=10)
+    from repro.neoscada import EventRecord, Severity
+
+    for i in range(25):
+        hmi._on_event(
+            EventRecord(f"e{i}", "x", "alarm", Severity.ALARM, i, "", float(i)),
+            "master",
+        )
+    assert len(hmi.events) == 10
+    assert hmi.events[-1].event_id == "e24"

@@ -1,0 +1,176 @@
+"""Tests for the IEC-104-style protocol, the event-driven RTU, and the
+frontend integration (spontaneous transmission vs. polling)."""
+
+import pytest
+
+from repro.core import build_neoscada, build_smartscada, make_network
+from repro.neoscada import Frontend, HandlerChain, Scale
+from repro.neoscada.field import PowerFeeder
+from repro.neoscada.field.powergrid import BREAKER, VOLTAGE
+from repro.neoscada.protocols.iec104 import (
+    CommandConfirm,
+    Iec104Client,
+    InterrogationReply,
+    SpontaneousUpdate,
+)
+from repro.neoscada.rtu104 import Iec104RTU
+from repro.net import ConstantLatency, Network
+from repro.sim import Simulator
+
+
+def make_world():
+    sim = Simulator(seed=9)
+    net = Network(sim, latency=ConstantLatency(0.0002))
+    return sim, net
+
+
+def make_client(sim, net, name="master-station"):
+    endpoint = net.endpoint(name)
+    client = Iec104Client(name, endpoint.send)
+    endpoint.set_handler(lambda message, src: client.dispatch(message, src))
+    return client
+
+
+def test_general_interrogation_returns_snapshot():
+    sim, net = make_world()
+    rtu = Iec104RTU(sim, net, "sub-1")
+    rtu.points.update({1: 100, 2: 200})
+    client = make_client(sim, net)
+    replies = []
+    client.interrogate("sub-1", replies.append)
+    sim.run(until=1.0)
+    assert isinstance(replies[0], InterrogationReply)
+    assert [(ioa, value) for ioa, value, _t in replies[0].points] == [(1, 100), (2, 200)]
+
+
+def test_spontaneous_updates_pushed_to_subscribers():
+    sim, net = make_world()
+    rtu = Iec104RTU(sim, net, "sub-1")
+    rtu.points[1] = 10
+    client = make_client(sim, net)
+    pushed = []
+    client.on_spontaneous = lambda src, update: pushed.append((src, update))
+    client.start_data_transfer("sub-1")
+    sim.run(until=0.5)
+    rtu.set_point(1, 42)
+    sim.run(until=1.0)
+    assert len(pushed) >= 1
+    src, update = pushed[-1]
+    assert src == "sub-1"
+    assert update.ioa == 1 and update.value == 42
+
+
+def test_deadband_suppresses_small_changes():
+    sim, net = make_world()
+    rtu = Iec104RTU(sim, net, "sub-1", deadband=5)
+    rtu.points[1] = 100
+    client = make_client(sim, net)
+    pushed = []
+    client.on_spontaneous = lambda src, update: pushed.append(update.value)
+    client.start_data_transfer("sub-1")
+    sim.run(until=0.1)
+    rtu.set_point(1, 100)  # first report establishes the baseline
+    sim.run(until=0.2)
+    rtu.set_point(1, 103)  # within deadband of the baseline
+    rtu.set_point(1, 120)  # beyond
+    sim.run(until=1.0)
+    assert 103 not in pushed
+    assert 120 in pushed
+
+
+def test_command_confirmation_and_rejection():
+    sim, net = make_world()
+    rtu = Iec104RTU(sim, net, "sub-1", writable_ioas=(2,))
+    rtu.points.update({1: 0, 2: 0})
+    client = make_client(sim, net)
+    confirms = []
+    client.command("sub-1", 2, 1, confirms.append)
+    client.command("sub-1", 1, 1, confirms.append)  # not commandable
+    client.command("sub-1", 9, 1, confirms.append)  # unknown
+    sim.run(until=1.0)
+    assert [c.ok for c in confirms] == [True, False, False]
+    assert rtu.points[2] == 1
+    assert rtu.points[1] == 0
+    assert rtu.stats["rejected"] == 2
+
+
+def test_rtu_steps_field_process_and_reports():
+    sim, net = make_world()
+    rtu = Iec104RTU(
+        sim, net, "sub-1", process=PowerFeeder(noise=0.05), step_interval=0.2
+    )
+    client = make_client(sim, net)
+    pushed = []
+    client.on_spontaneous = lambda src, update: pushed.append(update.ioa)
+    client.start_data_transfer("sub-1")
+    sim.run(until=3.0)
+    assert VOLTAGE in pushed  # readings fluctuate and get reported
+
+
+def test_frontend_iec104_items_flow_to_hmi():
+    """End-to-end: substation pushes -> frontend -> master -> HMI,
+    with no polling anywhere."""
+    sim = Simulator(seed=5)
+    net = make_network(sim)
+    system = build_neoscada(sim, net=net)
+    rtu = Iec104RTU(
+        sim,
+        net,
+        "substation-9",
+        process=PowerFeeder(noise=0.0),
+        step_interval=0.2,
+        writable_ioas=(BREAKER,),
+    )
+    system.frontend.add_iec104_item("feeder.voltage", "substation-9", VOLTAGE)
+    system.frontend.add_iec104_item(
+        "feeder.breaker", "substation-9", BREAKER, writable=True
+    )
+    system.master.attach_handlers("feeder.voltage", HandlerChain([Scale(0.1)]))
+    system.start()
+    sim.run(until=sim.now + 1.5)
+    assert system.hmi.value_of("feeder.voltage") == pytest.approx(230.0, rel=0.05)
+    assert system.frontend.stats["polls"] == 0  # event-driven, not polled
+
+    def operator():
+        result = yield system.hmi.write("feeder.breaker", 0)
+        return result
+
+    result = sim.run_process(operator(), until=sim.now + 5)
+    assert result.success
+    sim.run(until=sim.now + 1.0)
+    assert system.hmi.value_of("feeder.voltage") == 0.0
+
+
+def test_frontend_iec104_write_timeout():
+    sim, net = make_world()
+    frontend = Frontend(sim, net, "fe", write_timeout=0.5)
+    Iec104RTU(sim, net, "sub-1", writable_ioas=(1,)).points[1] = 0
+    frontend.add_iec104_item("act", "sub-1", 1, writable=True)
+    net.crash("sub-1")
+    results = []
+    from repro.neoscada.messages import WriteResult, WriteValue
+
+    collector = net.endpoint("req")
+    collector.set_handler(lambda m, src: results.append(m))
+    net.endpoint("fe")._deliver(
+        WriteValue(item_id="act", value=1, op_id="w1", reply_to="req"), "req"
+    )
+    sim.run(until=2.0)
+    assert len(results) == 1
+    assert not results[0].success
+    assert "did not confirm" in results[0].reason
+
+
+def test_iec104_with_replicated_master():
+    """The field protocol is orthogonal to the replication machinery."""
+    sim = Simulator(seed=6)
+    net = make_network(sim)
+    system = build_smartscada(sim, net=net)
+    Iec104RTU(
+        sim, net, "substation-1", process=PowerFeeder(noise=0.0), step_interval=0.25
+    )
+    system.frontend.add_iec104_item("feeder.voltage", "substation-1", VOLTAGE)
+    system.start()
+    sim.run(until=sim.now + 2.0)
+    assert system.hmi.value_of("feeder.voltage") == pytest.approx(2300, rel=0.05)
+    assert len(set(system.state_digests())) == 1

@@ -1,0 +1,244 @@
+"""Focused unit tests for the SCADA Master's deterministic core."""
+
+import pytest
+
+from repro.neoscada import (
+    DataValue,
+    HandlerChain,
+    ItemUpdate,
+    Monitor,
+    MasterCosts,
+    Scale,
+    ScadaMaster,
+    WriteResult,
+    WriteValue,
+)
+from repro.neoscada.messages import BrowseReply, Subscribe
+from repro.net import ConstantLatency, Network
+from repro.sim import Simulator
+
+
+def make_master(workers=0, **kwargs):
+    sim = Simulator(seed=1)
+    net = Network(sim, latency=ConstantLatency(0.0001))
+    sent = []
+    master = ScadaMaster(
+        sim,
+        net,
+        "master",
+        frontends=["frontend-0"],
+        workers=workers,
+        jitter=0.0,
+        transport=lambda dst, message: sent.append((dst, message)),
+        **kwargs,
+    )
+    return sim, master, sent
+
+
+def subscribe_hmi(master):
+    master.classify(Subscribe(subscriber="hmi", item_id="*"), "hmi")
+
+
+def test_classify_sorts_data_plane_kinds():
+    _sim, master, _sent = make_master()
+    assert master.classify(ItemUpdate("i", DataValue(1)), "fe") == "update"
+    assert (
+        master.classify(WriteValue("i", 1, "op", "hmi"), "hmi") == "write"
+    )
+    assert (
+        master.classify(WriteResult("i", "op", True), "fe") == "write_result"
+    )
+
+
+def test_classify_handles_control_plane_inline():
+    _sim, master, _sent = make_master()
+    assert master.classify(Subscribe(subscriber="hmi", item_id="*"), "hmi") is None
+    assert master.da_server.subscriptions.is_subscribed("hmi", "*")
+
+
+def test_classify_learns_directory_from_browse():
+    _sim, master, _sent = make_master()
+    reply = BrowseReply(items=(("sensor", False), ("valve", True)))
+    assert master.classify(reply, "frontend-0") is None
+    assert master.items.get("valve").writable
+    assert master.item_frontend == {
+        "sensor": "frontend-0",
+        "valve": "frontend-0",
+    }
+
+
+def test_execute_update_publishes_and_learns_source():
+    _sim, master, sent = make_master()
+    subscribe_hmi(master)
+    outcome = master.execute("update", ItemUpdate("s", DataValue(5)), "frontend-0")
+    assert outcome.kind == "update"
+    assert master.items.get("s").value.value == 5
+    assert master.item_frontend["s"] == "frontend-0"
+    assert sent == [("hmi", ItemUpdate("s", DataValue(5)))]
+
+
+def test_execute_update_runs_handler_chain():
+    _sim, master, sent = make_master()
+    subscribe_hmi(master)
+    master.attach_handlers("s", HandlerChain([Scale(0.5), Monitor(high=10.0)]))
+    outcome = master.execute("update", ItemUpdate("s", DataValue(50)), "frontend-0")
+    assert master.items.get("s").value.value == 25.0
+    assert len(outcome.events) == 1  # 25 > 10
+    # Events are NOT persisted by execute(); commit_events does that.
+    assert master.storage.total_written == 0
+    master.commit_events(outcome.events)
+    assert master.storage.total_written == 1
+
+
+def test_wildcard_default_chain_applies():
+    _sim, master, _sent = make_master()
+    master.attach_handlers("*", HandlerChain([Scale(2.0)]))
+    master.execute("update", ItemUpdate("anything", DataValue(3)), "fe")
+    assert master.items.get("anything").value.value == 6.0
+
+
+def test_write_forwards_to_owning_frontend():
+    _sim, master, sent = make_master()
+    master.classify(BrowseReply(items=(("valve", True),)), "frontend-0")
+    outcome = master.execute(
+        "write", WriteValue("valve", 1, "hmi:op1", "hmi", "alice"), "hmi"
+    )
+    assert outcome.forwarded
+    assert outcome.master_op in master.pending_writes
+    dst, message = sent[-1]
+    assert dst == "frontend-0"
+    assert isinstance(message, WriteValue)
+    assert message.op_id == outcome.master_op
+    assert message.reply_to == "master"
+    assert message.operator == "alice"
+
+
+def test_write_result_routes_back_to_origin():
+    _sim, master, sent = make_master()
+    master.classify(BrowseReply(items=(("valve", True),)), "frontend-0")
+    outcome = master.execute(
+        "write", WriteValue("valve", 1, "hmi:op1", "hmi", "alice"), "hmi"
+    )
+    sent.clear()
+    master.execute(
+        "write_result", WriteResult("valve", outcome.master_op, True), "frontend-0"
+    )
+    assert sent == [("hmi", WriteResult("valve", "hmi:op1", True, ""))]
+    assert not master.pending_writes
+
+
+def test_unknown_write_result_is_ignored():
+    _sim, master, sent = make_master()
+    outcome = master.execute(
+        "write_result", WriteResult("valve", "ghost", True), "frontend-0"
+    )
+    assert outcome.events == []
+    assert sent == []
+
+
+def test_audit_writes_produces_event():
+    _sim, master, _sent = make_master(audit_writes=True)
+    master.classify(BrowseReply(items=(("valve", True),)), "frontend-0")
+    outcome = master.execute(
+        "write", WriteValue("valve", 1, "op", "hmi", "alice"), "hmi"
+    )
+    result = master.execute(
+        "write_result", WriteResult("valve", outcome.master_op, True), "frontend-0"
+    )
+    assert [e.event_type for e in result.events] == ["write-completed"]
+
+
+def test_failed_write_result_always_produces_event():
+    _sim, master, _sent = make_master(audit_writes=False)
+    master.classify(BrowseReply(items=(("valve", True),)), "frontend-0")
+    outcome = master.execute(
+        "write", WriteValue("valve", 1, "op", "hmi", "alice"), "hmi"
+    )
+    result = master.execute(
+        "write_result",
+        WriteResult("valve", outcome.master_op, False, "rtu fault"),
+        "frontend-0",
+    )
+    assert [e.event_type for e in result.events] == ["write-failed"]
+
+
+def test_cost_of_includes_chain_and_serialization():
+    costs = MasterCosts(serialization=0.001)
+    _sim, master, _sent = make_master(costs=costs)
+    chain = HandlerChain([Scale(), Monitor(high=1.0)])
+    master.attach_handlers("s", chain)
+    base = master.cost_of("update", "other-item")
+    with_chain = master.cost_of("update", "s")
+    assert with_chain == pytest.approx(base + chain.cost)
+    assert base == pytest.approx(costs.update_processing + costs.serialization)
+
+
+def test_injected_clock_and_event_ids_are_used():
+    stamps = iter([111.0, 222.0])
+    ids = iter(["id-a", "id-b"])
+    sim = Simulator(seed=1)
+    net = Network(sim, latency=ConstantLatency(0.0001))
+    master = ScadaMaster(
+        sim,
+        net,
+        "master",
+        frontends=[],
+        workers=0,
+        clock=lambda: next(stamps),
+        event_id_source=lambda: next(ids),
+        transport=lambda dst, m: None,
+    )
+    master.attach_handlers("s", HandlerChain([Monitor(high=1.0)]))
+    outcome = master.execute("update", ItemUpdate("s", DataValue(99)), "fe")
+    event = outcome.events[0]
+    assert event.timestamp == 111.0
+    assert event.event_id == "id-a"
+
+
+def test_state_tuple_roundtrip_restores_everything():
+    _sim, master, _sent = make_master()
+    master.attach_handlers("s", HandlerChain([Monitor(high=10.0)]))
+    master.classify(BrowseReply(items=(("valve", True), ("s", False))), "frontend-0")
+    outcome = master.execute("update", ItemUpdate("s", DataValue(50)), "frontend-0")
+    master.commit_events(outcome.events)
+    write_outcome = master.execute(
+        "write", WriteValue("valve", 1, "op", "hmi", "alice"), "hmi"
+    )
+    state = master.state_tuple()
+
+    _sim2, other, _sent2 = make_master()
+    other.attach_handlers("s", HandlerChain([Monitor(high=10.0)]))
+    other.install_state(state)
+    assert other.state_tuple() == state
+    assert other.items.get("s").value.value == 50
+    assert other.pending_writes == master.pending_writes
+    assert other.storage.total_written == 1
+    assert other.chains["s"].handlers[0].in_alarm
+    assert write_outcome.master_op in other.pending_writes
+
+
+def test_state_tuples_identical_for_identical_histories():
+    def run():
+        _sim, master, _sent = make_master()
+        master.attach_handlers("s", HandlerChain([Monitor(high=10.0)]))
+        master.classify(BrowseReply(items=(("valve", True),)), "frontend-0")
+        master.clock = lambda: 5.0
+        for i in range(20):
+            outcome = master.execute(
+                "update", ItemUpdate("s", DataValue(i * 3)), "frontend-0"
+            )
+            master.commit_events(outcome.events)
+        return master.state_tuple()
+
+    assert run() == run()
+
+
+def test_replicated_mode_requires_workers_zero():
+    from repro.core.adapter import ScadaService
+    from repro.core.context import ContextInfo
+
+    sim = Simulator(seed=1)
+    net = Network(sim, latency=ConstantLatency(0.0001))
+    master = ScadaMaster(sim, net, "m", frontends=[], workers=2)
+    with pytest.raises(ValueError):
+        ScadaService(master, ContextInfo())

@@ -1,0 +1,92 @@
+"""Wire round-trips for every SCADA and field-protocol message type."""
+
+import pytest
+
+from repro.neoscada import DataValue, EventRecord, Quality, Severity
+from repro.neoscada.messages import (
+    BrowseReply,
+    BrowseRequest,
+    EventQuery,
+    EventQueryReply,
+    EventUpdate,
+    ItemUpdate,
+    Subscribe,
+    SubscribeEvents,
+    Unsubscribe,
+    UnsubscribeEvents,
+    WriteResult,
+    WriteValue,
+)
+from repro.neoscada.protocols.iec104 import (
+    Command,
+    CommandConfirm,
+    GeneralInterrogation,
+    InterrogationReply,
+    SpontaneousUpdate,
+    StartDataTransfer,
+)
+from repro.neoscada.protocols.modbus import (
+    ExceptionReply,
+    ReadRegisters,
+    ReadReply,
+    WriteRegister,
+    WriteReply,
+)
+from repro.wire import decode, encode
+
+EVENT = EventRecord(
+    event_id="evt-1-0-1",
+    item_id="feeder.voltage",
+    event_type="alarm",
+    severity=Severity.ALARM,
+    value=260.5,
+    message="above limit",
+    timestamp=12.25,
+)
+
+SAMPLES = [
+    Subscribe(subscriber="hmi", item_id="*"),
+    Unsubscribe(subscriber="hmi", item_id="sensor"),
+    ItemUpdate(item_id="sensor", value=DataValue(230.5, Quality.GOOD, 1.5)),
+    WriteValue(item_id="breaker", value=0, op_id="hmi:op1", reply_to="hmi", operator="op-1"),
+    WriteResult(item_id="breaker", op_id="hmi:op1", success=False, reason="denied"),
+    BrowseRequest(reply_to="hmi"),
+    BrowseReply(items=(("sensor", False), ("breaker", True))),
+    SubscribeEvents(subscriber="hmi", item_id="*"),
+    UnsubscribeEvents(subscriber="hmi", item_id="*"),
+    EventUpdate(event=EVENT),
+    EventQuery(query_id="q1", reply_to="hmi", item_id="*", start=0.0, end=10.0,
+               event_type="alarm", limit=50),
+    EventQueryReply(query_id="q1", events=(EVENT,)),
+    ReadRegisters(req_id=1, reply_to="fe", start=0, count=3),
+    ReadReply(req_id=1, start=0, values=(1, 2, 3)),
+    WriteRegister(req_id=2, reply_to="fe", register=3, value=1),
+    WriteReply(req_id=2, register=3, value=1),
+    ExceptionReply(req_id=3, code=2),
+    StartDataTransfer(reply_to="fe"),
+    GeneralInterrogation(req_id=4, reply_to="fe"),
+    InterrogationReply(req_id=4, points=((0, 2300, 1.0), (1, 400, 1.0))),
+    SpontaneousUpdate(ioa=0, value=2310, timestamp=2.0),
+    Command(req_id=5, reply_to="fe", ioa=3, value=0),
+    CommandConfirm(req_id=5, ioa=3, ok=True),
+]
+
+
+@pytest.mark.parametrize("message", SAMPLES, ids=lambda m: type(m).__name__)
+def test_roundtrip(message):
+    assert decode(encode(message)) == message
+
+
+def test_event_query_defaults_include_infinities():
+    query = EventQuery(query_id="q", reply_to="x")
+    restored = decode(encode(query))
+    assert restored.start == float("-inf")
+    assert restored.end == float("inf")
+    assert restored.limit == 100
+
+
+def test_quality_and_severity_enums_roundtrip():
+    for quality in Quality:
+        assert decode(encode(quality)) is quality
+    for severity in Severity:
+        assert decode(encode(severity)) is severity

@@ -1,0 +1,186 @@
+"""Tests for RTUs, the Modbus-style protocol and field process models."""
+
+import random
+
+import pytest
+
+from repro.neoscada import RTU
+from repro.neoscada.field import PowerFeeder, WaterTank, clamp_register
+from repro.neoscada.field.powergrid import BREAKER, CURRENT, VOLTAGE
+from repro.neoscada.field.watertank import LEVEL, PUMP, VALVE
+from repro.neoscada.protocols.modbus import (
+    ExceptionReply,
+    ILLEGAL_ADDRESS,
+    ILLEGAL_VALUE,
+    ModbusClient,
+    ReadReply,
+    WriteReply,
+    check_register_value,
+)
+from repro.net import ConstantLatency, Network
+from repro.sim import Simulator
+
+
+def make_world():
+    sim = Simulator(seed=5)
+    net = Network(sim, latency=ConstantLatency(0.0002))
+    return sim, net
+
+
+def make_client(sim, net, name="poller"):
+    endpoint = net.endpoint(name)
+    client = ModbusClient(name, endpoint.send)
+    endpoint.set_handler(lambda message, src: client.dispatch(message, src))
+    return client
+
+
+def test_check_register_value():
+    assert check_register_value(0)
+    assert check_register_value(0xFFFF)
+    assert not check_register_value(-1)
+    assert not check_register_value(0x10000)
+    assert not check_register_value(True)
+    assert not check_register_value(2.5)
+
+
+def test_clamp_register():
+    assert clamp_register(-5) == 0
+    assert clamp_register(70000) == 0xFFFF
+    assert clamp_register(123.6) == 124
+
+
+def test_read_registers_roundtrip():
+    sim, net = make_world()
+    rtu = RTU(sim, net, "rtu-1")
+    rtu.set_register(0, 11)
+    rtu.set_register(1, 22)
+    client = make_client(sim, net)
+    replies = []
+    client.read("rtu-1", 0, 2, replies.append)
+    sim.run(until=1.0)
+    assert isinstance(replies[0], ReadReply)
+    assert replies[0].values == (11, 22)
+
+
+def test_read_unknown_register_errors():
+    sim, net = make_world()
+    RTU(sim, net, "rtu-1").set_register(0, 1)
+    client = make_client(sim, net)
+    replies = []
+    client.read("rtu-1", 5, 1, replies.append)
+    sim.run(until=1.0)
+    assert isinstance(replies[0], ExceptionReply)
+    assert replies[0].code == ILLEGAL_ADDRESS
+
+
+def test_write_register_requires_writability():
+    sim, net = make_world()
+    rtu = RTU(sim, net, "rtu-1", writable_registers=(1,))
+    rtu.set_register(0, 5)
+    rtu.set_register(1, 5)
+    client = make_client(sim, net)
+    replies = []
+    client.write("rtu-1", 0, 9, replies.append)  # not writable
+    client.write("rtu-1", 1, 9, replies.append)  # writable
+    sim.run(until=1.0)
+    assert isinstance(replies[0], ExceptionReply)
+    assert isinstance(replies[1], WriteReply)
+    assert rtu.registers[0] == 5
+    assert rtu.registers[1] == 9
+
+
+def test_write_out_of_range_value_rejected():
+    sim, net = make_world()
+    rtu = RTU(sim, net, "rtu-1", writable_registers=(0,))
+    rtu.set_register(0, 1)
+    client = make_client(sim, net)
+    replies = []
+    client.write("rtu-1", 0, 100_000, replies.append)
+    sim.run(until=1.0)
+    assert replies[0].code == ILLEGAL_VALUE
+
+
+def test_rtu_steps_field_process():
+    sim, net = make_world()
+    rtu = RTU(sim, net, "rtu-1", process=PowerFeeder(), step_interval=0.1)
+    sim.run(until=2.0)
+    assert rtu.registers[VOLTAGE] > 2000  # ~230 V in decivolts
+    assert rtu.registers[CURRENT] > 0
+
+
+def test_power_feeder_breaker_drops_feeder():
+    registers = PowerFeeder().initial_registers()
+    feeder = PowerFeeder()
+    rng = random.Random(1)
+    registers[BREAKER] = 0
+    updates = feeder.step(0.5, rng, registers)
+    assert updates[VOLTAGE] == 0
+    assert updates[CURRENT] == 0
+
+
+def test_power_feeder_tracks_load_swings():
+    feeder = PowerFeeder(load_swing=0.5, noise=0.0, day_length=10.0)
+    registers = feeder.initial_registers()
+    rng = random.Random(1)
+    currents = []
+    for _ in range(20):
+        registers.update(feeder.step(0.5, rng, registers))
+        currents.append(registers[CURRENT])
+    assert max(currents) > min(currents) * 1.5
+
+
+def test_water_tank_pump_and_valve_balance():
+    tank = WaterTank(initial_level_mm=2000, pump_rate_mm_s=30, drain_rate_mm_s=20, noise=0.0)
+    registers = tank.initial_registers()
+    rng = random.Random(1)
+    registers[PUMP] = 1
+    registers[VALVE] = 0  # no outflow
+    for _ in range(10):
+        registers.update(tank.step(1.0, rng, registers))
+    assert registers[LEVEL] > 2200
+    registers[PUMP] = 0
+    registers[VALVE] = 100
+    for _ in range(10):
+        registers.update(tank.step(1.0, rng, registers))
+    assert registers[LEVEL] < 2400
+
+
+def test_water_tank_level_bounded():
+    tank = WaterTank(capacity_mm=1000, initial_level_mm=990, noise=0.0)
+    registers = tank.initial_registers()
+    registers[PUMP] = 1
+    registers[VALVE] = 0
+    rng = random.Random(1)
+    for _ in range(100):
+        registers.update(tank.step(1.0, rng, registers))
+    assert registers[LEVEL] == 1000
+
+
+def test_rtu_write_notifies_field_process():
+    sim, net = make_world()
+    rtu = RTU(
+        sim,
+        net,
+        "rtu-1",
+        process=PowerFeeder(),
+        step_interval=0.1,
+        writable_registers=(BREAKER,),
+    )
+    client = make_client(sim, net)
+    replies = []
+    client.write("rtu-1", BREAKER, 0, replies.append)
+    sim.run(until=1.0)
+    assert isinstance(replies[0], WriteReply)
+    assert rtu.registers[VOLTAGE] == 0  # feeder dropped on next step
+
+
+def test_rtu_stats_counters():
+    sim, net = make_world()
+    rtu = RTU(sim, net, "rtu-1")
+    rtu.set_register(0, 1)
+    client = make_client(sim, net)
+    client.read("rtu-1", 0, 1, lambda r: None)
+    client.read("rtu-1", 9, 1, lambda r: None)
+    sim.run(until=1.0)
+    assert rtu.stats["reads"] == 2
+    assert rtu.stats["errors"] == 1

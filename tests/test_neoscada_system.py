@@ -1,0 +1,249 @@
+"""Integration tests for the unreplicated NeoSCADA deployment.
+
+These exercise the paper's §II-B use cases end-to-end (Figures 3 and 4)
+and demonstrate the nondeterminism that motivates §III-B.
+"""
+
+import pytest
+
+from repro.core import build_neoscada, make_network
+from repro.neoscada import (
+    RTU,
+    Block,
+    HandlerChain,
+    Monitor,
+    Override,
+    Scale,
+)
+from repro.neoscada.field import PowerFeeder
+from repro.sim import Simulator
+
+
+def build(seed=1, **kwargs):
+    sim = Simulator(seed=seed)
+    system = build_neoscada(sim, **kwargs)
+    return sim, system
+
+
+def test_item_update_flow_reaches_hmi():
+    """Paper Figure 3: Frontend -> Master -> HMI."""
+    sim, system = build()
+    system.frontend.add_item("sensor", initial=0)
+    system.start()
+    system.frontend.inject_update("sensor", 42)
+    sim.run(until=sim.now + 0.5)
+    assert system.hmi.value_of("sensor") == 42
+    assert system.master.stats["updates"] >= 1
+
+
+def test_update_with_alarm_reaches_hmi_over_ae():
+    sim, system = build()
+    system.frontend.add_item("sensor", initial=0)
+    system.master.attach_handlers("sensor", HandlerChain([Monitor(high=100.0)]))
+    system.start()
+    system.frontend.inject_update("sensor", 500)
+    sim.run(until=sim.now + 0.5)
+    assert system.hmi.value_of("sensor") == 500
+    alarms = system.hmi.alarms("sensor")
+    assert len(alarms) == 1
+    assert "above high limit" in alarms[0].message
+    # The event is also persisted in the Master's storage (paper §II-A).
+    assert len(system.master.storage.query(item_id="sensor")) == 1
+
+
+def test_scale_handler_transforms_before_hmi():
+    sim, system = build()
+    system.frontend.add_item("voltage", initial=0)
+    system.master.attach_handlers("voltage", HandlerChain([Scale(factor=0.1)]))
+    system.start()
+    system.frontend.inject_update("voltage", 2305)
+    sim.run(until=sim.now + 0.5)
+    assert system.hmi.value_of("voltage") == pytest.approx(230.5)
+
+
+def test_write_value_flow_roundtrip():
+    """Paper Figure 4: HMI -> Master -> Frontend -> Master -> HMI."""
+    sim, system = build()
+    system.frontend.add_item("actuator", initial=0, writable=True)
+    system.start()
+
+    def operator():
+        result = yield system.hmi.write("actuator", 7)
+        return result
+
+    result = sim.run_process(operator(), until=sim.now + 5)
+    assert result.success
+    sim.run(until=sim.now + 0.5)
+    assert system.hmi.value_of("actuator") == 7
+    assert system.frontend.items.get("actuator").value.value == 7
+
+
+def test_blocked_write_gets_result_and_event():
+    """§II-B-b: a denied write produces a WriteResult *and* an EventUpdate."""
+    sim, system = build()
+    system.frontend.add_item("actuator", initial=0, writable=True)
+    system.master.attach_handlers(
+        "actuator", HandlerChain([Block(allowed_operators=("chief",))])
+    )
+    system.start()
+
+    def operator():
+        result = yield system.hmi.write("actuator", 7)
+        return result
+
+    result = sim.run_process(operator(), until=sim.now + 5)
+    assert not result.success
+    assert "not authorized" in result.reason
+    sim.run(until=sim.now + 0.5)
+    denied = [e for e in system.hmi.events if e.event_type == "write-denied"]
+    assert len(denied) == 1
+    assert system.frontend.stats["writes"] == 0  # never reached the field
+
+
+def test_write_to_unknown_item_fails_cleanly():
+    sim, system = build()
+    system.frontend.add_item("known", initial=0)
+    system.start()
+
+    def operator():
+        result = yield system.hmi.write("ghost", 1)
+        return result
+
+    result = sim.run_process(operator(), until=sim.now + 5)
+    assert not result.success
+    assert "unknown item" in result.reason
+
+
+def test_write_to_read_only_item_fails():
+    sim, system = build()
+    system.frontend.add_item("sensor", initial=0, writable=False)
+    system.start()
+
+    def operator():
+        result = yield system.hmi.write("sensor", 1)
+        return result
+
+    result = sim.run_process(operator(), until=sim.now + 5)
+    assert not result.success
+    assert "not writable" in result.reason
+
+
+def test_master_write_timeout_when_frontend_dies():
+    sim, system = build()
+    system.frontend.add_item("actuator", initial=0, writable=True)
+    system.start()
+    system.net.crash("frontend-0")
+
+    def operator():
+        result = yield system.hmi.write("actuator", 1)
+        return result
+
+    result = sim.run_process(operator(), until=sim.now + 30)
+    assert not result.success
+    assert "timed out" in result.reason
+    assert system.master.stats["timeouts"] == 1
+
+
+def test_override_handler_pins_value_for_hmi():
+    sim, system = build()
+    system.frontend.add_item("sensor", initial=0)
+    override = Override()
+    system.master.attach_handlers("sensor", HandlerChain([override]))
+    system.start()
+    override.activate(999)
+    system.frontend.inject_update("sensor", 5)
+    sim.run(until=sim.now + 0.5)
+    assert system.hmi.value_of("sensor") == 999
+
+
+def test_full_stack_with_rtu_polling():
+    sim = Simulator(seed=2)
+    net = make_network(sim)
+    system = build_neoscada(sim, net=net)
+    RTU(
+        sim,
+        net,
+        "rtu-7",
+        process=PowerFeeder(noise=0.0),
+        step_interval=0.2,
+        writable_registers=(3,),
+    )
+    system.frontend.add_item("feeder.voltage", rtu="rtu-7", register=0)
+    system.frontend.add_item("feeder.breaker", rtu="rtu-7", register=3, writable=True)
+    system.master.attach_handlers("feeder.voltage", HandlerChain([Scale(0.1)]))
+    system.start()
+    sim.run(until=sim.now + 2.0)
+    assert system.hmi.value_of("feeder.voltage") == pytest.approx(230.0, rel=0.05)
+
+    def operator():
+        result = yield system.hmi.write("feeder.breaker", 0)
+        return result
+
+    result = sim.run_process(operator(), until=sim.now + 5)
+    assert result.success
+    sim.run(until=sim.now + 2.0)
+    assert system.hmi.value_of("feeder.voltage") == 0.0
+
+
+def test_multiple_frontends():
+    sim, system = build(frontend_count=2)
+    system.frontends[0].add_item("north.sensor", initial=0)
+    system.frontends[1].add_item("south.sensor", initial=0)
+    system.start()
+    system.frontends[0].inject_update("north.sensor", 1)
+    system.frontends[1].inject_update("south.sensor", 2)
+    sim.run(until=sim.now + 0.5)
+    assert system.hmi.value_of("north.sensor") == 1
+    assert system.hmi.value_of("south.sensor") == 2
+    assert system.master.item_frontend["north.sensor"] == "frontend-0"
+    assert system.master.item_frontend["south.sensor"] == "frontend-1"
+
+
+def test_concurrent_master_exhibits_scheduling_nondeterminism():
+    """§III-B(b): with jittered workers, processing order != arrival order.
+
+    This is the property that breaks replication — demonstrated here,
+    eliminated in the deterministic core (see test_core_determinism).
+    """
+
+    def processed_order(seed):
+        sim = Simulator(seed=seed)
+        system = build_neoscada(sim, workers=4, jitter=0.5)
+        system.frontend.add_item("s", initial=0)
+        system.start()
+        order = []
+        original = system.master.execute
+
+        def spying_execute(kind, message, src):
+            if kind == "update":
+                order.append(message.value.value)
+            return original(kind, message, src)
+
+        system.master.execute = spying_execute
+        for i in range(30):
+            system.frontend.inject_update("s", i + 1)
+        sim.run(until=sim.now + 2)
+        return order
+
+    orders = {tuple(processed_order(seed)) for seed in range(5)}
+    # Different scheduler seeds produce different application orders.
+    assert len(orders) > 1
+    # ... and at least one of them differs from arrival order.
+    assert any(list(o) != sorted(o) for o in orders)
+
+
+def test_nondeterministic_timestamps_in_original_master():
+    """§III-B(c): two identical masters stamp the same event differently."""
+
+    def event_timestamp(seed):
+        sim = Simulator(seed=seed)
+        system = build_neoscada(sim, workers=2, jitter=0.5)
+        system.frontend.add_item("s", initial=0)
+        system.master.attach_handlers("s", HandlerChain([Monitor(high=1.0)]))
+        system.start()
+        system.frontend.inject_update("s", 100)
+        sim.run(until=sim.now + 1)
+        return system.master.storage.latest(1)[0].timestamp
+
+    stamps = {event_timestamp(seed) for seed in range(5)}
+    assert len(stamps) > 1

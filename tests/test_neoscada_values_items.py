@@ -1,0 +1,98 @@
+"""Unit tests for values, items and the item registry."""
+
+import pytest
+
+from repro.neoscada import DataValue, ItemRegistry, Quality
+from repro.wire import decode, encode
+
+
+def test_data_value_defaults_good_quality():
+    value = DataValue(42)
+    assert value.is_good
+    assert value.quality is Quality.GOOD
+    assert value.timestamp == 0.0
+
+
+def test_data_value_rejects_non_scalars():
+    with pytest.raises(TypeError):
+        DataValue([1, 2, 3])
+    with pytest.raises(TypeError):
+        DataValue({"a": 1})
+
+
+def test_data_value_scalar_types_allowed():
+    for raw in (1, 2.5, True, "text", None):
+        assert DataValue(raw).value == raw
+
+
+def test_with_value_preserves_quality():
+    value = DataValue(1, Quality.UNCERTAIN, 5.0)
+    updated = value.with_value(2)
+    assert updated.value == 2
+    assert updated.quality is Quality.UNCERTAIN
+    assert updated.timestamp == 5.0
+    stamped = value.with_value(3, timestamp=9.0)
+    assert stamped.timestamp == 9.0
+
+
+def test_with_quality():
+    value = DataValue(1).with_quality(Quality.BAD)
+    assert not value.is_good
+
+
+def test_data_value_wire_roundtrip():
+    value = DataValue(230.5, Quality.BLOCKED, 1.25)
+    assert decode(encode(value)) == value
+
+
+def test_registry_register_and_get():
+    registry = ItemRegistry()
+    item = registry.register("pump.speed", initial=1500, writable=True)
+    assert item.writable
+    assert registry.get("pump.speed").value.value == 1500
+    assert "pump.speed" in registry
+    assert len(registry) == 1
+
+
+def test_registry_duplicate_rejected():
+    registry = ItemRegistry()
+    registry.register("a")
+    with pytest.raises(ValueError):
+        registry.register("a")
+
+
+def test_registry_unknown_get_raises():
+    registry = ItemRegistry()
+    with pytest.raises(KeyError):
+        registry.get("ghost")
+    assert registry.try_get("ghost") is None
+
+
+def test_registry_unregistered_item_starts_uncertain():
+    registry = ItemRegistry()
+    item = registry.register("sensor")
+    assert item.value.quality is Quality.UNCERTAIN
+    assert item.value.value is None
+
+
+def test_registry_ensure_creates_mirror():
+    registry = ItemRegistry()
+    item = registry.ensure("remote.item")
+    assert item.item_id == "remote.item"
+    assert registry.ensure("remote.item") is item
+
+
+def test_registry_update():
+    registry = ItemRegistry()
+    registry.register("s", initial=1)
+    registry.update("s", DataValue(2))
+    assert registry.get("s").value.value == 2
+    with pytest.raises(KeyError):
+        registry.update("ghost", DataValue(1))
+
+
+def test_registry_iteration_order_is_insertion():
+    registry = ItemRegistry()
+    for name in ("c", "a", "b"):
+        registry.register(name)
+    assert registry.ids() == ["c", "a", "b"]

@@ -1,0 +1,149 @@
+"""Edge-case tests for the simulation kernel not covered elsewhere."""
+
+import pytest
+
+from repro.sim import AnyOf, Channel, Interrupted, Simulator
+
+
+def test_any_of_propagates_first_failure():
+    sim = Simulator()
+    bad = sim.event()
+
+    def failer():
+        yield sim.timeout(1.0)
+        bad.fail(RuntimeError("boom"))
+
+    def racer():
+        try:
+            yield sim.any_of([bad, sim.timeout(10.0)])
+        except RuntimeError as exc:
+            return f"caught:{exc}"
+        return "no-error"
+
+    sim.process(failer())
+    proc = sim.process(racer())
+    sim.run(until=20.0)
+    assert proc.value == "caught:boom"
+
+
+def test_any_of_second_finisher_is_defused():
+    sim = Simulator()
+
+    def racer():
+        result = yield sim.any_of([sim.timeout(1.0, "fast"), sim.timeout(2.0, "slow")])
+        return result
+
+    proc = sim.process(racer())
+    sim.run()  # the losing timeout still fires; must not raise
+    assert proc.value == (0, "fast")
+
+
+def test_call_later_event_value_is_none_not_result():
+    sim = Simulator()
+    event = sim.call_later(1.0, lambda: "ignored")
+    sim.run()
+    assert event.ok
+    assert event.value is None
+
+
+def test_interrupt_before_first_step_fails_process():
+    sim = Simulator()
+
+    def never_runs():
+        yield sim.timeout(1.0)
+        return "ran"
+
+    proc = sim.process(never_runs())
+    proc.interrupt("too-early")
+    caught = {}
+    proc.add_callback(lambda ev: caught.setdefault("exc", ev.exception))
+    sim.run()
+    assert isinstance(caught["exc"], Interrupted)
+
+
+def test_double_interrupt_is_safe():
+    sim = Simulator()
+
+    def sleeper():
+        try:
+            yield sim.timeout(10.0)
+        except Interrupted:
+            return "interrupted-once"
+
+    proc = sim.process(sleeper())
+    sim.call_later(1.0, proc.interrupt)
+    sim.call_later(1.0, proc.interrupt)
+    sim.run(until=2.0)
+    assert proc.value == "interrupted-once"
+
+
+def test_process_waiting_on_failed_process_sees_exception():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(0.5)
+        raise ValueError("child-broke")
+
+    def parent():
+        try:
+            yield sim.process(child())
+        except ValueError as exc:
+            return f"caught:{exc}"
+
+    proc = sim.process(parent())
+    sim.run()
+    assert proc.value == "caught:child-broke"
+
+
+def test_channel_get_after_close_drains_then_fails():
+    sim = Simulator()
+    channel = Channel(sim)
+    channel.put("last")
+    channel.close()
+    outcomes = []
+
+    def consumer():
+        item = yield channel.get()
+        outcomes.append(item)
+        try:
+            yield channel.get()
+        except Exception as exc:
+            outcomes.append(type(exc).__name__)
+
+    sim.process(consumer())
+    sim.run()
+    assert outcomes == ["last", "ChannelClosed"]
+
+
+def test_rng_streams_are_independent_and_stable():
+    sim_a = Simulator(seed=123)
+    sim_b = Simulator(seed=123)
+    a1 = [sim_a.rng.stream("x").random() for _ in range(5)]
+    # Interleave another stream: must not perturb "x".
+    sim_b.rng.stream("y").random()
+    b1 = [sim_b.rng.stream("x").random() for _ in range(5)]
+    assert a1 == b1
+
+
+def test_rng_reset_restarts_streams():
+    sim = Simulator(seed=5)
+    first = sim.rng.stream("s").random()
+    sim.rng.reset()
+    assert sim.rng.stream("s").random() == first
+    assert "s" in sim.rng
+
+
+def test_peek_returns_next_event_time():
+    sim = Simulator()
+    assert sim.peek() is None
+    sim.call_later(3.5, lambda: None)
+    assert sim.peek() == 3.5
+
+
+def test_zero_delay_timeout_runs_in_order():
+    sim = Simulator()
+    order = []
+    sim.call_soon(order.append, "first")
+    sim.timeout(0.0).add_callback(lambda ev: order.append("second"))
+    sim.run()
+    assert order == ["first", "second"]

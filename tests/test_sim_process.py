@@ -1,0 +1,182 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim import Interrupted, Simulator
+from repro.sim.kernel import SimulationError
+
+
+def test_process_returns_value():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(1.0)
+        return 42
+
+    assert sim.run_process(worker()) == 42
+    assert sim.now == 1.0
+
+
+def test_process_receives_event_values():
+    sim = Simulator()
+
+    def worker():
+        value = yield sim.timeout(1.0, value="tick")
+        return value
+
+    assert sim.run_process(worker()) == "tick"
+
+
+def test_processes_interleave_by_time():
+    sim = Simulator()
+    trace = []
+
+    def worker(name, period, count):
+        for _ in range(count):
+            yield sim.timeout(period)
+            trace.append((sim.now, name))
+
+    sim.process(worker("a", 1.0, 3))
+    sim.process(worker("b", 1.5, 2))
+    sim.run()
+    # At t=3.0 both fire; b's timeout was scheduled earlier (t=1.5 vs t=2.0)
+    # so FIFO tie-breaking runs b first.
+    assert trace == [(1.0, "a"), (1.5, "b"), (2.0, "a"), (3.0, "b"), (3.0, "a")]
+
+
+def test_process_exception_propagates_through_process_event():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(1.0)
+        raise ValueError("inside")
+
+    proc = sim.process(worker())
+    with pytest.raises(ValueError, match="inside"):
+        sim.run()
+    assert proc.triggered and not proc.ok
+
+
+def test_process_can_catch_failed_event():
+    sim = Simulator()
+    failing = sim.event()
+
+    def worker():
+        try:
+            yield failing
+        except RuntimeError as exc:
+            return f"caught:{exc}"
+        return "missed"
+
+    proc = sim.process(worker())
+    sim.call_later(1.0, lambda: failing.fail(RuntimeError("bad")))
+    sim.run()
+    assert proc.value == "caught:bad"
+
+
+def test_waiting_on_another_process():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(2.0)
+        return "child-result"
+
+    def parent():
+        result = yield sim.process(child())
+        return result
+
+    assert sim.run_process(parent()) == "child-result"
+    assert sim.now == 2.0
+
+
+def test_yield_non_event_fails_process():
+    sim = Simulator()
+
+    def worker():
+        yield 5
+
+    proc = sim.process(worker())
+    with pytest.raises(TypeError):
+        sim.run()
+    assert not proc.ok
+
+
+def test_interrupt_wakes_process():
+    sim = Simulator()
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+            return "slept"
+        except Interrupted as intr:
+            return f"interrupted:{intr.cause}"
+
+    proc = sim.process(sleeper())
+    sim.call_later(1.0, proc.interrupt, "wakeup")
+    sim.run(until=2.0)
+    assert proc.value == "interrupted:wakeup"
+    assert sim.now == 2.0
+
+
+def test_interrupt_finished_process_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(0.5)
+        return "done"
+
+    proc = sim.process(quick())
+    sim.run()
+    proc.interrupt("late")
+    sim.run()
+    assert proc.value == "done"
+
+
+def test_stale_wakeup_after_interrupt_is_ignored():
+    sim = Simulator()
+    trace = []
+
+    def worker():
+        try:
+            yield sim.timeout(5.0)
+            trace.append("timeout-fired")
+        except Interrupted:
+            trace.append("interrupted")
+        # Continue with a different wait: the old timeout must not resume us.
+        yield sim.timeout(10.0)
+        trace.append("second-wait-done")
+
+    proc = sim.process(worker())
+    sim.call_later(1.0, proc.interrupt)
+    sim.run()
+    assert trace == ["interrupted", "second-wait-done"]
+    assert sim.now == 11.0
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.process(lambda: None)
+
+
+def test_run_process_unfinished_raises():
+    sim = Simulator()
+
+    def forever():
+        while True:
+            yield sim.timeout(1.0)
+
+    with pytest.raises(SimulationError):
+        sim.run_process(forever(), until=3.0)
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def nested():
+        sim.run()
+        yield sim.timeout(1.0)
+
+    sim.process(nested())
+    with pytest.raises(SimulationError):
+        sim.run()

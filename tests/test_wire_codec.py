@@ -1,0 +1,173 @@
+"""Unit tests for the wire codec and type registry."""
+
+import enum
+from dataclasses import dataclass
+
+import pytest
+
+from repro.wire import Codec, DecodeError, EncodeError, TypeRegistry
+
+registry = TypeRegistry()
+codec = Codec(registry)
+
+
+@registry.register(900)
+@dataclass(frozen=True)
+class Point:
+    x: int
+    y: int
+
+
+@registry.register(901)
+@dataclass(frozen=True)
+class Wrapper:
+    label: str
+    inner: Point
+    extras: list
+
+
+@registry.register(902)
+class Color(enum.Enum):
+    RED = 1
+    BLUE = 2
+
+
+SCALARS = [
+    None,
+    True,
+    False,
+    0,
+    1,
+    -1,
+    2**70,
+    -(2**70),
+    0.0,
+    -2.5,
+    1e300,
+    "",
+    "héllo ✓",
+    b"",
+    b"\x00\xff" * 10,
+]
+
+
+@pytest.mark.parametrize("value", SCALARS, ids=repr)
+def test_scalar_roundtrip(value):
+    assert codec.decode(codec.encode(value)) == value
+
+
+def test_container_roundtrip():
+    value = {"a": [1, 2, (3, "x")], 5: None, "nested": {"k": b"v"}}
+    assert codec.decode(codec.encode(value)) == value
+
+
+def test_tuple_and_list_are_distinct():
+    assert codec.decode(codec.encode((1, 2))) == (1, 2)
+    assert codec.decode(codec.encode([1, 2])) == [1, 2]
+    assert isinstance(codec.decode(codec.encode((1, 2))), tuple)
+
+
+def test_dataclass_roundtrip():
+    value = Wrapper(label="w", inner=Point(3, -4), extras=[Point(0, 0), Color.RED])
+    assert codec.decode(codec.encode(value)) == value
+
+
+def test_enum_roundtrip():
+    assert codec.decode(codec.encode(Color.BLUE)) is Color.BLUE
+
+
+def test_encoding_is_canonical():
+    a = Wrapper("w", Point(1, 2), [])
+    b = Wrapper("w", Point(1, 2), [])
+    assert codec.encode(a) == codec.encode(b)
+
+
+def test_unregistered_dataclass_rejected():
+    @dataclass
+    class NotRegistered:
+        x: int
+
+    with pytest.raises(EncodeError):
+        codec.encode(NotRegistered(1))
+
+
+def test_unencodable_type_rejected():
+    with pytest.raises(EncodeError):
+        codec.encode(object())
+
+
+def test_trailing_bytes_rejected():
+    data = codec.encode(5) + b"\x00"
+    with pytest.raises(DecodeError):
+        codec.decode(data)
+
+
+def test_truncated_input_rejected():
+    data = codec.encode("hello world")
+    for cut in range(1, len(data)):
+        with pytest.raises(DecodeError):
+            codec.decode(data[:cut])
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(DecodeError):
+        codec.decode(b"\xfe")
+
+
+def test_unknown_type_id_rejected():
+    # Hand-craft a dataclass frame with a bogus type id.
+    with pytest.raises(DecodeError):
+        codec.decode(bytes([0x0A, 0x7F, 0x00]))
+
+
+def test_invalid_enum_value_rejected():
+    # Color frame with value 99.
+    frame = bytearray(codec.encode(Color.RED))
+    bad = codec.encode(99)
+    # _ENUM tag + varint(902) is 3 bytes; swap payload.
+    with pytest.raises(DecodeError):
+        codec.decode(bytes(frame[:3]) + bad)
+
+
+def test_duplicate_type_id_rejected():
+    reg = TypeRegistry()
+
+    @reg.register(1)
+    @dataclass
+    class A:
+        x: int
+
+    with pytest.raises(ValueError):
+
+        @reg.register(1)
+        @dataclass
+        class B:
+            x: int
+
+
+def test_non_dataclass_registration_rejected():
+    reg = TypeRegistry()
+    with pytest.raises(TypeError):
+        reg.register(1)(int)
+
+
+def test_field_count_mismatch_rejected():
+    # Encode a Point, then doctor the field count.
+    data = bytearray(codec.encode(Point(1, 2)))
+    # Layout: tag, varint type id (2 bytes for 900), field count, ...
+    assert data[0] == 0x0A
+    data[3] = 3  # claim three fields
+    with pytest.raises(DecodeError):
+        codec.decode(bytes(data))
+
+
+def test_large_collection_roundtrip():
+    value = list(range(5000))
+    assert codec.decode(codec.encode(value)) == value
+
+
+def test_deeply_nested_roundtrip():
+    value = [1]
+    for _ in range(50):
+        value = [value]
+    assert codec.decode(codec.encode(value)) == value

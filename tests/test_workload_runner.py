@@ -1,0 +1,68 @@
+"""Smoke tests for the experiment runner (small, fast parameter points)."""
+
+import pytest
+
+from repro.workloads import (
+    ExperimentResult,
+    run_update_experiment,
+    run_write_experiment,
+)
+
+
+def test_update_experiment_neoscada_matches_offered_load():
+    result = run_update_experiment(
+        "neoscada", rate=200.0, duration=1.0, warmup=0.3, item_count=5
+    )
+    assert result.system == "neoscada"
+    assert result.workload == "update"
+    assert result.throughput == pytest.approx(200.0, rel=0.05)
+    assert result.details["event_rate"] == 0.0
+
+
+def test_update_experiment_alarm_ratio_controls_event_rate():
+    result = run_update_experiment(
+        "neoscada",
+        rate=200.0,
+        alarm_ratio=0.5,
+        duration=1.0,
+        warmup=0.3,
+        item_count=5,
+    )
+    assert result.details["event_rate"] == pytest.approx(100.0, rel=0.1)
+
+
+def test_update_experiment_smartscada_small_load():
+    result = run_update_experiment(
+        "smartscada", rate=100.0, duration=1.0, warmup=0.3, item_count=5
+    )
+    # Far below capacity: everything gets through.
+    assert result.throughput == pytest.approx(100.0, rel=0.08)
+
+
+def test_write_experiment_reports_latency_summary():
+    result = run_write_experiment("neoscada", duration=0.5, warmup=0.2)
+    assert result.workload == "write"
+    assert result.throughput > 100
+    assert result.latency["count"] > 0
+    assert 0 < result.latency["p50"] <= result.latency["p99"]
+    assert result.details["failed"] == 0
+
+
+def test_overhead_vs_baseline():
+    baseline = ExperimentResult("a", "w", 100.0, throughput=1000.0)
+    slower = ExperimentResult("b", "w", 100.0, throughput=900.0)
+    assert slower.overhead_vs(baseline) == pytest.approx(0.1)
+    zero = ExperimentResult("c", "w", None, throughput=0.0)
+    assert slower.overhead_vs(zero) == 0.0
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(ValueError):
+        run_update_experiment("mystery-scada", rate=10, duration=0.1, warmup=0.0)
+
+
+def test_results_are_reproducible_per_seed():
+    a = run_update_experiment("neoscada", rate=100, duration=0.5, warmup=0.2, seed=3)
+    b = run_update_experiment("neoscada", rate=100, duration=0.5, warmup=0.2, seed=3)
+    assert a.throughput == b.throughput
+    assert a.details == b.details

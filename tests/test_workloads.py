@@ -1,0 +1,177 @@
+"""Unit tests for workload generators and metrics."""
+
+import math
+
+import pytest
+
+from repro.core import build_neoscada
+from repro.sim import Simulator
+from repro.workloads import (
+    LatencyRecorder,
+    ThroughputMeter,
+    UpdateWorkload,
+    WriteWorkload,
+)
+
+
+def make_system(seed=1):
+    sim = Simulator(seed=seed)
+    system = build_neoscada(sim)
+    for i in range(4):
+        system.frontend.add_item(f"s{i}", initial=0)
+    system.frontend.add_item("act", initial=0, writable=True)
+    system.start()
+    return sim, system
+
+
+# -- UpdateWorkload -----------------------------------------------------------
+
+
+def test_update_workload_rate_and_round_robin():
+    sim, system = make_system()
+    workload = UpdateWorkload(
+        sim, system.frontend, ["s0", "s1", "s2", "s3"], rate=100.0
+    )
+    workload.start(duration=1.0)
+    sim.run(until=sim.now + 2.0)
+    assert workload.injected in (100, 101)
+    # Round-robin: every item received updates.
+    assert system.frontend.items.get("s3").value.value is not None
+
+
+def test_update_workload_alarm_ratio_is_exact():
+    sim, system = make_system()
+    workload = UpdateWorkload(
+        sim,
+        system.frontend,
+        ["s0"],
+        rate=200.0,
+        alarm_ratio=0.25,
+        normal_value=10,
+        alarm_value=10_000,
+    )
+    workload.start(duration=1.0)
+    sim.run(until=sim.now + 2.0)
+    # Float time accumulation may allow one boundary injection either way.
+    assert workload.injected in (200, 201)
+    # The fraction accumulator yields *exactly* ratio * n alarms.
+    assert workload.alarms_injected == workload.injected // 4
+
+
+def test_update_workload_values_always_change():
+    sim, system = make_system()
+    seen = []
+    original = system.frontend.inject_update
+    system.frontend.inject_update = lambda item, value: seen.append(value) or original(
+        item, value
+    )
+    workload = UpdateWorkload(sim, system.frontend, ["s0"], rate=100.0)
+    workload.start(duration=0.5)
+    sim.run(until=sim.now + 1.0)
+    assert all(a != b for a, b in zip(seen, seen[1:]))
+
+
+def test_update_workload_stop():
+    sim, system = make_system()
+    workload = UpdateWorkload(sim, system.frontend, ["s0"], rate=100.0)
+    workload.start()
+    sim.run(until=sim.now + 0.5)
+    workload.stop()
+    count = workload.injected
+    sim.run(until=sim.now + 1.0)
+    assert workload.injected == count
+
+
+def test_update_workload_validation():
+    sim, system = make_system()
+    with pytest.raises(ValueError):
+        UpdateWorkload(sim, system.frontend, ["s0"], rate=0)
+    with pytest.raises(ValueError):
+        UpdateWorkload(sim, system.frontend, ["s0"], rate=10, alarm_ratio=2.0)
+    with pytest.raises(ValueError):
+        UpdateWorkload(sim, system.frontend, [], rate=10)
+
+
+def test_update_workload_cannot_start_twice():
+    sim, system = make_system()
+    workload = UpdateWorkload(sim, system.frontend, ["s0"], rate=10)
+    workload.start(duration=0.1)
+    with pytest.raises(RuntimeError):
+        workload.start(duration=0.1)
+
+
+# -- WriteWorkload -------------------------------------------------------------
+
+
+def test_write_workload_closed_loop():
+    sim, system = make_system()
+    workload = WriteWorkload(sim, system.hmi, "act")
+    workload.start(duration=0.5)
+    sim.run(stop_on=workload.done, until=sim.now + 30)
+    assert workload.completed > 10
+    assert workload.failed == 0
+    assert len(workload.latencies) == workload.completed
+    assert workload.latencies.mean > 0
+
+
+def test_write_workload_counts_failures():
+    sim, system = make_system()
+    workload = WriteWorkload(sim, system.hmi, "nonexistent-item")
+    workload.start(duration=0.2)
+    sim.run(stop_on=workload.done, until=sim.now + 30)
+    assert workload.completed == 0
+    assert workload.failed > 0
+
+
+# -- metrics -----------------------------------------------------------------------
+
+
+def test_throughput_meter_window():
+    sim = Simulator()
+    counter = {"n": 0}
+    meter = ThroughputMeter(sim, lambda: counter["n"])
+
+    def ticker():
+        while True:
+            yield sim.timeout(0.01)
+            counter["n"] += 1
+
+    sim.process(ticker())
+    sim.run(until=1.0)
+    meter.open_window()
+    sim.run(until=3.0)
+    meter.close_window()
+    assert meter.duration == pytest.approx(2.0)
+    assert meter.rate == pytest.approx(100.0, rel=0.02)
+
+
+def test_throughput_meter_requires_window():
+    sim = Simulator()
+    meter = ThroughputMeter(sim, lambda: 0)
+    with pytest.raises(RuntimeError):
+        _ = meter.count
+
+
+def test_latency_recorder_percentiles():
+    recorder = LatencyRecorder()
+    for value in range(1, 101):
+        recorder.record(value / 100)
+    assert recorder.mean == pytest.approx(0.505)
+    assert recorder.p50 == pytest.approx(0.505)
+    assert recorder.percentile(0) == pytest.approx(0.01)
+    assert recorder.percentile(100) == pytest.approx(1.0)
+    assert recorder.p99 > recorder.p50
+
+
+def test_latency_recorder_edge_cases():
+    recorder = LatencyRecorder()
+    assert math.isnan(recorder.mean)
+    assert math.isnan(recorder.p50)
+    recorder.record(0.5)
+    assert recorder.p50 == 0.5
+    with pytest.raises(ValueError):
+        recorder.record(-1)
+    with pytest.raises(ValueError):
+        recorder.percentile(101)
+    summary = recorder.summary()
+    assert summary["count"] == 1 and summary["max"] == 0.5
