@@ -12,6 +12,10 @@ demo
 steps
     Replay one item update and one write through both systems and print
     the communication-step flows (Figures 3/4 vs 6/7).
+perf
+    Print the hot-path performance report (``BENCH_PERF.json``),
+    measuring it first if the file does not exist (``--rerun`` forces a
+    fresh measurement).
 """
 
 from __future__ import annotations
@@ -99,6 +103,50 @@ def cmd_demo(args) -> int:
     return 0 if identical else 1
 
 
+def cmd_perf(args) -> int:
+    import json
+    import os
+
+    from repro.workloads.profiler import (
+        REPORT_FILE,
+        profile_hot_paths,
+        summary_rows,
+        write_report,
+    )
+
+    path = args.output or REPORT_FILE
+    if os.path.exists(path) and not args.rerun:
+        with open(path, encoding="utf-8") as fh:
+            report = json.load(fh)
+        print(f"loaded {path} (use --rerun to remeasure)")
+    else:
+        print("profiling hot paths (baseline vs optimized, one process)...")
+        report = profile_hot_paths()
+        write_report(report, path)
+        print(f"wrote {path}")
+    _print_table(
+        "hot-path performance pass — wall-clock seconds",
+        ["pipeline", "baseline", "optimized", "speedup", "identical results"],
+        summary_rows(report),
+    )
+    caches = (
+        report.get("pipelines", {})
+        .get("bft_micro", {})
+        .get("optimized", {})
+        .get("cache_stats")
+    )
+    if caches:
+        _print_table(
+            "cache effectiveness (bft_micro, optimized run)",
+            ["cache", "hits", "misses", "hit rate"],
+            [
+                [name, s["hits"], s["misses"], f"{s['hit_rate']:.1%}"]
+                for name, s in sorted(caches.items())
+            ],
+        )
+    return 0
+
+
 def cmd_steps(args) -> int:
     from repro.core import build_neoscada, build_smartscada, make_network
     from repro.sim import Simulator
@@ -158,6 +206,15 @@ def main(argv=None) -> int:
         "steps", help="print the message-flow steps (Figures 3/4/6/7)"
     )
     steps.set_defaults(func=cmd_steps)
+
+    perf = subparsers.add_parser(
+        "perf", help="print (or regenerate) the BENCH_PERF.json summary"
+    )
+    perf.add_argument("--output", default=None,
+                      help="report file (default BENCH_PERF.json)")
+    perf.add_argument("--rerun", action="store_true",
+                      help="remeasure even if the report file exists")
+    perf.set_defaults(func=cmd_perf)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -4,14 +4,145 @@ Wraps every protocol message in a :class:`Sealed` envelope carrying HMAC
 tags, standing in for the TLS/shared-secret channels of the original
 deployment. Receivers that fail verification drop the message silently
 (and count it), which is what defeats spoofed traffic in the tests.
+
+Hot-path layout
+---------------
+Sealing goes through :func:`repro.wire.encode_cached`, so a message
+broadcast (or retransmitted) repeatedly is serialized once and the same
+payload ``bytes`` object is shared by every receiver's envelope. That
+identity sharing is what makes the downstream identity-keyed caches hit:
+the digest LRU (PROPOSE value hashing) and the decode-share LRU here,
+which lets n co-simulated replicas decode one broadcast payload once
+instead of n times. Network sizing uses an exact arithmetic
+:func:`sealed_wire_size` instead of a sizing encode per send.
+
+All of it is behaviour-invisible: the decode cache only shares messages
+whose wire form is a frozen dataclass, MAC verification stays per-receiver,
+and the size hint is exact by construction (asserted in the tests).
 """
 
 from __future__ import annotations
 
 from repro.bftsmart.messages import Sealed
 from repro.crypto import Authenticator, KeyStore
+from repro.crypto.mac import MAC_SIZE
 from repro.net.endpoint import Endpoint
-from repro.wire import DecodeError, decode, encode
+from repro.perf import PERF
+from repro.wire import DecodeError, decode, encode_cached, uvarint_size
+from repro.wire.codec import _is_frozen_dataclass
+
+#: ``1`` dataclass tag + varint type id + ``1`` field-count byte of Sealed.
+_SEALED_PREFIX_SIZE: int | None = None
+
+#: Wire size (STR tag + length varint + UTF-8 bytes) per address string.
+#: Bounded by the number of distinct endpoint addresses in a deployment.
+_STR_WIRE_SIZE: dict[str, int] = {}
+
+
+def _str_wire_size(value: str) -> int:
+    size = _STR_WIRE_SIZE.get(value)
+    if size is None:
+        encoded_len = len(value.encode("utf-8"))
+        size = 1 + uvarint_size(encoded_len) + encoded_len
+        _STR_WIRE_SIZE[value] = size
+    return size
+
+
+def sealed_wire_size(sealed: Sealed) -> int:
+    """Exact canonical wire size of a :class:`Sealed` envelope.
+
+    Computed arithmetically from the TLV layout so the network layer can
+    skip its sizing encode. Must stay in lockstep with the codec; the
+    channel tests assert ``sealed_wire_size(s) == len(encode(s))``.
+    """
+    global _SEALED_PREFIX_SIZE
+    if _SEALED_PREFIX_SIZE is None:
+        from repro.wire import GLOBAL_REGISTRY
+
+        _SEALED_PREFIX_SIZE = 1 + uvarint_size(GLOBAL_REGISTRY.id_of(Sealed)) + 1
+    size = _SEALED_PREFIX_SIZE + _str_wire_size(sealed.sender)
+    payload_len = len(sealed.payload)
+    size += 1 + uvarint_size(payload_len) + payload_len
+    tags = sealed.tags
+    size += 1 + uvarint_size(len(tags))
+    for receiver, tag in tags.items():
+        size += _str_wire_size(receiver)
+        size += 1 + uvarint_size(len(tag)) + len(tag)
+    return size
+
+
+#: (sender, receivers-tuple) -> constant envelope bytes excluding the
+#: payload field. Every tag is MAC_SIZE bytes, so for a fixed sender and
+#: receiver set the only per-send variable is the payload length.
+_ENVELOPE_OVERHEAD: dict[tuple, int] = {}
+
+
+def _envelope_overhead(sender: str, receivers: tuple) -> int:
+    key = (sender, receivers)
+    size = _ENVELOPE_OVERHEAD.get(key)
+    if size is not None:
+        return size
+    global _SEALED_PREFIX_SIZE
+    if _SEALED_PREFIX_SIZE is None:
+        from repro.wire import GLOBAL_REGISTRY
+
+        _SEALED_PREFIX_SIZE = 1 + uvarint_size(GLOBAL_REGISTRY.id_of(Sealed)) + 1
+    size = _SEALED_PREFIX_SIZE + _str_wire_size(sender)
+    size += 1 + uvarint_size(len(receivers))
+    tag_size = 1 + uvarint_size(MAC_SIZE) + MAC_SIZE
+    for receiver in receivers:
+        size += _str_wire_size(receiver) + tag_size
+    _ENVELOPE_OVERHEAD[key] = size
+    return size
+
+
+#: Identity-keyed map sharing decoded messages across the receivers of one
+#: broadcast payload. Entries pin the payload bytes object, so an ``id()``
+#: key can never alias a different live object. Cleared wholesale when
+#: full (O(1) amortized eviction); dropped in-flight entries just decode.
+_DECODE_CACHE: dict[int, tuple[bytes, object]] = {}
+_DECODE_CACHE_LIMIT = 4096
+_DECODE_STATS = PERF.stats["decode_share"]
+
+
+def _decode_shared(payload: bytes):
+    if not PERF.decode_share or type(payload) is not bytes:
+        return decode(payload)
+    key = id(payload)
+    try:
+        hit = _DECODE_CACHE[key]
+    except KeyError:
+        hit = None
+    if hit is not None and hit[0] is payload:
+        _DECODE_STATS.hits += 1
+        return hit[1]
+    _DECODE_STATS.misses += 1
+    message = decode(payload)
+    # Only immutable (frozen-dataclass) messages may be shared between
+    # receivers; anything else is decoded fresh per receiver.
+    if _is_frozen_dataclass(message.__class__):
+        if len(_DECODE_CACHE) >= _DECODE_CACHE_LIMIT:
+            _DECODE_CACHE.clear()
+        _DECODE_CACHE[key] = (payload, message)
+    return message
+
+
+def _seed_decoded(payload: bytes, message) -> None:
+    """Pre-seed the decode cache with the sender's own message object.
+
+    The codec is canonical and round-trips frozen dataclasses exactly, so
+    handing receivers the sender's (immutable) message object is
+    indistinguishable from decoding the payload — and turns the receive
+    path of every sealed message, unique replies included, into a dict hit.
+    """
+    if _is_frozen_dataclass(message.__class__):
+        if len(_DECODE_CACHE) >= _DECODE_CACHE_LIMIT:
+            _DECODE_CACHE.clear()
+        _DECODE_CACHE[id(payload)] = (payload, message)
+
+
+def clear_decode_cache() -> None:
+    _DECODE_CACHE.clear()
 
 
 class SecureChannel:
@@ -30,30 +161,98 @@ class SecureChannel:
     # -- sending -------------------------------------------------------------
 
     def seal(self, message, receivers: list) -> Sealed:
-        payload = encode(message)
+        payload = encode_cached(message).payload
+        if PERF.decode_share:
+            _seed_decoded(payload, message)
+        mac = self.auth.mac
         return Sealed(
             sender=self.address,
             payload=payload,
-            tags={receiver: self.auth.mac(receiver, payload) for receiver in receivers},
+            tags={receiver: mac(receiver, payload) for receiver in receivers},
         )
 
     def send(self, dst: str, message) -> None:
         """Seal and send to a single receiver."""
         sealed = self.seal(message, [dst])
-        self.endpoint.send(dst, sealed, kind=type(message).__name__)
+        if PERF.size_hints:
+            payload_len = len(sealed.payload)
+            size_hint = (
+                _envelope_overhead(sealed.sender, (dst,))
+                + 1
+                + uvarint_size(payload_len)
+                + payload_len
+            )
+        else:
+            size_hint = None
+        self.endpoint.send(
+            dst, sealed, kind=type(message).__name__, size_hint=size_hint
+        )
+
+    def multicast(self, receivers: list, message) -> None:
+        """Send the same message to each receiver in its own envelope.
+
+        Unlike :meth:`broadcast` the receivers each get a single-tag
+        envelope (what a client multicasting a request produces), but the
+        inner payload is encoded once and the same ``bytes`` object is
+        shared by every envelope — byte-identical on the wire to sending
+        one at a time, minus the redundant encodes.
+        """
+        if not PERF.serialize_once:
+            for receiver in receivers:
+                self.send(receiver, message)
+            return
+        payload = encode_cached(message).payload
+        if PERF.decode_share:
+            _seed_decoded(payload, message)
+        kind = type(message).__name__
+        mac = self.auth.mac
+        sender = self.address
+        send = self.endpoint.send
+        if PERF.size_hints:
+            payload_len = len(payload)
+            payload_part = 1 + uvarint_size(payload_len) + payload_len
+        else:
+            payload_part = None
+        for receiver in receivers:
+            sealed = Sealed(
+                sender=sender,
+                payload=payload,
+                tags={receiver: mac(receiver, payload)},
+            )
+            if payload_part is not None:
+                size_hint = _envelope_overhead(sender, (receiver,)) + payload_part
+            else:
+                size_hint = None
+            send(receiver, sealed, kind=kind, size_hint=size_hint)
 
     def broadcast(self, receivers: list, message, include_self: bool = False) -> None:
         """Seal once with a MAC vector and send to every receiver.
+
+        The single :class:`Sealed` envelope (and thus the single payload
+        ``bytes`` object) is shared by all receivers, and its wire size is
+        computed once for the whole multicast.
 
         With ``include_self`` the caller's own copy is delivered through
         the loopback path, keeping self-messages in the same code path as
         peer messages (as BFT-SMaRt does).
         """
         sealed = self.seal(message, list(receivers))
+        if PERF.size_hints:
+            payload_len = len(sealed.payload)
+            size_hint = (
+                _envelope_overhead(sealed.sender, tuple(receivers))
+                + 1
+                + uvarint_size(payload_len)
+                + payload_len
+            )
+        else:
+            size_hint = None
+        kind = type(message).__name__
+        send = self.endpoint.send
         for receiver in receivers:
             if receiver == self.address and not include_self:
                 continue
-            self.endpoint.send(receiver, sealed, kind=type(message).__name__)
+            send(receiver, sealed, kind=kind, size_hint=size_hint)
 
     # -- receiving -----------------------------------------------------------
 
@@ -67,7 +266,7 @@ class SecureChannel:
             self.rejected += 1
             return None
         try:
-            return decode(sealed.payload)
+            return _decode_shared(sealed.payload)
         except DecodeError:
             self.rejected += 1
             return None

@@ -14,7 +14,8 @@ from __future__ import annotations
 
 from repro.bftsmart.channel import SecureChannel
 from repro.bftsmart.messages import ClientRequest, PushMessage, Reply
-from repro.bftsmart.replica import request_signing_payload
+from repro.bftsmart.replica import request_signing_payload, seed_signing_payload
+from repro.perf import PERF
 from repro.bftsmart.view import View
 from repro.crypto import KeyStore, Signer, digest
 from repro.net.network import Network
@@ -25,7 +26,7 @@ from repro.sim.kernel import Simulator
 class _PendingInvocation:
     """Vote state for one outstanding request."""
 
-    __slots__ = ("request", "event", "votes", "quorum", "attempts")
+    __slots__ = ("request", "event", "votes", "quorum", "attempts", "timer")
 
     def __init__(self, request: ClientRequest, event: Event, quorum: int) -> None:
         self.request = request
@@ -34,6 +35,8 @@ class _PendingInvocation:
         self.votes: dict[bytes, dict] = {}
         self.quorum = quorum
         self.attempts = 1
+        #: The pending retransmission ScheduledCall; cancelled on quorum.
+        self.timer = None
 
 
 class PushVoter:
@@ -149,15 +152,19 @@ class ServiceProxy:
             self.view.n - self.view.f if unordered else self.view.f + 1
         )
         event = Event(self.sim, name=f"invoke:{self.client_id}:{sequence}")
-        self._pending[sequence] = _PendingInvocation(request, event, quorum)
+        invocation = _PendingInvocation(request, event, quorum)
+        self._pending[sequence] = invocation
         self.stats["invocations"] += 1
         self._transmit(request)
-        self.sim.call_later(self.invoke_timeout, self._retransmit, sequence)
+        invocation.timer = self.sim.call_later(
+            self.invoke_timeout, self._retransmit, sequence
+        )
         return event
 
     def _sign(self, request: ClientRequest) -> ClientRequest:
-        tag = self.signer.sign(request_signing_payload(request)).tag
-        return ClientRequest(
+        payload = request_signing_payload(request)
+        tag = self.signer.sign(payload).tag
+        signed = ClientRequest(
             client_id=request.client_id,
             sequence=request.sequence,
             operation=request.operation,
@@ -165,10 +172,18 @@ class ServiceProxy:
             unordered=request.unordered,
             mac=tag,
         )
+        if PERF.signing_cache:
+            # The signed tuple excludes the MAC field, so the stamped
+            # request's payload is the one just computed — seed it so the
+            # replicas' verification path starts on a cache hit.
+            seed_signing_payload(signed, payload)
+        return signed
 
     def _transmit(self, request: ClientRequest) -> None:
-        for address in self.view.addresses:
-            self.channel.send(address, request)
+        # Serialize-once multicast: the request is encoded a single time
+        # and the payload bytes object is shared by every replica's
+        # envelope (which is what lets the replicas share one decode).
+        self.channel.multicast(list(self.view.addresses), request)
 
     def _retransmit(self, sequence: int) -> None:
         invocation = self._pending.get(sequence)
@@ -187,7 +202,9 @@ class ServiceProxy:
         invocation.attempts += 1
         self.stats["retransmissions"] += 1
         self._transmit(invocation.request)
-        self.sim.call_later(self.invoke_timeout, self._retransmit, sequence)
+        invocation.timer = self.sim.call_later(
+            self.invoke_timeout, self._retransmit, sequence
+        )
 
     # -- receiving -------------------------------------------------------------
 
@@ -212,6 +229,8 @@ class ServiceProxy:
         votes[reply.replica] = reply.result
         if len(votes) >= invocation.quorum:
             self._pending.pop(reply.sequence, None)
+            if invocation.timer is not None:
+                invocation.timer.cancel()
             invocation.event.succeed(reply.result)
 
     # -- membership -------------------------------------------------------------

@@ -20,6 +20,9 @@ class Instance:
         self.proposal_value: bytes | None = None
         self.proposal_digest: bytes | None = None
         self.proposal_timestamp: float = 0.0
+        #: Decoded RequestBatch of the proposal, when the replica already
+        #: decoded it during validation (spares a re-decode at decision).
+        self.proposal_batch = None
         #: sender -> digest voted in the WRITE phase of the current epoch.
         self.writes: dict[str, bytes] = {}
         #: sender -> digest voted in the ACCEPT phase of the current epoch.
@@ -29,6 +32,7 @@ class Instance:
         self.decided = False
         self.decided_value: bytes | None = None
         self.decided_timestamp: float = 0.0
+        self.decided_batch = None
 
     # -- epoch handling -------------------------------------------------------
 
@@ -39,6 +43,7 @@ class Instance:
         self.epoch = epoch
         self.proposal_value = None
         self.proposal_digest = None
+        self.proposal_batch = None
         self.writes.clear()
         self.accepts.clear()
         self.write_sent = False
@@ -46,11 +51,16 @@ class Instance:
 
     # -- proposal ---------------------------------------------------------------
 
-    def set_proposal(self, value: bytes, timestamp: float) -> bytes:
-        """Record the leader's proposal; returns its digest."""
+    def set_proposal(self, value: bytes, timestamp: float, batch=None) -> bytes:
+        """Record the leader's proposal; returns its digest.
+
+        ``batch`` optionally carries the already-decoded RequestBatch so
+        the decision path does not have to decode ``value`` again.
+        """
         self.proposal_value = value
         self.proposal_digest = digest(value)
         self.proposal_timestamp = timestamp
+        self.proposal_batch = batch
         return self.proposal_digest
 
     # -- voting -------------------------------------------------------------------
@@ -87,6 +97,7 @@ class Instance:
         self.decided = True
         self.decided_value = self.proposal_value
         self.decided_timestamp = self.proposal_timestamp
+        self.decided_batch = self.proposal_batch
 
     def __repr__(self) -> str:
         state = "decided" if self.decided else (

@@ -13,7 +13,9 @@ in :mod:`repro.bftsmart.statetransfer`.
 
 from __future__ import annotations
 
-from repro.bftsmart.channel import SecureChannel
+from collections import OrderedDict
+
+from repro.bftsmart.channel import SecureChannel, _decode_shared
 from repro.bftsmart.config import GroupConfig
 from repro.bftsmart.consensus import Instance
 from repro.bftsmart.leaderchange import Synchronizer
@@ -38,6 +40,7 @@ from repro.bftsmart.statetransfer import StateTransfer
 from repro.bftsmart.view import View
 from repro.crypto import KeyStore, Signature, Signer, Verifier
 from repro.net.network import Network
+from repro.perf import PERF
 from repro.sim.channels import Channel
 from repro.sim.kernel import Simulator
 from repro.wire import DecodeError, decode, encode
@@ -45,9 +48,35 @@ from repro.wire import DecodeError, decode, encode
 #: Operations starting with this marker carry a ReconfigRequest.
 RECONFIG_MARKER = b"\x00RECONFIG\x00"
 
+#: Identity-keyed LRU of signing payloads. A request's signing payload is
+#: a pure function of its (frozen) content, and thanks to serialize-once
+#: multicast + shared decode all n replicas hold the *same* ClientRequest
+#: object — so one encode serves every replica's verification. Entries pin
+#: the request object, so an ``id()`` key can never alias a live object.
+_SIGNING_PAYLOAD_CACHE: dict[int, tuple] = {}
+_SIGNING_PAYLOAD_CACHE_LIMIT = 4096
+_SIGNING_STATS = PERF.stats["signing_payload"]
+
+
 #: Bytes signed by a client for request authentication.
 def request_signing_payload(request: ClientRequest) -> bytes:
-    return encode(
+    if not PERF.signing_cache:
+        return encode(
+            (
+                request.client_id,
+                request.sequence,
+                request.operation,
+                request.reply_to,
+                request.unordered,
+            )
+        )
+    key = id(request)
+    hit = _SIGNING_PAYLOAD_CACHE.get(key)
+    if hit is not None and hit[0] is request:
+        _SIGNING_STATS.hits += 1
+        return hit[1]
+    _SIGNING_STATS.misses += 1
+    payload = encode(
         (
             request.client_id,
             request.sequence,
@@ -56,6 +85,26 @@ def request_signing_payload(request: ClientRequest) -> bytes:
             request.unordered,
         )
     )
+    if len(_SIGNING_PAYLOAD_CACHE) >= _SIGNING_PAYLOAD_CACHE_LIMIT:
+        _SIGNING_PAYLOAD_CACHE.clear()
+    _SIGNING_PAYLOAD_CACHE[key] = (request, payload)
+    return payload
+
+
+def seed_signing_payload(request: ClientRequest, payload: bytes) -> None:
+    """Pre-seed the payload memo for a request whose payload is known.
+
+    Used by the client after stamping the MAC into the final request
+    object: the signed tuple excludes the MAC field, so the payload it
+    computed for the unstamped request is exactly the final one's.
+    """
+    if len(_SIGNING_PAYLOAD_CACHE) >= _SIGNING_PAYLOAD_CACHE_LIMIT:
+        _SIGNING_PAYLOAD_CACHE.clear()
+    _SIGNING_PAYLOAD_CACHE[id(request)] = (request, payload)
+
+
+def clear_signing_payload_cache() -> None:
+    _SIGNING_PAYLOAD_CACHE.clear()
 
 
 class ServiceReplica:
@@ -102,6 +151,12 @@ class ServiceReplica:
         self.pending: dict[tuple, tuple] = {}
         self._inflight_keys: set = set()
         self._batch_timer_armed = False
+        #: Leader-side (value_bytes, RequestBatch) of the latest own
+        #: proposal: its requests were verified on arrival, so validating
+        #: our own PROPOSE can skip the decode + re-verification.
+        self._last_proposed: tuple | None = None
+        #: id(request) -> request objects this replica already verified.
+        self._verified_requests: OrderedDict = OrderedDict()
 
         # -- execution state --
         self._exec_channel = Channel(sim, name=f"exec:{address}")
@@ -198,6 +253,24 @@ class ServiceReplica:
     # ------------------------------------------------------------------
 
     def _verify_request(self, request: ClientRequest) -> bool:
+        if PERF.signing_cache:
+            # A replica sees every ordered request twice: once on arrival
+            # and once inside the proposed batch (a different, decoded
+            # object with equal content). The memo is keyed on content —
+            # equal frozen requests carry the same signature over the same
+            # payload — and per replica: a verdict never crosses keystores.
+            cache = self._verified_requests
+            if request in cache:
+                return True
+            if self._verify_request_uncached(request):
+                cache[request] = None
+                if len(cache) > 4096:
+                    cache.popitem(last=False)
+                return True
+            return False
+        return self._verify_request_uncached(request)
+
+    def _verify_request_uncached(self, request: ClientRequest) -> bool:
         try:
             signature = Signature(request.client_id, request.mac)
         except ValueError:
@@ -287,7 +360,10 @@ class ServiceReplica:
         batch = self._available_requests()[: self.config.batch_max]
         for request in batch:
             self._inflight_keys.add(request.key())
-        value = encode(RequestBatch(requests=tuple(batch)))
+        batch_message = RequestBatch(requests=tuple(batch))
+        value = encode(batch_message)
+        if PERF.decode_share:
+            self._last_proposed = (value, batch_message)
         propose = Propose(
             sender=self.address,
             cid=self.next_cid,
@@ -320,8 +396,13 @@ class ServiceReplica:
         reorders one client's requests would otherwise make the executor's
         sequence-based dedup silently censor the displaced ones.
         """
+        last = self._last_proposed
+        if PERF.decode_share and last is not None and value is last[0]:
+            # Our own proposal: every request in it was verified when it
+            # arrived, and the value bytes are identical by identity.
+            return last[1]
         try:
-            batch = decode(value)
+            batch = _decode_shared(value)
         except DecodeError:
             return None
         if not isinstance(batch, RequestBatch):
@@ -384,11 +465,16 @@ class ServiceReplica:
         instance = self._instance(message.cid, message.epoch)
         if instance.proposal_value is not None or instance.decided:
             return
-        if self._validate_batch(message.value) is None and message.value != b"":
+        batch = self._validate_batch(message.value)
+        if batch is None and message.value != b"":
             # Malformed or forged batch: suspect the leader.
             self.synchronizer.suspect()
             return
-        value_digest = instance.set_proposal(message.value, message.timestamp)
+        value_digest = instance.set_proposal(
+            message.value,
+            message.timestamp,
+            batch=batch if PERF.decode_share else None,
+        )
         instance.write_sent = True
         write = WriteMsg(
             sender=self.address,
@@ -459,7 +545,11 @@ class ServiceReplica:
         del self.instances[instance.cid]
 
         if value != b"":
-            batch = decode(value)
+            # The batch was already decoded during validation; fall back to
+            # a fresh decode only if it was not (e.g. caching disabled).
+            batch = instance.decided_batch
+            if batch is None:
+                batch = decode(value)
             for request in batch.requests:
                 key = request.key()
                 self.pending.pop(key, None)

@@ -1,11 +1,28 @@
-"""Content digests used for reply voting, checkpoints and state transfer."""
+"""Content digests used for reply voting, checkpoints and state transfer.
+
+The truncated digest is the hot comparison primitive of the whole stack:
+PROPOSE value hashing, WRITE/ACCEPT vote matching and f+1 reply voting
+all call :func:`digest`. The memo is keyed on the bytes *content* (CPython
+caches a bytes object's hash after the first use, so repeat lookups on a
+shared broadcast payload cost one dict probe), which also unifies
+equal-content inputs from different replicas — the n matching replies a
+client votes over hash once, not n times. Only immutable ``bytes`` (never
+``bytearray``/``memoryview``) are memoized, and eviction is
+insertion-order FIFO: the cache only needs to cover in-flight messages.
+"""
 
 from __future__ import annotations
 
 import hashlib
 
+from repro.perf import PERF
+
 #: Number of bytes of the truncated digest carried in protocol messages.
 DIGEST_SIZE = 20
+
+_DIGEST_CACHE: dict[bytes, bytes] = {}
+_DIGEST_CACHE_LIMIT = 8192
+_DIGEST_STATS = PERF.stats["digest"]
 
 
 def sha256(data: bytes) -> bytes:
@@ -21,7 +38,22 @@ def digest(data: bytes) -> bytes:
     Used wherever the protocols compare message or state contents:
     f+1 reply voting, PROPOSE value hashes, checkpoint digests.
     """
+    if PERF.digest_cache and type(data) is bytes:
+        hit = _DIGEST_CACHE.get(data)
+        if hit is not None:
+            _DIGEST_STATS.hits += 1
+            return hit
+        _DIGEST_STATS.misses += 1
+        result = hashlib.sha256(data).digest()[:DIGEST_SIZE]
+        if len(_DIGEST_CACHE) >= _DIGEST_CACHE_LIMIT:
+            _DIGEST_CACHE.clear()
+        _DIGEST_CACHE[data] = result
+        return result
     return sha256(data)[:DIGEST_SIZE]
+
+
+def clear_digest_cache() -> None:
+    _DIGEST_CACHE.clear()
 
 
 def combine(*parts: bytes) -> bytes:

@@ -16,8 +16,29 @@ import hmac
 from dataclasses import dataclass
 
 from repro.crypto.keys import KeyStore
+from repro.perf import PERF
 
 SIGNATURE_SIZE = 32
+
+#: (signing-key, payload-identity) -> (payload, tag). Seeded by the signer
+#: and hit by every verifier sharing the KeyStore: the expected tag a
+#: verifier recomputes is exactly the tag the signer produced, and the
+#: signing-payload bytes object is shared across replicas. Only the
+#: *expected* tag is cached — every caller still runs its own
+#: ``compare_digest`` against the received tag, so forged or tampered
+#: signatures fail exactly as before. Entries pin the payload object.
+_SIG_CACHE: dict[tuple, tuple] = {}
+_SIG_CACHE_LIMIT = 8192
+
+
+def clear_signature_cache() -> None:
+    _SIG_CACHE.clear()
+
+
+def _remember(key: bytes, payload: bytes, tag: bytes) -> None:
+    if len(_SIG_CACHE) >= _SIG_CACHE_LIMIT:
+        _SIG_CACHE.clear()
+    _SIG_CACHE[(key, id(payload))] = (payload, tag)
 
 
 @dataclass(frozen=True)
@@ -38,9 +59,18 @@ class Signer:
     def __init__(self, me: str, keystore: KeyStore) -> None:
         self.me = me
         self._key = keystore.signing_key(me)
+        #: Pre-keyed HMAC template (key schedule run once, copied per sign).
+        self._template = hmac.new(self._key, digestmod=hashlib.sha256)
 
     def sign(self, payload: bytes) -> Signature:
-        tag = hmac.new(self._key, payload, hashlib.sha256).digest()
+        if PERF.mac_templates:
+            mac = self._template.copy()
+            mac.update(payload)
+            tag = mac.digest()
+        else:
+            tag = hmac.new(self._key, payload, hashlib.sha256).digest()
+        if PERF.mac_memo and type(payload) is bytes:
+            _remember(self._key, payload, tag)
         return Signature(signer=self.me, tag=tag)
 
 
@@ -49,8 +79,25 @@ class Verifier:
 
     def __init__(self, keystore: KeyStore) -> None:
         self._keystore = keystore
+        #: signer -> pre-keyed HMAC template, same trick as Authenticator.
+        self._templates: dict[str, hmac.HMAC] = {}
 
     def verify(self, signature: Signature, payload: bytes) -> bool:
         key = self._keystore.signing_key(signature.signer)
-        expected = hmac.new(key, payload, hashlib.sha256).digest()
+        if PERF.mac_memo and type(payload) is bytes:
+            hit = _SIG_CACHE.get((key, id(payload)))
+            if hit is not None and hit[0] is payload:
+                return hmac.compare_digest(hit[1], signature.tag)
+        if PERF.mac_templates:
+            template = self._templates.get(signature.signer)
+            if template is None:
+                template = hmac.new(key, digestmod=hashlib.sha256)
+                self._templates[signature.signer] = template
+            mac = template.copy()
+            mac.update(payload)
+            expected = mac.digest()
+        else:
+            expected = hmac.new(key, payload, hashlib.sha256).digest()
+        if PERF.mac_memo and type(payload) is bytes:
+            _remember(key, payload, expected)
         return hmac.compare_digest(expected, signature.tag)

@@ -30,11 +30,21 @@ class Endpoint:
         """Route deliveries to ``handler(payload, src)`` instead of inbox."""
         self._handler = handler
 
-    def send(self, dst: str, payload, kind: str | None = None) -> None:
-        """Send ``payload`` to the endpoint addressed ``dst``."""
+    def send(
+        self,
+        dst: str,
+        payload,
+        kind: str | None = None,
+        size_hint: int | None = None,
+    ) -> None:
+        """Send ``payload`` to the endpoint addressed ``dst``.
+
+        ``size_hint`` is forwarded to :meth:`Network.send`; pass it only
+        when it is the exact canonical wire size of ``payload``.
+        """
         if self.down:
             return
-        self.network.send(self.address, dst, payload, kind=kind)
+        self.network.send(self.address, dst, payload, kind=kind, size_hint=size_hint)
 
     def _deliver(self, payload, src: str) -> None:
         if self.down:

@@ -20,6 +20,7 @@ from repro.net.endpoint import Endpoint
 from repro.net.faults import Envelope, FaultInjector
 from repro.net.latency import ConstantLatency, LanLatency, LatencyModel
 from repro.net.trace import NetworkTrace
+from repro.perf import PERF
 from repro.sim.kernel import Simulator
 from repro.wire import encode
 
@@ -86,15 +87,46 @@ class Network:
 
     # -- transmission --------------------------------------------------------
 
-    def send(self, src: str, dst: str, payload, kind: str | None = None) -> None:
-        """Send ``payload`` from ``src`` to ``dst`` through the pipeline."""
+    def send(
+        self,
+        src: str,
+        dst: str,
+        payload,
+        kind: str | None = None,
+        size_hint: int | None = None,
+    ) -> None:
+        """Send ``payload`` from ``src`` to ``dst`` through the pipeline.
+
+        ``size_hint`` lets a caller that already knows the exact canonical
+        wire size (e.g. the secure channel, which just sealed the payload)
+        skip the sizing encode. Hints must be exact — latency models are a
+        function of size, so an inaccurate hint would change the schedule.
+        """
         target = self._endpoints.get(dst)
         if target is None:
             raise UnknownEndpoint(f"no endpoint registered at {dst!r}")
         self.sent += 1
+        if size_hint is not None and PERF.size_hints:
+            size = size_hint
+        else:
+            size = len(encode(payload))
+        if PERF.fast_delivery and not self.faults.rules and not self.trace.enabled:
+            # No fault pipeline and no trace: skip the Envelope/kind
+            # bookkeeping entirely. Latency sampling and FIFO link clock
+            # are identical to the general path, so the schedule is too.
+            sim = self.sim
+            now = sim.now
+            link = (src, dst)
+            model = self._links.get(link, self.latency)
+            deliver_at = now + model.delay(size)
+            previous = self._link_clock.get(link, 0.0)
+            if deliver_at < previous:
+                deliver_at = previous
+            self._link_clock[link] = deliver_at
+            sim.call_later(deliver_at - now, self._deliver_fast, target, payload, src)
+            return
         if kind is None:
             kind = type(payload).__name__
-        size = len(encode(payload))
         envelope = Envelope(
             src=src,
             dst=dst,
@@ -121,6 +153,12 @@ class Network:
                 envelope,
                 deliver_at - self.sim.now,
             )
+
+    def _deliver_fast(self, target: Endpoint, payload, src: str) -> None:
+        if target.down:
+            return
+        self.delivered += 1
+        target._deliver(payload, src)
 
     def _deliver(self, target: Endpoint, payload, envelope: Envelope, delay: float) -> None:
         if target.down:

@@ -30,7 +30,15 @@ class Event:
         Optional human-readable label used in ``repr`` and error messages.
     """
 
-    __slots__ = ("sim", "name", "callbacks", "_value", "_exception", "defused")
+    __slots__ = (
+        "sim",
+        "name",
+        "callbacks",
+        "_value",
+        "_exception",
+        "defused",
+        "_entry",
+    )
 
     def __init__(self, sim: "Simulator", name: str | None = None) -> None:
         self.sim = sim
@@ -41,6 +49,9 @@ class Event:
         self._exception: BaseException | None = None
         #: When True, a failure is considered handled even with no callbacks.
         self.defused = False
+        #: Heap entry set by the kernel when the event is scheduled; lets
+        #: cancellable subclasses tombstone their occurrence in O(1).
+        self._entry = None
 
     # -- state -----------------------------------------------------------
 
@@ -127,7 +138,13 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers after a fixed amount of simulated time."""
+    """An event that triggers after a fixed amount of simulated time.
+
+    A timeout may be :meth:`cancel`-led before it fires: its heap entry is
+    tombstoned in place (lazy deletion), the callbacks never run, and the
+    kernel discards the entry when it reaches the heap top. Cancelling an
+    already-processed timeout is a no-op.
+    """
 
     __slots__ = ("delay",)
 
@@ -138,6 +155,59 @@ class Timeout(Event):
         self.delay = delay
         self._value = value
         sim._enqueue(delay, self)
+
+    def cancel(self) -> bool:
+        """Prevent this timeout from firing. Returns True if it was live."""
+        if self.callbacks is None:
+            return False
+        return self.sim._cancel_entry(self._entry)
+
+
+class ScheduledCall(Event):
+    """The cancellable event behind ``Simulator.call_later``.
+
+    Holds the target callable and arguments directly (no closure, no
+    per-call name formatting — ``call_later`` is the single hottest event
+    constructor in the simulation) and invokes it from ``_dispatch``
+    before any explicitly added callbacks.
+
+    Retransmission and failure-detector timers are created in bulk and
+    almost always cancelled before they fire; ``cancel()`` tombstones the
+    heap entry so the stale callback neither runs nor needs a guard at the
+    call site.
+    """
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, sim: "Simulator", fn, args: tuple) -> None:
+        # Inlined Event.__init__ (this is the most-allocated object in a
+        # simulation — one per network delivery and per timer).
+        self.sim = sim
+        self.name = None
+        self.callbacks = []
+        self._value = None
+        self._exception = None
+        self.defused = False
+        self._entry = None
+        self.fn = fn
+        self.args = args
+
+    def _dispatch(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self.fn(*self.args)
+        for cb in callbacks:
+            cb(self)
+
+    def cancel(self) -> bool:
+        """Prevent the scheduled call from running. Idempotent."""
+        if self.callbacks is None:
+            return False
+        return self.sim._cancel_entry(self._entry)
+
+    def __repr__(self) -> str:
+        label = getattr(self.fn, "__name__", repr(self.fn))
+        state = "done" if self.processed else "pending"
+        return f"<ScheduledCall {label} {state} at {id(self):#x}>"
 
 
 class AnyOf(Event):

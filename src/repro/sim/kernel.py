@@ -1,9 +1,18 @@
 """The discrete-event simulation kernel.
 
-The :class:`Simulator` owns a binary heap of ``(time, priority, seq, event)``
-entries. Popping entries in heap order and running each event's callbacks is
-the *only* execution mechanism in the simulation, which makes runs fully
-deterministic: two runs with the same seeds produce identical event orders.
+The :class:`Simulator` owns a binary heap of slotted :class:`_HeapEntry`
+records ordered by ``(time, priority, seq)``. Popping entries in heap
+order and running each event's callbacks is the *only* execution mechanism
+in the simulation, which makes runs fully deterministic: two runs with the
+same seeds produce identical event orders.
+
+Timer cancellation uses lazy deletion: cancelling marks the entry as a
+tombstone (and drops its event reference); the run loop skips tombstones
+when they surface at the heap top instead of paying O(n) removal or — the
+pre-optimisation behaviour — dispatching stale callbacks that every caller
+had to guard against. :meth:`Simulator.stats` surfaces the counters
+(dispatches, cancellations, tombstones skipped, peak heap size) that the
+wall-clock profiler reports.
 
 Time is a float in **seconds** of simulated time.
 """
@@ -11,18 +20,48 @@ Time is a float in **seconds** of simulated time.
 from __future__ import annotations
 
 import heapq
+import math
+from heapq import heappush
 from typing import Callable, Generator, Iterable
 
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.events import AllOf, AnyOf, Event, ScheduledCall, Timeout
 from repro.sim.process import Process
 from repro.sim.rng import RngRegistry
 
 #: Default heap priority. Lower runs first among same-time entries.
 NORMAL = 0
 
+_INF = math.inf
+
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (e.g. scheduling into the past)."""
+
+
+class _HeapEntry:
+    """One scheduled occurrence on the simulator heap.
+
+    The heap itself stores ``(when, priority, seq, entry)`` tuples so heap
+    sifting compares floats/ints at C speed and never calls back into
+    Python (``seq`` is unique, so the entry object is never compared).
+    The entry carries the mutable state: ``cancelled`` is the
+    lazy-deletion tombstone flag — a cancelled entry stays in the heap but
+    is skipped (and its event reference dropped), so cancellation is O(1)
+    and the callbacks never run.
+    """
+
+    __slots__ = ("when", "priority", "seq", "event", "cancelled")
+
+    def __init__(self, when: float, priority: int, seq: int, event) -> None:
+        self.when = when
+        self.priority = priority
+        self.seq = seq
+        self.event = event
+        self.cancelled = False
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "live"
+        return f"<_HeapEntry t={self.when:.6f} seq={self.seq} {state}>"
 
 
 class Simulator:
@@ -36,12 +75,15 @@ class Simulator:
 
     def __init__(self, seed: int = 0) -> None:
         self._now = 0.0
-        self._heap: list = []
+        self._heap: list[_HeapEntry] = []
         self._seq = 0
         self._running = False
         self.rng = RngRegistry(seed)
         #: Number of events dispatched so far (for diagnostics/metrics).
         self.dispatched = 0
+        self._timers_cancelled = 0
+        self._tombstones_skipped = 0
+        self._peak_heap = 0
 
     @property
     def now(self) -> float:
@@ -50,11 +92,33 @@ class Simulator:
 
     # -- scheduling --------------------------------------------------------
 
-    def _enqueue(self, delay: float, event: Event, priority: int = NORMAL) -> None:
-        if delay < 0:
-            raise SimulationError(f"cannot schedule {delay}s into the past")
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+    def _enqueue(
+        self, delay: float, event: Event, priority: int = NORMAL
+    ) -> _HeapEntry:
+        if not 0.0 <= delay < _INF:
+            # One chained comparison rejects negatives, +inf and nan alike
+            # (nan compares false against everything, which would silently
+            # corrupt heap ordering if it ever got in).
+            if isinstance(delay, (int, float)) and delay < 0:
+                raise SimulationError(f"cannot schedule {delay}s into the past")
+            raise SimulationError(f"cannot schedule a non-finite delay: {delay}")
+        seq = self._seq = self._seq + 1
+        when = self._now + delay
+        entry = _HeapEntry(when, priority, seq, event)
+        event._entry = entry
+        heapq.heappush(self._heap, (when, priority, seq, entry))
+        if len(self._heap) > self._peak_heap:
+            self._peak_heap = len(self._heap)
+        return entry
+
+    def _cancel_entry(self, entry: _HeapEntry | None) -> bool:
+        """Tombstone a scheduled entry (lazy deletion). Idempotent."""
+        if entry is None or entry.cancelled:
+            return False
+        entry.cancelled = True
+        entry.event = None  # free the event even before the pop skips it
+        self._timers_cancelled += 1
+        return True
 
     def event(self, name: str | None = None) -> Event:
         """Create a fresh, untriggered event."""
@@ -64,23 +128,32 @@ class Simulator:
         """An event that triggers ``delay`` seconds from now."""
         return Timeout(self, delay, value=value)
 
-    def call_soon(self, fn: Callable, *args) -> Event:
+    def call_soon(self, fn: Callable, *args) -> ScheduledCall:
         """Run ``fn(*args)`` at the current time, after pending events."""
         return self.call_later(0.0, fn, *args)
 
-    def call_later(self, delay: float, fn: Callable, *args) -> Event:
+    def call_later(self, delay: float, fn: Callable, *args) -> ScheduledCall:
         """Run ``fn(*args)`` after ``delay`` simulated seconds.
 
-        Returns the underlying event; its value is ``fn``'s return value.
+        Returns the underlying event; its value is ``None``. The returned
+        :class:`ScheduledCall` supports ``cancel()`` — a cancelled call
+        never runs and its heap entry is tombstoned in place.
         """
-        event = Event(self, name=f"call:{getattr(fn, '__name__', fn)}")
-
-        def runner(ev: Event) -> None:
-            fn(*args)
-
-        event.callbacks.append(runner)
-        event._value = None
-        self._enqueue(delay, event)
+        # Body of _enqueue inlined: this is called once per network
+        # delivery and per timer, the hottest scheduling path there is.
+        if not 0.0 <= delay < _INF:
+            if isinstance(delay, (int, float)) and delay < 0:
+                raise SimulationError(f"cannot schedule {delay}s into the past")
+            raise SimulationError(f"cannot schedule a non-finite delay: {delay}")
+        event = ScheduledCall(self, fn, args)
+        seq = self._seq = self._seq + 1
+        when = self._now + delay
+        entry = _HeapEntry(when, NORMAL, seq, event)
+        event._entry = entry
+        heap = self._heap
+        heappush(heap, (when, NORMAL, seq, entry))
+        if len(heap) > self._peak_heap:
+            self._peak_heap = len(heap)
         return event
 
     def process(self, generator: Generator, name: str | None = None) -> Process:
@@ -116,18 +189,25 @@ class Simulator:
         if until is not None and until < self._now:
             return self._now
         self._running = True
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while self._heap:
+            while heap:
                 if stop_on is not None and stop_on.processed:
                     break
-                when, _priority, _seq, event = self._heap[0]
+                when = heap[0][0]
+                entry = heap[0][3]
+                if entry.cancelled:
+                    heappop(heap)
+                    self._tombstones_skipped += 1
+                    continue
                 if until is not None and when > until:
                     self._now = until
                     break
-                heapq.heappop(self._heap)
+                heappop(heap)
                 self._now = when
                 self.dispatched += 1
-                event._dispatch()
+                entry.event._dispatch()
             else:
                 if until is not None and until > self._now:
                     self._now = until
@@ -149,8 +229,26 @@ class Simulator:
         return proc.value
 
     def peek(self) -> float | None:
-        """Time of the next scheduled event, or None if the heap is empty."""
-        return self._heap[0][0] if self._heap else None
+        """Time of the next live scheduled event, or None if none remain.
+
+        Tombstoned entries surfacing at the heap top are discarded here,
+        so ``peek`` doubles as incremental garbage collection.
+        """
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+            self._tombstones_skipped += 1
+        return heap[0][0] if heap else None
+
+    def stats(self) -> dict:
+        """Kernel counters for diagnostics and the wall-clock profiler."""
+        return {
+            "events_dispatched": self.dispatched,
+            "timers_cancelled": self._timers_cancelled,
+            "tombstones_skipped": self._tombstones_skipped,
+            "heap_peak": self._peak_heap,
+            "heap_pending": len(self._heap),
+        }
 
     def __repr__(self) -> str:
         return f"<Simulator t={self._now:.6f} pending={len(self._heap)}>"

@@ -1,6 +1,14 @@
 """Canonical binary codec and wire-type registry for protocol messages."""
 
-from repro.wire.codec import DEFAULT_CODEC, Codec, decode, encode
+from repro.wire.codec import (
+    DEFAULT_CODEC,
+    Codec,
+    EncodedMessage,
+    decode,
+    encode,
+    encode_cached,
+    uvarint_size,
+)
 from repro.wire.errors import DecodeError, EncodeError, WireError
 from repro.wire.registry import GLOBAL_REGISTRY, TypeRegistry, wire_type
 
@@ -10,9 +18,12 @@ __all__ = [
     "Codec",
     "DecodeError",
     "EncodeError",
+    "EncodedMessage",
     "TypeRegistry",
     "WireError",
     "decode",
     "encode",
+    "encode_cached",
+    "uvarint_size",
     "wire_type",
 ]

@@ -5,14 +5,30 @@ bytes, lists, tuples, dicts (string keys not required), registered enums
 and registered dataclasses. Encoding is canonical: equal values produce
 identical bytes, so content digests of encoded messages are well-defined —
 that property is what reply voting and PROPOSE hashing rely on.
+
+Hot-path layout
+---------------
+``_encode`` dispatches on the *exact* class of the value through a
+per-codec table instead of walking an ``isinstance`` chain; dataclass and
+enum encoders are built once per class with their type-id prefix bytes
+precomputed and the field list pre-resolved from the registry.
+``encode_into`` appends to a caller-owned buffer, skipping the final
+``bytes(bytearray)`` copy, and :func:`encode_cached` memoizes whole-message
+encodings of immutable (frozen-dataclass) messages in an identity-keyed
+LRU, wrapped in :class:`EncodedMessage` so the payload's content digest is
+computed at most once. All caching is behaviour-invisible: the memoized
+path returns byte-identical output to a fresh encode (see
+``tests/test_wire_codec_caching.py``).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import enum
+import operator
 import struct
 
+from repro.perf import PERF
 from repro.wire.errors import DecodeError, EncodeError
 from repro.wire.registry import GLOBAL_REGISTRY, TypeRegistry
 
@@ -33,6 +49,9 @@ _FLOAT_STRUCT = struct.Struct(">d")
 
 
 def _write_uvarint(out: bytearray, value: int) -> None:
+    if value < 0x80:
+        out.append(value)
+        return
     while True:
         byte = value & 0x7F
         value >>= 7
@@ -41,6 +60,19 @@ def _write_uvarint(out: bytearray, value: int) -> None:
         else:
             out.append(byte)
             return
+
+
+def uvarint_size(value: int) -> int:
+    """Encoded length in bytes of ``value`` as an unsigned varint."""
+    if value < 0x80:
+        return 1
+    return (value.bit_length() + 6) // 7
+
+
+#: str -> its full TLV chunk (tag + length varint + UTF-8 bytes).
+#: Bounded, insert-while-under-limit; protocol strings are low-cardinality.
+_STR_ENC_CACHE: dict[str, bytes] = {}
+_STR_ENC_CACHE_LIMIT = 4096
 
 
 def _read_uvarint(data: bytes, pos: int) -> tuple[int, int]:
@@ -66,6 +98,24 @@ class Codec:
 
     def __init__(self, registry: TypeRegistry | None = None) -> None:
         self.registry = registry if registry is not None else GLOBAL_REGISTRY
+        # Exact-type encoder dispatch. Scalar/container entries are
+        # installed eagerly; dataclass and enum encoders are built on
+        # first use (and on-the-fly for late registrations).
+        self._encoders: dict[type, object] = {
+            type(None): self._enc_none,
+            bool: self._enc_bool,
+            int: self._enc_int,
+            float: self._enc_float,
+            str: self._enc_str,
+            bytes: self._enc_bytes,
+            bytearray: self._enc_bytes,
+            memoryview: self._enc_bytes,
+            list: self._enc_list,
+            tuple: self._enc_tuple,
+            dict: self._enc_dict,
+        }
+        # Per-dataclass constructors for decode (built on first use).
+        self._constructors: dict[type, object] = {}
 
     # -- public API ---------------------------------------------------------
 
@@ -73,6 +123,14 @@ class Codec:
         out = bytearray()
         self._encode(out, value)
         return bytes(out)
+
+    def encode_into(self, out: bytearray, value) -> None:
+        """Append the canonical encoding of ``value`` to ``out``.
+
+        The fast path for callers assembling larger buffers (signing
+        payloads, framing): no intermediate ``bytes`` copy is made.
+        """
+        self._encode(out, value)
 
     def decode(self, data: bytes):
         value, pos = self._decode(data, 0)
@@ -83,96 +141,257 @@ class Codec:
     # -- encoding -----------------------------------------------------------
 
     def _encode(self, out: bytearray, value) -> None:
-        if value is None:
-            out.append(_NONE)
-        elif value is True:
-            out.append(_TRUE)
-        elif value is False:
-            out.append(_FALSE)
+        encoder = self._encoders.get(value.__class__)
+        if encoder is None:
+            encoder = self._resolve_encoder(value)
+        encoder(out, value)
+
+    def _resolve_encoder(self, value):
+        """Build (and install) the encoder for a class seen for the first time.
+
+        The checks mirror the original ``isinstance`` chain, in the same
+        order, so subclasses keep encoding exactly as they always did.
+        """
+        cls = value.__class__
+        if isinstance(value, bool):
+            encoder = self._enc_bool
         elif isinstance(value, int):
-            out.append(_INT)
-            # Sign-and-magnitude varint: supports arbitrary-size ints.
-            negative = value < 0
-            magnitude = -value if negative else value
-            _write_uvarint(out, (magnitude << 1) | (1 if negative else 0))
+            encoder = self._enc_int
         elif isinstance(value, float):
-            out.append(_FLOAT)
-            out += _FLOAT_STRUCT.pack(value)
+            encoder = self._enc_float
         elif isinstance(value, str):
-            encoded = value.encode("utf-8")
-            out.append(_STR)
-            _write_uvarint(out, len(encoded))
-            out += encoded
+            encoder = self._enc_str
         elif isinstance(value, (bytes, bytearray, memoryview)):
-            raw = bytes(value)
-            out.append(_BYTES)
-            _write_uvarint(out, len(raw))
-            out += raw
+            encoder = self._enc_bytes
         elif isinstance(value, list):
-            out.append(_LIST)
-            _write_uvarint(out, len(value))
-            for item in value:
-                self._encode(out, item)
+            encoder = self._enc_list
         elif isinstance(value, tuple):
-            out.append(_TUPLE)
-            _write_uvarint(out, len(value))
-            for item in value:
-                self._encode(out, item)
+            encoder = self._enc_tuple
         elif isinstance(value, dict):
-            out.append(_DICT)
-            _write_uvarint(out, len(value))
-            for key, item in value.items():
-                self._encode(out, key)
-                self._encode(out, item)
+            encoder = self._enc_dict
         elif isinstance(value, enum.Enum):
-            out.append(_ENUM)
-            _write_uvarint(out, self.registry.id_of(type(value)))
-            self._encode(out, value.value)
+            encoder = self._make_enum_encoder(cls)
         elif dataclasses.is_dataclass(value) and not isinstance(value, type):
-            out.append(_DATACLASS)
-            cls = type(value)
-            _write_uvarint(out, self.registry.id_of(cls))
-            fields = self.registry.fields_of(cls)
-            _write_uvarint(out, len(fields))
-            for field in fields:
-                self._encode(out, getattr(value, field.name))
+            encoder = self._make_dataclass_encoder(cls)
         else:
-            raise EncodeError(f"cannot encode {type(value).__name__}: {value!r}")
+            raise EncodeError(f"cannot encode {cls.__name__}: {value!r}")
+        self._encoders[cls] = encoder
+        return encoder
+
+    # Scalar/container encoders -------------------------------------------
+
+    @staticmethod
+    def _enc_none(out: bytearray, value) -> None:
+        out.append(_NONE)
+
+    @staticmethod
+    def _enc_bool(out: bytearray, value) -> None:
+        out.append(_TRUE if value else _FALSE)
+
+    @staticmethod
+    def _enc_int(out: bytearray, value) -> None:
+        out.append(_INT)
+        # Sign-and-magnitude varint: supports arbitrary-size ints. The
+        # common small non-negative case is a single inlined byte.
+        if 0 <= value < 0x40:
+            out.append(value << 1)
+        elif value < 0:
+            _write_uvarint(out, ((-value) << 1) | 1)
+        else:
+            _write_uvarint(out, value << 1)
+
+    @staticmethod
+    def _enc_float(out: bytearray, value) -> None:
+        out.append(_FLOAT)
+        out += _FLOAT_STRUCT.pack(value)
+
+    @staticmethod
+    def _enc_str(out: bytearray, value) -> None:
+        if PERF.codec_cache:
+            # Protocol strings (addresses, client ids) repeat massively;
+            # memoize the full TLV chunk per distinct string, content-keyed
+            # so the bytes are identical to the uncached path.
+            try:
+                out += _STR_ENC_CACHE[value]
+                return
+            except KeyError:
+                pass
+            encoded = value.encode("utf-8")
+            piece = bytearray((_STR,))
+            _write_uvarint(piece, len(encoded))
+            piece += encoded
+            chunk = bytes(piece)
+            if len(_STR_ENC_CACHE) < _STR_ENC_CACHE_LIMIT:
+                _STR_ENC_CACHE[value] = chunk
+            out += chunk
+            return
+        encoded = value.encode("utf-8")
+        out.append(_STR)
+        _write_uvarint(out, len(encoded))
+        out += encoded
+
+    @staticmethod
+    def _enc_bytes(out: bytearray, value) -> None:
+        out.append(_BYTES)
+        length = len(value)
+        if length < 0x80:
+            out.append(length)
+        else:
+            _write_uvarint(out, length)
+        out += value
+
+    def _enc_list(self, out: bytearray, value) -> None:
+        out.append(_LIST)
+        _write_uvarint(out, len(value))
+        encode_item = self._encode
+        for item in value:
+            encode_item(out, item)
+
+    def _enc_tuple(self, out: bytearray, value) -> None:
+        out.append(_TUPLE)
+        _write_uvarint(out, len(value))
+        encode_item = self._encode
+        for item in value:
+            encode_item(out, item)
+
+    def _enc_dict(self, out: bytearray, value) -> None:
+        out.append(_DICT)
+        _write_uvarint(out, len(value))
+        encode_item = self._encode
+        for key, item in value.items():
+            encode_item(out, key)
+            encode_item(out, item)
+
+    # Registered-type encoders --------------------------------------------
+
+    def _make_enum_encoder(self, cls: type):
+        prefix = bytearray([_ENUM])
+        _write_uvarint(prefix, self.registry.id_of(cls))
+        prefix = bytes(prefix)
+        encode_inner = self._encode
+
+        def enc(out: bytearray, value) -> None:
+            out += prefix
+            encode_inner(out, value.value)
+
+        return enc
+
+    def _make_dataclass_encoder(self, cls: type):
+        prefix = bytearray([_DATACLASS])
+        _write_uvarint(prefix, self.registry.id_of(cls))
+        fields = self.registry.fields_of(cls)
+        _write_uvarint(prefix, len(fields))
+        prefix = bytes(prefix)
+        names = tuple(field.name for field in fields)
+        # attrgetter fetches every field in one C call, and the per-field
+        # encoder dispatch is inlined (same dict the _encode wrapper uses,
+        # so the encoding is identical — this just drops a Python frame
+        # per field on the hottest loop in the codec).
+        get_fields = (
+            operator.attrgetter(*names) if len(names) > 1 else None
+        )
+        encoders = self._encoders
+        resolve = self._resolve_encoder
+        encode_inner = self._encode
+
+        if get_fields is None:
+
+            def enc(out: bytearray, value) -> None:
+                out += prefix
+                if names:
+                    encode_inner(out, getattr(value, names[0]))
+
+            return enc
+
+        def enc(out: bytearray, value) -> None:
+            out += prefix
+            for item in get_fields(value):
+                encoder = encoders.get(item.__class__)
+                if encoder is None:
+                    encoder = resolve(item)
+                encoder(out, item)
+
+        return enc
 
     # -- decoding -----------------------------------------------------------
 
     def _decode(self, data: bytes, pos: int):
-        if pos >= len(data):
+        # The branch order is by decoded-value frequency in protocol
+        # traffic (strings/ints/bytes inside dataclass messages), and the
+        # common one-byte varint is inlined — this function runs several
+        # times per field of every message a simulation delivers.
+        n = len(data)
+        if pos >= n:
             raise DecodeError("truncated input")
         tag = data[pos]
         pos += 1
+        if tag == _STR:
+            if pos >= n:
+                raise DecodeError("truncated varint")
+            length = data[pos]
+            if length < 0x80:
+                pos += 1
+            else:
+                length, pos = _read_uvarint(data, pos)
+            if pos + length > n:
+                raise DecodeError("truncated string")
+            try:
+                return data[pos : pos + length].decode("utf-8"), pos + length
+            except UnicodeDecodeError as exc:
+                raise DecodeError(f"invalid utf-8: {exc}")
+        if tag == _INT:
+            if pos >= n:
+                raise DecodeError("truncated varint")
+            raw = data[pos]
+            if raw < 0x80:
+                pos += 1
+            else:
+                raw, pos = _read_uvarint(data, pos)
+            magnitude = raw >> 1
+            return (-magnitude if raw & 1 else magnitude), pos
+        if tag == _BYTES:
+            if pos >= n:
+                raise DecodeError("truncated varint")
+            length = data[pos]
+            if length < 0x80:
+                pos += 1
+            else:
+                length, pos = _read_uvarint(data, pos)
+            if pos + length > n:
+                raise DecodeError("truncated bytes")
+            return data[pos : pos + length], pos + length
+        if tag == _DATACLASS:
+            type_id, pos = _read_uvarint(data, pos)
+            cls = self.registry.type_of(type_id)
+            count, pos = _read_uvarint(data, pos)
+            fields = self.registry.fields_of(cls)
+            if count != len(fields):
+                raise DecodeError(
+                    f"{cls.__name__}: expected {len(fields)} fields, got {count}"
+                )
+            decode_inner = self._decode
+            values = []
+            append = values.append
+            for _ in range(count):
+                value, pos = decode_inner(data, pos)
+                append(value)
+            construct = self._constructors.get(cls)
+            if construct is None:
+                construct = self._make_constructor(cls)
+            try:
+                return construct(values), pos
+            except (TypeError, ValueError) as exc:
+                raise DecodeError(f"cannot construct {cls.__name__}: {exc}")
         if tag == _NONE:
             return None, pos
         if tag == _TRUE:
             return True, pos
         if tag == _FALSE:
             return False, pos
-        if tag == _INT:
-            raw, pos = _read_uvarint(data, pos)
-            magnitude = raw >> 1
-            return (-magnitude if raw & 1 else magnitude), pos
         if tag == _FLOAT:
-            if pos + 8 > len(data):
+            if pos + 8 > n:
                 raise DecodeError("truncated float")
             return _FLOAT_STRUCT.unpack_from(data, pos)[0], pos + 8
-        if tag == _STR:
-            length, pos = _read_uvarint(data, pos)
-            if pos + length > len(data):
-                raise DecodeError("truncated string")
-            try:
-                return data[pos : pos + length].decode("utf-8"), pos + length
-            except UnicodeDecodeError as exc:
-                raise DecodeError(f"invalid utf-8: {exc}")
-        if tag == _BYTES:
-            length, pos = _read_uvarint(data, pos)
-            if pos + length > len(data):
-                raise DecodeError("truncated bytes")
-            return data[pos : pos + length], pos + length
         if tag in (_LIST, _TUPLE):
             count, pos = _read_uvarint(data, pos)
             items = []
@@ -196,24 +415,42 @@ class Codec:
                 return cls(raw), pos
             except ValueError as exc:
                 raise DecodeError(f"invalid enum value for {cls.__name__}: {exc}")
-        if tag == _DATACLASS:
-            type_id, pos = _read_uvarint(data, pos)
-            cls = self.registry.type_of(type_id)
-            count, pos = _read_uvarint(data, pos)
-            fields = self.registry.fields_of(cls)
-            if count != len(fields):
-                raise DecodeError(
-                    f"{cls.__name__}: expected {len(fields)} fields, got {count}"
-                )
-            values = []
-            for _ in range(count):
-                value, pos = self._decode(data, pos)
-                values.append(value)
-            try:
-                return cls(*values), pos
-            except (TypeError, ValueError) as exc:
-                raise DecodeError(f"cannot construct {cls.__name__}: {exc}")
         raise DecodeError(f"unknown tag byte {tag:#04x}")
+
+    def _make_constructor(self, cls: type):
+        """Build (and install) the decode-side constructor for ``cls``.
+
+        Plain generated-``__init__`` dataclasses without ``__post_init__``
+        or ``__slots__`` are built via ``__new__`` + a direct ``__dict__``
+        fill, skipping the frozen-dataclass ``object.__setattr__`` walk.
+        Anything fancier falls back to calling the class, preserving the
+        original semantics (including ``__post_init__`` validation).
+        """
+        fields = self.registry.fields_of(cls)
+        params = getattr(cls, "__dataclass_params__", None)
+        plain = (
+            params is not None
+            and params.init
+            and "__slots__" not in cls.__dict__
+            and not hasattr(cls, "__post_init__")
+            and all(field.init for field in fields)
+        )
+        if plain:
+            names = tuple(field.name for field in fields)
+            new = cls.__new__
+
+            def construct(values, _cls=cls, _names=names, _new=new):
+                obj = _new(_cls)
+                obj.__dict__.update(zip(_names, values))
+                return obj
+
+        else:
+
+            def construct(values, _cls=cls):
+                return _cls(*values)
+
+        self._constructors[cls] = construct
+        return construct
 
 
 #: Codec over the global registry; what the protocol stacks use.
@@ -228,3 +465,89 @@ def encode(value) -> bytes:
 def decode(data: bytes):
     """Decode ``data`` with the default (global-registry) codec."""
     return DEFAULT_CODEC.decode(data)
+
+
+# -- memoized whole-message encoding ----------------------------------------
+
+
+class EncodedMessage:
+    """A message together with its canonical encoding and lazy digest.
+
+    Broadcast paths pass one :class:`EncodedMessage` around instead of
+    re-encoding per receiver; the truncated content digest (what PROPOSE
+    hashing and reply voting compare) is computed on first access only.
+    """
+
+    __slots__ = ("message", "payload", "_digest")
+
+    def __init__(self, message, payload: bytes) -> None:
+        self.message = message
+        self.payload = payload
+        self._digest: bytes | None = None
+
+    @property
+    def digest(self) -> bytes:
+        if self._digest is None:
+            from repro.crypto.digest import digest as _content_digest
+
+            self._digest = _content_digest(self.payload)
+        return self._digest
+
+    def __len__(self) -> int:
+        return len(self.payload)
+
+    def __repr__(self) -> str:
+        return (
+            f"<EncodedMessage {type(self.message).__name__} "
+            f"{len(self.payload)} bytes>"
+        )
+
+
+#: Identity-keyed LRU of whole-message encodings. Entries hold a strong
+#: reference to the message, so an id() key can never be re-used by a
+#: different live object while its entry is alive.
+_ENCODE_CACHE: dict[int, EncodedMessage] = {}
+_ENCODE_CACHE_LIMIT = 4096
+_ENCODE_STATS = PERF.stats["codec_encode"]
+
+#: Per-class eligibility for memoization (only frozen dataclasses, whose
+#: identity pins their content).
+_FROZEN_CLASS: dict[type, bool] = {}
+
+
+def _is_frozen_dataclass(cls: type) -> bool:
+    frozen = _FROZEN_CLASS.get(cls)
+    if frozen is None:
+        params = getattr(cls, "__dataclass_params__", None)
+        frozen = bool(params is not None and params.frozen)
+        _FROZEN_CLASS[cls] = frozen
+    return frozen
+
+
+def encode_cached(message) -> EncodedMessage:
+    """Encode ``message`` (default codec), memoizing immutable messages.
+
+    Only frozen-dataclass instances are memoized — their identity pins
+    their content — and the cache is keyed on identity, so the memoized
+    payload is byte-identical to a fresh encode by construction.
+    """
+    if not PERF.codec_cache or not _is_frozen_dataclass(message.__class__):
+        return EncodedMessage(message, DEFAULT_CODEC.encode(message))
+    key = id(message)
+    cached = _ENCODE_CACHE.get(key)
+    if cached is not None and cached.message is message:
+        _ENCODE_STATS.hits += 1
+        return cached
+    _ENCODE_STATS.misses += 1
+    encoded = EncodedMessage(message, DEFAULT_CODEC.encode(message))
+    # Cleared wholesale when full: O(1) amortized eviction, and the cache
+    # only needs to cover in-flight messages anyway.
+    if len(_ENCODE_CACHE) >= _ENCODE_CACHE_LIMIT:
+        _ENCODE_CACHE.clear()
+    _ENCODE_CACHE[key] = encoded
+    return encoded
+
+
+def clear_encode_cache() -> None:
+    _ENCODE_CACHE.clear()
+    _STR_ENC_CACHE.clear()

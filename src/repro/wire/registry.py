@@ -22,6 +22,10 @@ class TypeRegistry:
     def __init__(self) -> None:
         self._by_id: dict[int, type] = {}
         self._by_type: dict[type, int] = {}
+        #: Pre-resolved dataclass field tuples: ``dataclasses.fields`` walks
+        #: the class dict on every call, which is measurable on the encode
+        #: hot path, so it is done once at registration.
+        self._fields: dict[type, tuple] = {}
 
     def register(self, type_id: int):
         """Class decorator registering a dataclass or Enum under ``type_id``."""
@@ -38,6 +42,8 @@ class TypeRegistry:
                 )
             self._by_id[type_id] = cls
             self._by_type[cls] = type_id
+            if dataclasses.is_dataclass(cls):
+                self._fields[cls] = tuple(dataclasses.fields(cls))
             return cls
 
         return decorator
@@ -55,7 +61,11 @@ class TypeRegistry:
             raise DecodeError(f"unknown wire type id {type_id}")
 
     def fields_of(self, cls: type) -> tuple:
-        return dataclasses.fields(cls)
+        fields = self._fields.get(cls)
+        if fields is None:
+            fields = tuple(dataclasses.fields(cls))
+            self._fields[cls] = fields
+        return fields
 
 
 #: The process-wide registry all protocol modules register into.

@@ -97,3 +97,37 @@ def test_replayed_envelope_to_wrong_receiver_fails():
     sealed = channels["a"].seal(Stop(sender="a", regency=1), receivers=["b"])
     forged = Sealed(sender="a", payload=sealed.payload, tags={"c": sealed.tags["b"]})
     assert channels["c"].open(forged) is None
+
+
+def test_sealed_wire_size_matches_real_encoding():
+    """The arithmetic size hint must equal the actual encoded length."""
+    from repro.bftsmart.messages import ClientRequest
+    from repro.bftsmart.channel import sealed_wire_size
+    from repro.wire import encode
+
+    sim, channels, _ = make_channels(("a", "b", "c", "d"))
+    messages = [
+        Stop(sender="a", regency=1),
+        ClientRequest(
+            client_id="a", sequence=9, operation=bytes(300), reply_to="a"
+        ),
+    ]
+    for message in messages:
+        for receivers in (["b"], ["b", "c"], ["b", "c", "d"]):
+            sealed = channels["a"].seal(message, receivers=receivers)
+            assert sealed_wire_size(sealed) == len(encode(sealed))
+
+
+def test_decode_share_open_returns_equal_message_without_reencoding():
+    """Receivers of a seeded envelope see the sender's exact message."""
+    from repro.perf import PERF, clear_hot_path_caches
+
+    sim, channels, _ = make_channels(("a", "b"))
+    message = Stop(sender="a", regency=4)
+    clear_hot_path_caches()
+    sealed = channels["a"].seal(message, receivers=["b"])
+    opened = channels["b"].open(sealed)
+    assert opened == message
+    if PERF.decode_share:
+        # Seeded at seal time: no decode happened on the open path.
+        assert opened is message
