@@ -16,6 +16,11 @@ perf
     Print the hot-path performance report (``BENCH_PERF.json``),
     measuring it first if the file does not exist (``--rerun`` forces a
     fresh measurement).
+chaos
+    Run fault-drill campaigns against SMaRt-SCADA: a named scenario
+    (``--list`` shows them), or ``random`` for seeded sampled schedules.
+    ``--seeds N`` sweeps N seeds; ``--shrink`` minimizes a failing
+    schedule and prints a replayable snippet.
 """
 
 from __future__ import annotations
@@ -186,6 +191,96 @@ def cmd_steps(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.chaos import (
+        get_scenario,
+        list_scenarios,
+        run_campaign,
+        sample_schedule,
+        shrink_schedule,
+    )
+    from repro.chaos.campaign import CampaignConfig
+
+    if args.list:
+        _print_table(
+            "chaos scenarios",
+            ["name", "expects", "description"],
+            [
+                [s.name, "violation" if s.expect_violation else "pass",
+                 s.description]
+                for s in list_scenarios()
+            ],
+        )
+        return 0
+
+    if args.scenario is None:
+        print("error: name a scenario (or 'random'); see --list", file=sys.stderr)
+        return 2
+
+    if args.scenario == "random":
+        expect_violation = False
+
+        def build(seed):
+            return sample_schedule(seed)
+
+        def config_for(seed):
+            return CampaignConfig(seed=seed)
+    else:
+        scenario = get_scenario(args.scenario)
+        expect_violation = scenario.expect_violation
+
+        def build(seed):
+            return scenario.schedule()
+
+        def config_for(seed):
+            return scenario.config(seed=seed)
+
+    seeds = range(args.seed, args.seed + args.seeds)
+    rows = []
+    as_expected = True
+    failing = None
+    for seed in seeds:
+        schedule = build(seed)
+        report = run_campaign(schedule, config_for(seed))
+        verdict = "PASS" if report.ok else "FAIL"
+        if report.ok == expect_violation:
+            as_expected = False
+        if not report.ok and failing is None:
+            failing = (schedule, config_for(seed), report)
+        rows.append([
+            seed,
+            verdict,
+            len(schedule),
+            f"{report.writes_succeeded}+{report.writes_failed_cleanly}f"
+            f"/{report.writes_total}",
+            report.fault_stats.get("total_fired", 0),
+            ", ".join(report.violated_invariants()) or "-",
+        ])
+    _print_table(
+        f"chaos campaign: {args.scenario}",
+        ["seed", "verdict", "actions", "writes", "faults fired", "violations"],
+        rows,
+    )
+    if failing is not None:
+        _schedule, _config, report = failing
+        print("\nfirst failing campaign:")
+        for violation in report.violations:
+            print(f"  t={violation.time:6.2f}s  {violation.invariant}: "
+                  f"{violation.detail}")
+        if args.shrink:
+            print("\nshrinking the failing schedule...")
+            result = shrink_schedule(_schedule, _config)
+            print(f"minimal schedule after {result.runs} runs "
+                  f"({result.removed_actions} actions removed):")
+            print(result.schedule.describe())
+            print("\nreplay snippet:\n")
+            print(result.snippet)
+    status = "as expected" if as_expected else "NOT as expected"
+    print(f"\nexpectation: "
+          f"{'violation' if expect_violation else 'pass'} — {status}")
+    return 0 if as_expected else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -215,6 +310,21 @@ def main(argv=None) -> int:
     perf.add_argument("--rerun", action="store_true",
                       help="remeasure even if the report file exists")
     perf.set_defaults(func=cmd_perf)
+
+    chaos = subparsers.add_parser(
+        "chaos", help="run fault-drill campaigns (see chaos --list)"
+    )
+    chaos.add_argument("scenario", nargs="?", default=None,
+                       help="scenario name, or 'random' for sampled schedules")
+    chaos.add_argument("--list", action="store_true",
+                       help="list the scenario library and exit")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="first campaign seed (default 0)")
+    chaos.add_argument("--seeds", type=int, default=1,
+                       help="number of consecutive seeds to sweep (default 1)")
+    chaos.add_argument("--shrink", action="store_true",
+                       help="minimize the first failing schedule")
+    chaos.set_defaults(func=cmd_chaos)
 
     args = parser.parse_args(argv)
     return args.func(args)

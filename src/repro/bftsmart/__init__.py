@@ -9,7 +9,9 @@ communication pattern, §VI).
 """
 
 from repro.bftsmart.byzantine import (
+    FALSIFY_OFFSET,
     EquivocatingLeader,
+    FalsifyingReplica,
     LyingReplica,
     SilentReplica,
     StutteringReplica,
@@ -51,6 +53,8 @@ __all__ = [
     "CounterService",
     "EchoService",
     "EquivocatingLeader",
+    "FALSIFY_OFFSET",
+    "FalsifyingReplica",
     "GroupConfig",
     "KeyValueService",
     "LyingReplica",

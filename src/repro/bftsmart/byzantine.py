@@ -12,6 +12,11 @@ from __future__ import annotations
 from repro.bftsmart.messages import Reply
 from repro.bftsmart.replica import ServiceReplica
 
+#: Offset a :class:`FalsifyingReplica` adds to numeric item values: far
+#: outside any workload's range, so a forged reading that slips past the
+#: proxies' f+1 vote is unambiguous in tests and chaos monitors.
+FALSIFY_OFFSET = 1_000_000
+
 
 class SilentReplica(ServiceReplica):
     """Crash-like behaviour: receives everything, says nothing."""
@@ -74,6 +79,38 @@ class EquivocatingLeader(ServiceReplica):
             for receiver in group:
                 self.channel.send(receiver, propose)
         self.stats["proposals"] += 1
+
+
+class FalsifyingReplica(ServiceReplica):
+    """Participates correctly but pushes forged ItemUpdates to clients.
+
+    This is the attack the paper's f+1 push voting exists to stop: a
+    compromised Master replica shows the operator a false view of the
+    field. The forgery is deterministic (value + ``FALSIFY_OFFSET``), so
+    two colluding falsifiers produce byte-identical forgeries — with
+    ``f=1`` a single falsifier never reaches the f+1 vote and the HMI is
+    safe, while two of them (over budget) out-vote the honest replicas.
+    """
+
+    def push(self, client_id, stream, order, payload) -> None:
+        from repro.neoscada.messages import ItemUpdate
+        from repro.wire import DecodeError, decode, encode
+
+        try:
+            message = decode(payload)
+        except DecodeError:
+            message = None
+        if isinstance(message, ItemUpdate) and isinstance(
+            message.value.value, (int, float)
+        ) and not isinstance(message.value.value, bool):
+            forged = ItemUpdate(
+                item_id=message.item_id,
+                value=message.value.with_value(
+                    message.value.value + FALSIFY_OFFSET
+                ),
+            )
+            payload = encode(forged)
+        super().push(client_id, stream, order, payload)
 
 
 class StutteringReplica(ServiceReplica):

@@ -92,6 +92,13 @@ class PushVoter:
 class ServiceProxy:
     """Issues requests to a replica group and votes on the replies."""
 
+    #: Retransmission backoff: each retry waits ``backoff_factor`` times
+    #: longer than the last, capped at ``backoff_cap * invoke_timeout``.
+    backoff_factor = 2.0
+    backoff_cap = 4.0
+    #: Deterministic jitter fraction added on top of each backoff step.
+    backoff_jitter = 0.1
+
     def __init__(
         self,
         sim: Simulator,
@@ -108,6 +115,10 @@ class ServiceProxy:
         self.view = view
         self.invoke_timeout = invoke_timeout
         self.max_attempts = max_attempts
+        # Every proxy jitters from its own named stream: runs stay
+        # reproducible per seed, and two proxies never thundering-herd
+        # their retransmissions onto the same instant.
+        self._backoff_rng = sim.rng.stream(f"client.{client_id}.backoff")
 
         self.endpoint = net.endpoint(client_id)
         self.endpoint.set_handler(self._on_network_message)
@@ -124,6 +135,15 @@ class ServiceProxy:
         #: refreshes the membership out of band, as BFT-SMaRt clients do
         #: through their view storage).
         self.view_stale = False
+        #: Every replica address this proxy has ever known (across view
+        #: updates). Late retransmissions broadcast to this union: after a
+        #: leader change or reconfiguration the *current* view may be
+        #: stale, and a request parked at removed members costs nothing.
+        self._known_addresses: set = set(view.addresses)
+        #: Optional observer ``fn(sequence, result, voters)`` fired when a
+        #: quorum completes an invocation (chaos invariant monitors hook
+        #: this to check results are backed by honest replicas).
+        self.on_result = None
         self.stats = {"invocations": 0, "retransmissions": 0, "failures": 0}
 
     # -- invoking --------------------------------------------------------------
@@ -157,7 +177,7 @@ class ServiceProxy:
         self.stats["invocations"] += 1
         self._transmit(request)
         invocation.timer = self.sim.call_later(
-            self.invoke_timeout, self._retransmit, sequence
+            self._retransmission_delay(invocation.attempts), self._retransmit, sequence
         )
         return event
 
@@ -179,11 +199,27 @@ class ServiceProxy:
             seed_signing_payload(signed, payload)
         return signed
 
-    def _transmit(self, request: ClientRequest) -> None:
+    def _transmit(self, request: ClientRequest, broadcast: bool = False) -> None:
         # Serialize-once multicast: the request is encoded a single time
         # and the payload bytes object is shared by every replica's
         # envelope (which is what lets the replicas share one decode).
-        self.channel.multicast(list(self.view.addresses), request)
+        if broadcast and len(self._known_addresses) > len(self.view.addresses):
+            targets = sorted(self._known_addresses)
+        else:
+            targets = list(self.view.addresses)
+        self.channel.multicast(targets, request)
+
+    def _retransmission_delay(self, attempts: int) -> float:
+        """Capped exponential backoff with deterministic jitter.
+
+        ``attempts`` is the number of transmissions already performed; the
+        first retry waits one ``invoke_timeout``, each further retry twice
+        the previous wait, capped at ``backoff_cap`` timeouts so a client
+        parked behind a long partition still probes at a bounded period.
+        """
+        scale = min(self.backoff_factor ** (attempts - 1), self.backoff_cap)
+        jitter = 1.0 + self.backoff_jitter * self._backoff_rng.random()
+        return self.invoke_timeout * scale * jitter
 
     def _retransmit(self, sequence: int) -> None:
         invocation = self._pending.get(sequence)
@@ -201,9 +237,12 @@ class ServiceProxy:
             return
         invocation.attempts += 1
         self.stats["retransmissions"] += 1
-        self._transmit(invocation.request)
+        # From the first backoff step on, the view that selected the
+        # original targets may be stale (leader change, reconfiguration):
+        # broadcast to every replica this proxy has ever known.
+        self._transmit(invocation.request, broadcast=True)
         invocation.timer = self.sim.call_later(
-            self.invoke_timeout, self._retransmit, sequence
+            self._retransmission_delay(invocation.attempts), self._retransmit, sequence
         )
 
     # -- receiving -------------------------------------------------------------
@@ -231,6 +270,8 @@ class ServiceProxy:
             self._pending.pop(reply.sequence, None)
             if invocation.timer is not None:
                 invocation.timer.cancel()
+            if self.on_result is not None:
+                self.on_result(reply.sequence, reply.result, frozenset(votes))
             invocation.event.succeed(reply.result)
 
     # -- membership -------------------------------------------------------------
@@ -240,3 +281,4 @@ class ServiceProxy:
         if view.view_id >= self.view.view_id:
             self.view = view
             self.view_stale = False
+            self._known_addresses.update(view.addresses)

@@ -1,0 +1,415 @@
+"""The deterministic chaos-campaign runner.
+
+One campaign = one fresh SMaRt-SCADA deployment + background SCADA
+traffic (sensor updates and operator writes) + one fault
+:class:`~repro.chaos.schedule.Schedule` + the invariant monitor suite.
+The runner:
+
+1. validates the schedule against the ``f`` replica-fault budget,
+2. builds the system from the campaign seed (every RNG stream derives
+   from it),
+3. applies each action at its start time and reverts it at its end time
+   (open-ended faults heal at the fault horizon),
+4. polls the safety monitors throughout, lets the system settle, then
+   evaluates the liveness monitors,
+5. returns a :class:`CampaignReport` with the verdicts and a
+   :meth:`~CampaignReport.fingerprint` that is bit-stable: the same seed
+   and schedule always produce the identical fingerprint, with the PERF
+   switches on or off.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+
+from repro.bftsmart.config import replica_address
+from repro.chaos.monitors import Violation, default_monitors
+from repro.chaos.schedule import Schedule
+from repro.core.config import SmartScadaConfig
+from repro.core.system import build_smartscada, make_network
+from repro.neoscada import HandlerChain, Monitor
+from repro.sim.kernel import Simulator
+
+#: Retransmission budget for campaign clients: campaigns crash replicas
+#: and partition the network on purpose, so clients must keep probing
+#: (with the capped backoff) rather than give up mid-fault.
+CAMPAIGN_MAX_ATTEMPTS = 1000
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Tunables for one campaign run (all timing in simulated seconds)."""
+
+    seed: int = 0
+    #: Faults only start/stop inside [0, horizon]; open-ended faults heal here.
+    horizon: float = 6.0
+    #: Post-horizon grace for recovery before liveness verdicts.
+    settle: float = 10.0
+    #: Liveness bound: writes must complete within this of max(submit, last heal).
+    liveness_bound: float = 8.0
+    #: Background traffic.
+    update_interval: float = 0.2
+    write_interval: float = 1.2
+    sensors: int = 3
+    #: Group shape.
+    n: int = 4
+    f: int = 1
+    #: Permit schedules that exceed the replica-fault budget (attack drills).
+    allow_overload: bool = False
+    #: Safety-monitor polling period.
+    poll_interval: float = 0.1
+    #: Record the network trace (for hop-level fingerprints).
+    trace: bool = False
+    #: Protocol timeouts, scaled down from the defaults so leader changes
+    #: and logical timeouts resolve within a short campaign.
+    request_timeout: float = 1.0
+    sync_timeout: float = 2.0
+    invoke_timeout: float = 0.5
+    logical_timeout: float = 0.8
+
+    def scada_config(self) -> SmartScadaConfig:
+        return SmartScadaConfig(
+            n=self.n,
+            f=self.f,
+            request_timeout=self.request_timeout,
+            sync_timeout=self.sync_timeout,
+            invoke_timeout=self.invoke_timeout,
+            logical_timeout=self.logical_timeout,
+        )
+
+
+@dataclass
+class WriteRecord:
+    """Ledger entry for one operator write issued during the campaign."""
+
+    number: int
+    item_id: str
+    value: object
+    submitted: float
+    completed: float | None = None
+    success: bool | None = None
+    reason: str | None = None
+
+
+@dataclass
+class CampaignContext:
+    """Everything actions and monitors need about the running campaign."""
+
+    sim: Simulator
+    net: object
+    system: object
+    config: CampaignConfig
+    handler_config: object = None
+    injector: object = None
+    #: Replica indices currently taken down / swapped Byzantine.
+    crashed: set = field(default_factory=set)
+    compromised: set = field(default_factory=set)
+    rejuvenations: int = 0
+    #: item_id -> set of values the field actually produced.
+    legal_values: dict = field(default_factory=dict)
+    writes: list = field(default_factory=list)
+    violations: list = field(default_factory=list)
+    #: Instant the last fault healed (liveness clock zero).
+    last_heal: float = 0.0
+    _seen_violations: set = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.injector is None:
+            self.injector = self.net.faults
+
+    # -- recording -----------------------------------------------------
+
+    def record_violation(self, invariant: str, detail: str) -> None:
+        key = (invariant, detail)
+        if key in self._seen_violations:
+            return
+        self._seen_violations.add(key)
+        self.violations.append(Violation(self.sim.now, invariant, detail))
+
+    # -- topology helpers ----------------------------------------------
+
+    def all_addresses(self) -> list:
+        return self.net.addresses()
+
+    def honest_indices(self) -> list:
+        return [
+            pm.index
+            for pm in self.system.proxy_masters
+            if pm.index not in self.compromised
+        ]
+
+    def honest_addresses(self) -> set:
+        return {replica_address(i) for i in self.honest_indices()}
+
+    def honest_live_replicas(self) -> list:
+        return [pm.replica for pm in self.honest_live_proxy_masters()]
+
+    def honest_live_proxy_masters(self) -> list:
+        return [
+            pm
+            for pm in self.system.proxy_masters
+            if pm.replica.active
+            and pm.index not in self.compromised
+            and pm.index not in self.crashed
+        ]
+
+    def client_proxies(self) -> list:
+        """Every external BFT client (HMI side + field side)."""
+        return [self.system.proxy_hmi.bft] + [
+            pf.bft for pf in self.system.proxy_frontends
+        ]
+
+    def current_leader_index(self) -> int:
+        """The replica index honest replicas currently follow."""
+        for pm in self.honest_live_proxy_masters():
+            leader = pm.replica.leader  # "replica-<k>"
+            return int(leader.rsplit("-", 1)[1])
+        return 0
+
+    def converged(self) -> bool:
+        replicas = self.honest_live_replicas()
+        if not replicas:
+            return False
+        return (
+            len({r.last_decided for r in replicas}) == 1
+            and len({r.executed_cid for r in replicas}) == 1
+        )
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one campaign run."""
+
+    seed: int
+    schedule: Schedule
+    violations: list
+    duration: float
+    writes_total: int
+    writes_succeeded: int
+    writes_failed_cleanly: int
+    updates_sent: int
+    rejuvenations: int
+    events_dispatched: int
+    fault_stats: dict
+    state_digests: list
+    trace_digest: str
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def violated_invariants(self) -> list:
+        return sorted({v.invariant for v in self.violations})
+
+    def fingerprint(self) -> str:
+        """Bit-stable digest of the run: trace, state and verdicts.
+
+        Two runs with the same seed and schedule must produce identical
+        fingerprints — this is the determinism contract the test suite
+        asserts with the PERF switches both on and off.
+        """
+        h = hashlib.sha256()
+        h.update(f"seed={self.seed};t={self.duration:.9f};".encode())
+        h.update(f"dispatched={self.events_dispatched};".encode())
+        h.update(
+            f"writes={self.writes_total}/{self.writes_succeeded}/"
+            f"{self.writes_failed_cleanly};updates={self.updates_sent};".encode()
+        )
+        for digest_bytes in self.state_digests:
+            h.update(digest_bytes)
+        h.update(self.trace_digest.encode())
+        for violation in self.violations:
+            h.update(
+                f"{violation.time:.9f}|{violation.invariant}|"
+                f"{violation.detail};".encode()
+            )
+        return h.hexdigest()
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        extra = ""
+        if not self.ok:
+            extra = f" [{', '.join(self.violated_invariants())}]"
+        return (
+            f"{verdict}{extra} seed={self.seed} writes="
+            f"{self.writes_succeeded}+{self.writes_failed_cleanly}f/"
+            f"{self.writes_total} faults_fired={self.fault_stats.get('total_fired', 0)}"
+        )
+
+
+def _trace_digest(net) -> str:
+    if not net.trace.enabled:
+        return ""
+    h = hashlib.sha256()
+    for hop in net.trace.hops:
+        h.update(
+            f"{hop.src}>{hop.dst}:{hop.kind}:{hop.size}:"
+            f"{hop.sent_at:.9f}:{hop.delivered_at:.9f};".encode()
+        )
+    return h.hexdigest()
+
+
+def run_campaign(
+    schedule: Schedule,
+    config: CampaignConfig | None = None,
+    monitors: list | None = None,
+) -> CampaignReport:
+    """Run one deterministic fault campaign and report the verdicts."""
+    config = config if config is not None else CampaignConfig()
+    schedule.validate_budget(config.f, config.horizon, config.allow_overload)
+    monitors = monitors if monitors is not None else default_monitors()
+
+    sim = Simulator(seed=config.seed)
+    net = make_network(sim, trace=config.trace)
+    system = build_smartscada(sim, net=net, config=config.scada_config())
+
+    sensors = [f"plant.s{i}" for i in range(config.sensors)]
+    for sensor in sensors:
+        system.frontend.add_item(sensor, initial=0)
+    system.frontend.add_item("plant.actuator", initial=0, writable=True)
+
+    def make_chain():
+        return HandlerChain([Monitor(high=750.0)])
+
+    for sensor in sensors:
+        system.attach_handlers(sensor, make_chain)
+
+    def handler_config(proxy_master) -> None:
+        # Fresh incarnations (rejuvenation, Byzantine swap) re-read their
+        # configuration: handler chains and the campaign's retry budget.
+        for sensor in sensors:
+            proxy_master.attach_handlers(sensor, make_chain())
+        proxy_master.vote_client.max_attempts = CAMPAIGN_MAX_ATTEMPTS
+
+    ctx = CampaignContext(
+        sim=sim,
+        net=net,
+        system=system,
+        config=config,
+        handler_config=handler_config,
+    )
+    ctx.legal_values = {sensor: {0} for sensor in sensors}
+    ctx.legal_values["plant.actuator"] = {0}
+    heal_times = []
+    for action in schedule:
+        interval = action.fault_interval(config.horizon)
+        if interval is not None:
+            heal_times.append(interval[1])
+        else:
+            heal_times.append(action.end(config.horizon))
+    ctx.last_heal = max(heal_times, default=0.0)
+
+    system.start()
+    for proxy in ctx.client_proxies():
+        proxy.max_attempts = CAMPAIGN_MAX_ATTEMPTS
+    for proxy_master in system.proxy_masters:
+        proxy_master.vote_client.max_attempts = CAMPAIGN_MAX_ATTEMPTS
+
+    for monitor in monitors:
+        monitor.start(ctx)
+
+    # -- schedule the faults (action times are absolute sim times) ------
+    for action in schedule:
+        sim.call_later(max(action.at - sim.now, 0.0), action.apply, ctx)
+        end = max(action.end(config.horizon), action.at)
+        sim.call_later(max(end - sim.now, 0.0), action.revert, ctx)
+
+    # -- background traffic --------------------------------------------
+    counters = {"updates": 0}
+
+    def update_traffic():
+        step = 0
+        while sim.now < config.horizon:
+            yield sim.timeout(config.update_interval)
+            step += 1
+            for j, sensor in enumerate(sensors):
+                value = (step * 37 + j * 101) % 700 + 1
+                ctx.legal_values[sensor].add(value)
+                system.frontend.inject_update(sensor, value)
+                counters["updates"] += 1
+
+    def write_traffic():
+        number = 0
+        while sim.now < config.horizon:
+            yield sim.timeout(config.write_interval)
+            number += 1
+            value = (number * 10) % 500 + 3
+            record = WriteRecord(
+                number=number,
+                item_id="plant.actuator",
+                value=value,
+                submitted=sim.now,
+            )
+            ctx.writes.append(record)
+            ctx.legal_values["plant.actuator"].add(value)
+            event = system.hmi.write("plant.actuator", value)
+
+            def on_done(ev, record=record) -> None:
+                result = ev.value
+                record.completed = sim.now
+                record.success = result.success
+                record.reason = result.reason
+
+            event.add_callback(on_done)
+
+    def monitor_poller():
+        while True:
+            yield sim.timeout(config.poll_interval)
+            for monitor in monitors:
+                monitor.poll(ctx)
+
+    sim.process(update_traffic(), name="chaos-updates")
+    sim.process(write_traffic(), name="chaos-writes")
+    sim.process(monitor_poller(), name="chaos-monitors")
+
+    # -- run: fault window, then settle until quiesced ------------------
+    sim.run(until=config.horizon)
+    deadline = config.horizon + config.settle
+    while sim.now < deadline:
+        sim.run(until=min(sim.now + 0.5, deadline))
+        if ctx.converged() and all(r.completed is not None for r in ctx.writes):
+            break
+
+    for monitor in monitors:
+        monitor.finish(ctx)
+
+    succeeded = sum(1 for r in ctx.writes if r.success)
+    failed_cleanly = sum(
+        1 for r in ctx.writes if r.completed is not None and not r.success
+    )
+    return CampaignReport(
+        seed=config.seed,
+        schedule=schedule,
+        violations=list(ctx.violations),
+        duration=sim.now,
+        writes_total=len(ctx.writes),
+        writes_succeeded=succeeded,
+        writes_failed_cleanly=failed_cleanly,
+        updates_sent=counters["updates"],
+        rejuvenations=ctx.rejuvenations,
+        events_dispatched=sim.stats()["events_dispatched"],
+        fault_stats=sim.stats().get("net.faults", {}),
+        state_digests=system.state_digests(),
+        trace_digest=_trace_digest(net),
+    )
+
+
+def sweep_seeds(
+    build_schedule,
+    seeds,
+    config: CampaignConfig | None = None,
+) -> dict:
+    """Run one campaign per seed; returns ``{seed: CampaignReport}``.
+
+    ``build_schedule`` is either a fixed :class:`Schedule` (replayed
+    under different simulation seeds) or a callable ``fn(seed) ->
+    Schedule`` (e.g. :func:`~repro.chaos.schedule.sample_schedule`) for
+    randomized campaigns.
+    """
+    config = config if config is not None else CampaignConfig()
+    reports = {}
+    for seed in seeds:
+        schedule = build_schedule(seed) if callable(build_schedule) else build_schedule
+        reports[seed] = run_campaign(schedule, replace(config, seed=seed))
+    return reports

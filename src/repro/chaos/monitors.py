@@ -1,0 +1,236 @@
+"""Invariant monitors that run continuously during a chaos campaign.
+
+Safety invariants (checked every poll tick):
+
+``ordered-prefix``
+    All honest replicas execute the same totally-ordered prefix: once any
+    honest replica decides value ``v`` for consensus slot ``cid``, every
+    honest replica's decision log must hold the identical bytes for that
+    slot forever.
+``reply-agreement``
+    No two honest replicas send divergent replies for the same
+    ``(client, sequence)``.
+``hmi-truth``
+    The operator's HMI only ever displays values the field actually
+    produced (the workload ledger). A forged reading that survives the
+    proxies' f+1 push vote — possible only when more than ``f`` replicas
+    are compromised — trips this immediately.
+``client-quorum``
+    Every result a client accepts is quorum-backed by at least one
+    currently-honest replica (hooked into the proxies' vote completion).
+
+Liveness invariants (checked when the campaign quiesces):
+
+``write-completion``
+    Every submitted write completes — successfully or as the
+    deterministic failure synthesized by the §IV-D logical-timeout
+    protocol — within ``liveness_bound`` seconds of the later of its
+    submission and the last fault heal.
+``leader-convergence``
+    After the faults heal, at least ``n - f`` honest replicas agree on
+    the maximum installed regency (the synchronization phase converged).
+``state-convergence``
+    Honest live replicas agree on ``last_decided`` / ``executed_cid`` and
+    hold byte-identical Master state.
+
+Monitors never mutate system state; a campaign stays bit-deterministic
+with any subset of monitors installed.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+from repro.crypto import digest
+
+if typing.TYPE_CHECKING:
+    from repro.chaos.campaign import CampaignContext
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation observed during a campaign."""
+
+    time: float
+    invariant: str
+    detail: str
+
+
+class InvariantMonitor:
+    """Base monitor: ``poll`` runs every tick, ``finish`` at quiesce."""
+
+    name = "invariant"
+
+    def start(self, ctx: "CampaignContext") -> None:
+        pass
+
+    def poll(self, ctx: "CampaignContext") -> None:
+        pass
+
+    def finish(self, ctx: "CampaignContext") -> None:
+        pass
+
+
+class OrderedPrefixMonitor(InvariantMonitor):
+    name = "ordered-prefix"
+
+    def __init__(self) -> None:
+        self._decided: dict[int, bytes] = {}
+
+    def poll(self, ctx) -> None:
+        for replica in ctx.honest_live_replicas():
+            for cid, value, _timestamp in replica.decision_log:
+                fingerprint = digest(value)
+                seen = self._decided.get(cid)
+                if seen is None:
+                    self._decided[cid] = fingerprint
+                elif seen != fingerprint:
+                    ctx.record_violation(
+                        self.name,
+                        f"replica {replica.address} decided a different "
+                        f"value for cid={cid} than an earlier honest replica",
+                    )
+
+
+class ReplyAgreementMonitor(InvariantMonitor):
+    name = "reply-agreement"
+
+    def __init__(self) -> None:
+        self._replies: dict[tuple, bytes] = {}
+
+    def poll(self, ctx) -> None:
+        for replica in ctx.honest_live_replicas():
+            for client_id, reply in replica._last_reply.items():
+                key = (client_id, reply.sequence)
+                fingerprint = digest(reply.result)
+                seen = self._replies.get(key)
+                if seen is None:
+                    self._replies[key] = fingerprint
+                elif seen != fingerprint:
+                    ctx.record_violation(
+                        self.name,
+                        f"replica {replica.address} replied divergently to "
+                        f"client {client_id} sequence {reply.sequence}",
+                    )
+
+
+class HmiTruthMonitor(InvariantMonitor):
+    name = "hmi-truth"
+
+    def poll(self, ctx) -> None:
+        hmi = ctx.system.hmi
+        for item_id, legal in ctx.legal_values.items():
+            shown = hmi.value_of(item_id)
+            if shown is not None and shown not in legal:
+                ctx.record_violation(
+                    self.name,
+                    f"HMI displays {shown!r} for {item_id!r}, which the "
+                    f"field never produced (forged reading passed the "
+                    f"f+1 push vote)",
+                )
+
+
+class ClientQuorumMonitor(InvariantMonitor):
+    """Hooks every external client proxy's vote-completion callback."""
+
+    name = "client-quorum"
+
+    def start(self, ctx) -> None:
+        for proxy in ctx.client_proxies():
+            proxy.on_result = self._observer(ctx, proxy.client_id)
+
+    def _observer(self, ctx, client_id: str):
+        def on_result(sequence, _result, voters) -> None:
+            honest = ctx.honest_addresses()
+            if honest and not (set(voters) & honest):
+                ctx.record_violation(
+                    self.name,
+                    f"client {client_id} accepted a result for sequence "
+                    f"{sequence} voted only by compromised replicas "
+                    f"({sorted(voters)})",
+                )
+
+        return on_result
+
+
+class WriteCompletionMonitor(InvariantMonitor):
+    name = "write-completion"
+
+    def finish(self, ctx) -> None:
+        bound = ctx.config.liveness_bound
+        for record in ctx.writes:
+            deadline = max(record.submitted, ctx.last_heal) + bound
+            if record.completed is None:
+                ctx.record_violation(
+                    self.name,
+                    f"write #{record.number} ({record.item_id}={record.value!r}, "
+                    f"submitted t={record.submitted:.2f}s) never completed "
+                    f"(deadline t={deadline:.2f}s, now t={ctx.sim.now:.2f}s)",
+                )
+            elif record.completed > deadline:
+                ctx.record_violation(
+                    self.name,
+                    f"write #{record.number} completed at t={record.completed:.2f}s, "
+                    f"after its deadline t={deadline:.2f}s",
+                )
+
+
+class LeaderConvergenceMonitor(InvariantMonitor):
+    name = "leader-convergence"
+
+    def finish(self, ctx) -> None:
+        replicas = ctx.honest_live_replicas()
+        if not replicas:
+            ctx.record_violation(self.name, "no honest live replicas at quiesce")
+            return
+        regencies = [r.synchronizer.regency for r in replicas]
+        top = max(regencies)
+        agreed = sum(1 for regency in regencies if regency == top)
+        needed = ctx.config.n - ctx.config.f
+        if agreed < needed:
+            ctx.record_violation(
+                self.name,
+                f"only {agreed} honest replicas installed regency {top} "
+                f"(need {needed}); regencies={regencies}",
+            )
+
+
+class StateConvergenceMonitor(InvariantMonitor):
+    name = "state-convergence"
+
+    def finish(self, ctx) -> None:
+        replicas = ctx.honest_live_replicas()
+        if len(replicas) < 2:
+            return
+        decided = {r.last_decided for r in replicas}
+        executed = {r.executed_cid for r in replicas}
+        if len(decided) > 1 or len(executed) > 1:
+            ctx.record_violation(
+                self.name,
+                f"honest replicas did not converge: last_decided={sorted(decided)} "
+                f"executed_cid={sorted(executed)}",
+            )
+            return
+        digests = {
+            digest(pm.service.snapshot()) for pm in ctx.honest_live_proxy_masters()
+        }
+        if len(digests) > 1:
+            ctx.record_violation(
+                self.name,
+                f"honest replicas hold {len(digests)} distinct Master states "
+                f"after quiesce",
+            )
+
+
+def default_monitors() -> list:
+    """The full invariant suite, in evaluation order."""
+    return [
+        OrderedPrefixMonitor(),
+        ReplyAgreementMonitor(),
+        HmiTruthMonitor(),
+        ClientQuorumMonitor(),
+        WriteCompletionMonitor(),
+        LeaderConvergenceMonitor(),
+        StateConvergenceMonitor(),
+    ]

@@ -1,0 +1,238 @@
+"""Named chaos scenarios reproducing the paper's attack discussion.
+
+Each scenario packages a fault schedule plus any campaign-config
+overrides, and states whether the invariants are *expected* to hold.
+``expect_violation=True`` scenarios deliberately exceed the ``n ≥ 3f+1``
+assumption (more than ``f`` simultaneous Byzantine replicas) to prove
+the monitors catch real safety violations — they are the chaos engine's
+own regression tests.
+
+Run one with ``python -m repro chaos <name>`` or
+:func:`run_scenario`; list them with ``python -m repro chaos --list``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.chaos.campaign import CampaignConfig, CampaignReport, run_campaign
+from repro.chaos.schedule import (
+    CrashReplica,
+    DelayKind,
+    DropKind,
+    FieldOffline,
+    IsolateReplicas,
+    KillLeader,
+    PartitionNet,
+    Rejuvenate,
+    Schedule,
+    SwapByzantine,
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named fault drill."""
+
+    name: str
+    description: str
+    build: object  # fn() -> Schedule
+    expect_violation: bool = False
+    #: CampaignConfig field overrides for this scenario.
+    overrides: dict = field(default_factory=dict)
+
+    def schedule(self) -> Schedule:
+        return self.build()
+
+    def config(self, base: CampaignConfig | None = None, **extra) -> CampaignConfig:
+        base = base if base is not None else CampaignConfig()
+        merged = dict(self.overrides)
+        merged.update(extra)
+        return replace(base, **merged) if merged else base
+
+
+def _drop_write_value() -> Schedule:
+    # §IV-D's drop attack: WriteValue messages to the field vanish; the
+    # logical-timeout protocol must fail the writes deterministically.
+    return Schedule([
+        DropKind(at=1.0, duration=4.0, kind="WriteValue", dst="frontend-0"),
+    ])
+
+
+def _drop_write_result() -> Schedule:
+    # The dual attack: the field executes but its WriteResult never
+    # returns; the operator must still get a deterministic outcome.
+    return Schedule([
+        DropKind(at=1.0, duration=4.0, kind="WriteResult", src="frontend-0"),
+    ])
+
+
+def _leader_crash() -> Schedule:
+    # Kill the consensus leader mid-campaign while writes are in flight;
+    # the synchronization phase must elect a successor and keep going.
+    return Schedule([
+        KillLeader(at=1.5, duration=3.0),
+    ])
+
+
+def _partition_minority() -> Schedule:
+    # One replica isolated from everything: the remaining 3 of 4 form a
+    # quorum and keep deciding; the returnee state-transfers back in.
+    return Schedule([
+        IsolateReplicas(at=1.0, duration=3.0, indices=(3,)),
+    ])
+
+
+def _partition_split() -> Schedule:
+    # A 2/2 split: no quorum on either side, so consensus stalls — then
+    # the heal must restore liveness within the bound.
+    return Schedule([
+        PartitionNet(at=1.5, duration=2.0, groups=((0, 1), (2, 3))),
+    ])
+
+
+def _silent_replica() -> Schedule:
+    # A replica goes mute (crash-like Byzantine) for most of the run.
+    return Schedule([
+        SwapByzantine(at=1.0, duration=4.0, index=2, behaviour="silent"),
+    ])
+
+
+def _falsifying_replica() -> Schedule:
+    # One compromised replica forges field readings. With f=1 its
+    # forgeries can never reach the proxies' f+1 push vote, so the HMI
+    # keeps showing the truth.
+    return Schedule([
+        SwapByzantine(at=1.0, duration=4.0, index=1, behaviour="falsifying"),
+    ])
+
+
+def _rejuvenation_under_fire() -> Schedule:
+    # Proactive recovery while a WriteResult drop attack is active and
+    # writes are in flight: the logical timeout must still unblock the
+    # operator and the fresh replica must state-transfer in.
+    return Schedule([
+        DropKind(at=0.8, duration=4.2, kind="WriteResult", src="frontend-0"),
+        Rejuvenate(at=2.0, index=1),
+        Rejuvenate(at=4.0, index=2),
+    ])
+
+
+def _rolling_crashes() -> Schedule:
+    # Sequential (never simultaneous) crash/recover across the group.
+    return Schedule([
+        CrashReplica(at=0.8, duration=1.0, index=0),
+        CrashReplica(at=2.2, duration=1.0, index=1),
+        CrashReplica(at=3.6, duration=1.0, index=2),
+    ])
+
+
+def _overbudget_falsify() -> Schedule:
+    # DELIBERATELY over budget: two simultaneous falsifying replicas
+    # (f=1) collude — their byte-identical forgeries reach the f+1 push
+    # vote and the HMI displays a value the field never produced. The
+    # hmi-truth monitor must flag this as a safety violation. Extra
+    # network noise rides along so the shrinker has something to strip.
+    return Schedule([
+        SwapByzantine(at=0.6, duration=4.8, index=1, behaviour="falsifying"),
+        SwapByzantine(at=0.8, duration=4.6, index=2, behaviour="falsifying"),
+        DelayKind(at=1.0, duration=3.0, kind="WriteMsg", extra=0.002),
+        DropKind(at=1.2, duration=2.0, kind="PushMessage", probability=0.1),
+        FieldOffline(at=4.4, duration=0.8, frontend=0),
+    ])
+
+
+SCENARIOS: dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="drop-write-value",
+            description="§IV-D drop attack: WriteValue to the field vanishes;"
+            " writes must fail deterministically via the logical timeout",
+            build=_drop_write_value,
+        ),
+        Scenario(
+            name="drop-write-result",
+            description="WriteResult from the field vanishes; the operator"
+            " still gets a deterministic outcome",
+            build=_drop_write_result,
+        ),
+        Scenario(
+            name="leader-crash",
+            description="crash the consensus leader under write load; a"
+            " successor must take over",
+            build=_leader_crash,
+        ),
+        Scenario(
+            name="partition-minority",
+            description="isolate one replica; the majority keeps deciding and"
+            " the returnee catches up",
+            build=_partition_minority,
+        ),
+        Scenario(
+            name="partition-split",
+            description="2/2 split stalls consensus; healing restores"
+            " liveness within the bound",
+            build=_partition_split,
+        ),
+        Scenario(
+            name="silent-replica",
+            description="one replica goes mute for most of the run"
+            " (crash-like Byzantine)",
+            build=_silent_replica,
+        ),
+        Scenario(
+            name="falsifying-replica",
+            description="one compromised replica forges field readings; the"
+            " f+1 push vote keeps the HMI truthful",
+            build=_falsifying_replica,
+        ),
+        Scenario(
+            name="rejuvenation-under-fire",
+            description="proactive recovery while a WriteResult drop attack"
+            " is active and writes are in flight",
+            build=_rejuvenation_under_fire,
+        ),
+        Scenario(
+            name="rolling-crashes",
+            description="sequential crash/recover across the group, never"
+            " more than f at once",
+            build=_rolling_crashes,
+        ),
+        Scenario(
+            name="overbudget-falsify",
+            description="ATTACK DRILL (expected safety violation): two"
+            " colluding falsifying replicas out-vote the f+1 push quorum",
+            build=_overbudget_falsify,
+            expect_violation=True,
+            overrides={"allow_overload": True},
+        ),
+    )
+}
+
+
+def list_scenarios() -> list:
+    """All scenarios, library ones first, attack drills last."""
+    return sorted(
+        SCENARIOS.values(), key=lambda s: (s.expect_violation, s.name)
+    )
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; known: {known}") from None
+
+
+def run_scenario(
+    name: str,
+    seed: int = 0,
+    config: CampaignConfig | None = None,
+    **overrides,
+) -> CampaignReport:
+    """Run one named scenario under the given seed."""
+    scenario = get_scenario(name)
+    cfg = scenario.config(config, seed=seed, **overrides)
+    return run_campaign(scenario.schedule(), cfg)

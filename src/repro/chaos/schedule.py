@@ -1,0 +1,475 @@
+"""Fault actions, schedules, fault budgets and the seeded sampler.
+
+A :class:`Schedule` is a list of time-stamped :class:`Action` objects
+applied to a running :class:`~repro.core.system.SmartScadaSystem`. Each
+action knows how to ``apply`` itself at its start time and ``revert``
+itself at its end time; actions with ``duration=None`` stay active until
+the campaign's fault horizon, where the runner heals everything so the
+liveness invariants can be measured from a known last-heal instant.
+
+The **fault budget** counts *replica* faults — crashes, leader kills,
+Byzantine swaps and rejuvenations — because those are what the ``n ≥
+3f+1`` assumption is about. Network faults (partitions, message drops)
+are deliberately outside the budget: BFT safety must hold under
+arbitrary network behaviour, and campaigns are encouraged to pile them
+on. A schedule whose replica faults ever overlap more than ``f`` deep is
+rejected unless the campaign explicitly opts into overload — the point
+of an overload campaign being to *watch the invariants catch it*.
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+from dataclasses import dataclass, field
+
+from repro.bftsmart.byzantine import (
+    EquivocatingLeader,
+    FalsifyingReplica,
+    LyingReplica,
+    SilentReplica,
+    StutteringReplica,
+)
+from repro.bftsmart.config import replica_address
+from repro.bftsmart.replica import ServiceReplica
+from repro.net.faults import Delay, Drop
+
+if typing.TYPE_CHECKING:
+    from repro.chaos.campaign import CampaignContext
+    from repro.core.system import SmartScadaSystem
+
+#: Byzantine behaviour registry for :class:`SwapByzantine` (and the CLI).
+BEHAVIOURS: dict[str, type] = {
+    "silent": SilentReplica,
+    "lying": LyingReplica,
+    "falsifying": FalsifyingReplica,
+    "equivocating": EquivocatingLeader,
+    "stuttering": StutteringReplica,
+    "honest": ServiceReplica,
+}
+
+#: Budget accounting window charged for one rejuvenation (the replica is
+#: "faulty" while it state-transfers back in).
+REJUVENATION_WINDOW = 1.0
+
+
+class ChaosBudgetError(ValueError):
+    """A schedule exceeds the ``f`` simultaneous replica-fault budget."""
+
+
+def swap_replica_behaviour(
+    system: "SmartScadaSystem",
+    index: int,
+    behaviour,
+    handler_config=None,
+):
+    """Swap a live Master replica for a Byzantine behaviour at runtime.
+
+    ``behaviour`` is a :data:`BEHAVIOURS` name or a ServiceReplica
+    subclass; ``"honest"`` (or :class:`ServiceReplica`) swaps the replica
+    back to a correct implementation. The swap rides the proactive
+    recovery machinery — the old instance is halted, the replacement
+    state-transfers in at the same address — so behaviours that used to
+    be constructor-time-only now model a *runtime compromise*.
+
+    Returns the replacement ProxyMaster.
+    """
+    from repro.core.recovery import rejuvenate_replica
+
+    if isinstance(behaviour, str):
+        try:
+            behaviour = BEHAVIOURS[behaviour]
+        except KeyError:
+            raise ValueError(
+                f"unknown behaviour {behaviour!r}; pick from "
+                f"{sorted(BEHAVIOURS)}"
+            ) from None
+    return rejuvenate_replica(
+        system, index, handler_config=handler_config, replica_class=behaviour
+    )
+
+
+@dataclass
+class Action:
+    """Base fault action: applied at ``at``, reverted at ``end``.
+
+    Subclasses define ``_apply``/``_revert`` against a campaign context.
+    Runtime handles (installed rules, resolved targets) are stored as
+    non-field attributes so ``repr(action)`` stays a valid constructor
+    call — the shrinker's replay snippets are built from these reprs.
+    """
+
+    at: float = 0.0
+    duration: float | None = None
+
+    #: True when the action makes a replica faulty (counts toward budget).
+    replica_fault = False
+
+    def end(self, horizon: float) -> float:
+        if self.duration is None:
+            return horizon
+        return min(self.at + self.duration, horizon)
+
+    def fault_interval(self, horizon: float):
+        """``(start, end, replicas)`` charged to the budget, or None."""
+        if not self.replica_fault:
+            return None
+        return (self.at, self.end(horizon), 1)
+
+    def apply(self, ctx: "CampaignContext") -> None:
+        self._apply(ctx)
+
+    def revert(self, ctx: "CampaignContext") -> None:
+        self._revert(ctx)
+
+    def _apply(self, ctx) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _revert(self, ctx) -> None:
+        pass
+
+
+def _machine_addresses(index: int) -> list:
+    """Every endpoint hosted on replica machine ``index``."""
+    address = replica_address(index)
+    return [address, f"{address}-adapter"]
+
+
+def _crash_machine(ctx, index: int) -> list:
+    """Take a replica machine fully down (inbound and outbound)."""
+    rules = []
+    for address in _machine_addresses(index):
+        ctx.net.crash(address)
+        # Endpoint ``down`` only swallows inbound traffic; a crashed
+        # machine must also stop talking, so outbound is dropped too.
+        rules.append(ctx.injector.add(Drop(src=address)))
+    ctx.crashed.add(index)
+    return rules
+
+
+def _recover_machine(ctx, index: int, rules: list) -> None:
+    for address in _machine_addresses(index):
+        ctx.net.recover(address)
+    for rule in rules:
+        if rule in ctx.injector.rules:
+            ctx.injector.remove(rule)
+    ctx.crashed.discard(index)
+
+
+@dataclass
+class CrashReplica(Action):
+    """Crash replica machine ``index`` (silent, both directions)."""
+
+    index: int = 0
+    replica_fault = True
+
+    def _apply(self, ctx) -> None:
+        self._rules = _crash_machine(ctx, self.index)
+
+    def _revert(self, ctx) -> None:
+        _recover_machine(ctx, self.index, getattr(self, "_rules", []))
+
+
+@dataclass
+class KillLeader(Action):
+    """Crash whichever replica currently leads the consensus."""
+
+    replica_fault = True
+
+    def _apply(self, ctx) -> None:
+        self._index = ctx.current_leader_index()
+        self._rules = _crash_machine(ctx, self._index)
+
+    def _revert(self, ctx) -> None:
+        index = getattr(self, "_index", None)
+        if index is not None:
+            _recover_machine(ctx, index, getattr(self, "_rules", []))
+
+
+@dataclass
+class IsolateReplicas(Action):
+    """Partition the given replica machines away from everything else."""
+
+    indices: tuple = ()
+
+    def _apply(self, ctx) -> None:
+        isolated = []
+        for index in self.indices:
+            isolated.extend(_machine_addresses(index))
+        rest = [a for a in ctx.all_addresses() if a not in isolated]
+        self._rule = ctx.injector.partition([isolated, rest])
+
+    def _revert(self, ctx) -> None:
+        rule = getattr(self, "_rule", None)
+        if rule is not None:
+            ctx.injector.heal(rule)
+
+
+@dataclass
+class PartitionNet(Action):
+    """Partition arbitrary groups (replica indices or raw addresses)."""
+
+    groups: tuple = ()
+
+    def _apply(self, ctx) -> None:
+        resolved = []
+        for group in self.groups:
+            addresses = []
+            for member in group:
+                if isinstance(member, int):
+                    addresses.extend(_machine_addresses(member))
+                else:
+                    addresses.append(member)
+            resolved.append(addresses)
+        self._rule = ctx.injector.partition(resolved)
+
+    def _revert(self, ctx) -> None:
+        rule = getattr(self, "_rule", None)
+        if rule is not None:
+            ctx.injector.heal(rule)
+
+
+@dataclass
+class SwapByzantine(Action):
+    """Swap replica ``index`` for a Byzantine behaviour at runtime.
+
+    With a ``duration``, the replica is swapped back to an honest
+    (pristine, state-transferring) instance at the end — modelling a
+    compromise contained within a rejuvenation window. Without one, the
+    compromise is permanent (still within budget if ≤ f replicas).
+    """
+
+    index: int = 0
+    behaviour: str = "silent"
+    replica_fault = True
+
+    def _apply(self, ctx) -> None:
+        swap_replica_behaviour(
+            ctx.system, self.index, self.behaviour, handler_config=ctx.handler_config
+        )
+        ctx.compromised.add(self.index)
+
+    def _revert(self, ctx) -> None:
+        swap_replica_behaviour(
+            ctx.system, self.index, "honest", handler_config=ctx.handler_config
+        )
+        ctx.compromised.discard(self.index)
+
+    def fault_interval(self, horizon: float):
+        # A permanent swap stays charged until the end of the campaign.
+        return (self.at, self.end(horizon), 1)
+
+
+@dataclass
+class DropKind(Action):
+    """Drop a message class (``kind``) matching src/dst globs."""
+
+    kind: str | None = None
+    src: str | None = None
+    dst: str | None = None
+    probability: float = 1.0
+    max_count: int | None = None
+
+    def _apply(self, ctx) -> None:
+        self._rule = ctx.injector.add(
+            Drop(
+                src=self.src,
+                dst=self.dst,
+                kind=self.kind,
+                probability=self.probability,
+                max_count=self.max_count,
+            )
+        )
+
+    def _revert(self, ctx) -> None:
+        rule = getattr(self, "_rule", None)
+        if rule is not None and rule in ctx.injector.rules:
+            ctx.injector.remove(rule)
+
+
+@dataclass
+class DelayKind(Action):
+    """Add ``extra`` seconds of delay to a message class."""
+
+    kind: str | None = None
+    extra: float = 0.001
+    src: str | None = None
+    dst: str | None = None
+
+    def _apply(self, ctx) -> None:
+        self._rule = ctx.injector.add(
+            Delay(self.extra, src=self.src, dst=self.dst, kind=self.kind)
+        )
+
+    def _revert(self, ctx) -> None:
+        rule = getattr(self, "_rule", None)
+        if rule is not None and rule in ctx.injector.rules:
+            ctx.injector.remove(rule)
+
+
+@dataclass
+class FieldOffline(Action):
+    """Take a Frontend (the field side: its RTUs/links) offline.
+
+    Writes forwarded to it vanish, which is exactly the condition the
+    §IV-D logical-timeout protocol exists for.
+    """
+
+    frontend: int = 0
+
+    def _apply(self, ctx) -> None:
+        address = f"frontend-{self.frontend}"
+        ctx.net.crash(address)
+        self._rule = ctx.injector.add(Drop(src=address))
+
+    def _revert(self, ctx) -> None:
+        address = f"frontend-{self.frontend}"
+        ctx.net.recover(address)
+        rule = getattr(self, "_rule", None)
+        if rule is not None and rule in ctx.injector.rules:
+            ctx.injector.remove(rule)
+
+
+@dataclass
+class Rejuvenate(Action):
+    """Proactively recover replica ``index`` (instantaneous trigger)."""
+
+    index: int = 0
+    replica_fault = True
+
+    def _apply(self, ctx) -> None:
+        from repro.core.recovery import rejuvenate_replica
+
+        rejuvenate_replica(ctx.system, self.index, handler_config=ctx.handler_config)
+        ctx.rejuvenations += 1
+
+    def fault_interval(self, horizon: float):
+        return (self.at, min(self.at + REJUVENATION_WINDOW, horizon), 1)
+
+
+@dataclass
+class Schedule:
+    """An ordered list of fault actions forming one campaign."""
+
+    actions: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.actions = sorted(self.actions, key=lambda a: a.at)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __iter__(self):
+        return iter(self.actions)
+
+    def max_simultaneous_replica_faults(self, horizon: float) -> int:
+        """Peak depth of overlapping replica-fault windows."""
+        edges = []
+        for action in self.actions:
+            interval = action.fault_interval(horizon)
+            if interval is None:
+                continue
+            start, end, count = interval
+            edges.append((start, 1, count))
+            edges.append((end, 0, -count))
+        # Sort by time; at equal times process the end (-count) first so
+        # back-to-back faults on the same replica don't double-count.
+        edges.sort()
+        depth = peak = 0
+        for _time, _order, delta in edges:
+            depth += delta
+            peak = max(peak, depth)
+        return peak
+
+    def validate_budget(
+        self, f: int, horizon: float, allow_overload: bool = False
+    ) -> None:
+        peak = self.max_simultaneous_replica_faults(horizon)
+        if peak > f and not allow_overload:
+            raise ChaosBudgetError(
+                f"schedule has up to {peak} simultaneous replica faults, "
+                f"budget is f={f}; pass allow_overload=True to run an "
+                f"over-budget campaign on purpose"
+            )
+
+    def describe(self) -> str:
+        lines = []
+        for action in self.actions:
+            lines.append(f"  t={action.at:6.2f}s  {action!r}")
+        return "\n".join(lines) if lines else "  (empty schedule)"
+
+
+# ---------------------------------------------------------------------------
+# seeded random campaigns
+# ---------------------------------------------------------------------------
+
+def sample_schedule(
+    seed: int,
+    *,
+    horizon: float = 6.0,
+    n: int = 4,
+    f: int = 1,
+    max_actions: int = 5,
+    allow_overload: bool = False,
+) -> Schedule:
+    """Sample a schedule within the fault budget, deterministically.
+
+    The same ``seed`` always yields the same schedule (the sampler uses
+    its own :class:`random.Random`, untangled from the simulation's RNG
+    streams). Candidate actions that would push the replica-fault overlap
+    past ``f`` are discarded, so every sampled schedule is in budget
+    unless ``allow_overload`` asks otherwise.
+    """
+    rng = random.Random(seed)
+    count = rng.randint(2, max(2, max_actions))
+    kinds = (
+        "crash", "crash", "kill-leader", "isolate", "drop-wv", "drop-wr",
+        "swap", "delay", "field", "rejuvenate",
+    )
+    actions: list = []
+    for _ in range(count * 3):  # oversample; budget filter prunes
+        if len(actions) >= count:
+            break
+        kind = rng.choice(kinds)
+        at = round(rng.uniform(0.5, horizon * 0.7), 2)
+        duration = round(rng.uniform(0.8, horizon * 0.4), 2)
+        index = rng.randrange(n)
+        if kind == "crash":
+            candidate = CrashReplica(at=at, duration=duration, index=index)
+        elif kind == "kill-leader":
+            candidate = KillLeader(at=at, duration=duration)
+        elif kind == "isolate":
+            candidate = IsolateReplicas(at=at, duration=duration, indices=(index,))
+        elif kind == "drop-wv":
+            # §IV-D's drop attack targets the field link; co-located hops
+            # (HMI <-> ProxyHMI on one machine) are not droppable, so an
+            # unconstrained drop would model an impossible fault.
+            candidate = DropKind(
+                at=at, duration=duration, kind="WriteValue", dst="frontend-0"
+            )
+        elif kind == "drop-wr":
+            candidate = DropKind(
+                at=at, duration=duration, kind="WriteResult", src="frontend-0"
+            )
+        elif kind == "swap":
+            behaviour = rng.choice(("silent", "lying", "stuttering", "falsifying"))
+            candidate = SwapByzantine(
+                at=at, duration=duration, index=index, behaviour=behaviour
+            )
+        elif kind == "delay":
+            candidate = DelayKind(
+                at=at, duration=duration, kind="PushMessage",
+                extra=round(rng.uniform(0.001, 0.02), 4),
+            )
+        elif kind == "field":
+            candidate = FieldOffline(at=at, duration=min(duration, 2.0), frontend=0)
+        else:
+            candidate = Rejuvenate(at=at, index=index)
+        trial = Schedule(actions + [candidate])
+        if (
+            not allow_overload
+            and trial.max_simultaneous_replica_faults(horizon) > f
+        ):
+            continue
+        actions.append(candidate)
+    return Schedule(actions)

@@ -1,0 +1,132 @@
+"""Shrinking: minimize a failing schedule to its essence.
+
+When a campaign fails an invariant, the schedule that provoked it is
+rarely minimal — randomized campaigns especially carry bystander
+actions. The shrinker re-runs the campaign (same seed, so every attempt
+is deterministic) with candidate reductions:
+
+1. **action removal** — greedily drop one action at a time, keeping the
+   removal whenever the reduced schedule still violates, repeated to a
+   fixed point (like delta-debugging's 1-minimal pass);
+2. **duration shortening** — halve each surviving action's fault window
+   while the violation persists.
+
+The result carries the minimal schedule, the report proving it still
+violates, and a replayable Python snippet (built from the actions'
+constructor-valid reprs) that reproduces the failure standalone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chaos.campaign import CampaignConfig, CampaignReport, run_campaign
+from repro.chaos.schedule import Schedule
+
+#: Don't shorten fault windows below this (too short to matter).
+MIN_DURATION = 0.5
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of shrinking one failing schedule."""
+
+    schedule: Schedule
+    report: CampaignReport
+    runs: int
+    removed_actions: int
+    snippet: str
+
+
+def replay_snippet(schedule: Schedule, config: CampaignConfig) -> str:
+    """A standalone Python snippet reproducing this campaign."""
+    lines = [
+        "from repro.chaos import *",
+        "from repro.chaos.campaign import CampaignConfig",
+        "",
+        "schedule = Schedule([",
+    ]
+    for action in schedule:
+        lines.append(f"    {action!r},")
+    lines.append("])")
+    lines.append(f"config = {config!r}")
+    lines.append("report = run_campaign(schedule, config)")
+    lines.append("print(report.summary())")
+    lines.append("for violation in report.violations:")
+    lines.append("    print(f'  t={violation.time:.2f}s "
+                 "{violation.invariant}: {violation.detail}')")
+    return "\n".join(lines) + "\n"
+
+
+def _fails(schedule: Schedule, config: CampaignConfig, counter: list) -> "CampaignReport | None":
+    """Run the campaign; return the report iff it still violates."""
+    counter[0] += 1
+    report = run_campaign(schedule, config)
+    return report if not report.ok else None
+
+
+def shrink_schedule(
+    schedule: Schedule,
+    config: CampaignConfig | None = None,
+    max_runs: int = 60,
+) -> ShrinkResult:
+    """Minimize ``schedule`` while it keeps violating an invariant.
+
+    Raises ``ValueError`` if the input schedule doesn't fail in the
+    first place (nothing to shrink).
+    """
+    config = config if config is not None else CampaignConfig()
+    counter = [0]
+    baseline = _fails(schedule, config, counter)
+    if baseline is None:
+        raise ValueError(
+            "schedule does not violate any invariant under this config; "
+            "nothing to shrink"
+        )
+
+    current = list(schedule.actions)
+    best_report = baseline
+    original_count = len(current)
+
+    # Pass 1: greedy single-action removal to a fixed point.
+    changed = True
+    while changed and counter[0] < max_runs:
+        changed = False
+        for i in range(len(current)):
+            if counter[0] >= max_runs or len(current) <= 1:
+                break
+            candidate = current[:i] + current[i + 1:]
+            report = _fails(Schedule(list(candidate)), config, counter)
+            if report is not None:
+                current = candidate
+                best_report = report
+                changed = True
+                break  # restart the scan over the smaller schedule
+
+    # Pass 2: halve durations while the violation persists.
+    for i, action in enumerate(list(current)):
+        while (
+            counter[0] < max_runs
+            and action.duration is not None
+            and action.duration / 2 >= MIN_DURATION
+        ):
+            from dataclasses import replace as dc_replace
+
+            shorter = dc_replace(action, duration=round(action.duration / 2, 3))
+            candidate = list(current)
+            candidate[i] = shorter
+            report = _fails(Schedule(candidate), config, counter)
+            if report is None:
+                break
+            action = shorter
+            current = candidate
+            best_report = report
+
+    minimal = Schedule(list(current))
+    return ShrinkResult(
+        schedule=minimal,
+        report=best_report,
+        runs=counter[0],
+        removed_actions=original_count - len(minimal),
+        snippet=replay_snippet(minimal, config),
+    )

@@ -25,7 +25,12 @@ if typing.TYPE_CHECKING:
     from repro.core.system import SmartScadaSystem
 
 
-def rejuvenate_replica(system: "SmartScadaSystem", index: int, handler_config=None) -> ProxyMaster:
+def rejuvenate_replica(
+    system: "SmartScadaSystem",
+    index: int,
+    handler_config=None,
+    replica_class: type | None = None,
+) -> ProxyMaster:
     """Replace one Master replica with a pristine instance.
 
     The old instance is halted and detached; the new one starts from an
@@ -34,6 +39,11 @@ def rejuvenate_replica(system: "SmartScadaSystem", index: int, handler_config=No
     ``fn(proxy_master)`` that re-attaches the deployment's handler chains
     (configuration is not replicated state and must be re-applied, just
     as a restarted real replica re-reads its config files).
+
+    ``replica_class`` overrides the BFT-server class of the replacement —
+    the chaos engine uses this to model a runtime *compromise*: the same
+    machinery that rejuvenates a replica to a clean image swaps it for a
+    :mod:`repro.bftsmart.byzantine` behaviour instead (and back).
 
     Returns the new ProxyMaster (also swapped into
     ``system.proxy_masters``).
@@ -48,6 +58,7 @@ def rejuvenate_replica(system: "SmartScadaSystem", index: int, handler_config=No
         system.config,
         system.keystore,
         view=view,
+        replica_class=replica_class,
     )
     if handler_config is not None:
         handler_config(replacement)

@@ -180,6 +180,11 @@ class FaultInjector:
     def __init__(self, rng: random.Random) -> None:
         self._rng = rng
         self.rules: list[FaultRule] = []
+        #: rule class name -> times a rule of that class fired.
+        self.fired: dict[str, int] = {}
+        #: Total rule firings since construction (never reset by clear()).
+        self.total_fired = 0
+        self._partitions: list[Partition] = []
 
     def add(self, rule: FaultRule) -> FaultRule:
         self.rules.append(rule)
@@ -187,13 +192,58 @@ class FaultInjector:
 
     def remove(self, rule: FaultRule) -> None:
         self.rules.remove(rule)
+        if isinstance(rule, Partition) and rule in self._partitions:
+            self._partitions.remove(rule)
 
     def clear(self) -> None:
         self.rules.clear()
+        self._partitions.clear()
+
+    def partition(self, groups: list) -> Partition:
+        """Install a symmetric partition between the given address groups.
+
+        Convenience for campaigns and tests: one call installs the
+        bidirectional drop rules between every pair of groups (the
+        :class:`Partition` rule is direction-agnostic already) and tracks
+        the rule so a later :meth:`heal` can lift every active partition
+        without the caller holding on to rule handles.
+        """
+        rule = Partition([list(group) for group in groups])
+        self.add(rule)
+        self._partitions.append(rule)
+        return rule
+
+    def heal(self, rule: Partition | None = None) -> int:
+        """Lift one partition (or all of them) installed via :meth:`partition`.
+
+        Returns the number of partitions healed. Healed rules are removed
+        from the pipeline entirely, so later rules regain visibility of
+        the traffic they were shadowing.
+        """
+        targets = [rule] if rule is not None else list(self._partitions)
+        healed = 0
+        for target in targets:
+            if target in self._partitions:
+                target.heal()
+                self.remove(target)
+                healed += 1
+        return healed
 
     def process(self, envelope: Envelope) -> list:
         """First matching rule decides; default is normal delivery."""
         for rule in self.rules:
             if rule.matches(envelope, self._rng):
+                name = type(rule).__name__
+                self.fired[name] = self.fired.get(name, 0) + 1
+                self.total_fired += 1
                 return rule.apply(envelope)
         return [Delivery(envelope.payload)]
+
+    def stats(self) -> dict:
+        """Counters for :meth:`repro.sim.kernel.Simulator.stats`."""
+        return {
+            "rules_active": len(self.rules),
+            "partitions_active": len(self._partitions),
+            "total_fired": self.total_fired,
+            "fired": dict(self.fired),
+        }

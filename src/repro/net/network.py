@@ -44,6 +44,9 @@ class Network:
         )
         self.trace = trace if trace is not None else NetworkTrace(enabled=False)
         self.faults = FaultInjector(sim.rng.stream("net.faults"))
+        # Campaigns read fault-firing counts through the kernel's stats
+        # (one deployment has one network; re-registration is harmless).
+        sim.register_stats_source("net.faults", self.faults.stats)
         self._endpoints: dict[str, Endpoint] = {}
         self._links: dict[tuple[str, str], LatencyModel] = {}
         #: Per-directed-link delivery horizon enforcing FIFO (TCP-like)
@@ -67,6 +70,10 @@ class Network:
 
     def has_endpoint(self, address: str) -> bool:
         return address in self._endpoints
+
+    def addresses(self) -> list:
+        """All registered endpoint addresses, sorted for determinism."""
+        return sorted(self._endpoints)
 
     def set_link(self, src: str, dst: str, model: LatencyModel) -> None:
         """Override the latency model for the directed link src → dst."""

@@ -84,6 +84,8 @@ class Simulator:
         self._timers_cancelled = 0
         self._tombstones_skipped = 0
         self._peak_heap = 0
+        #: name -> zero-arg provider merged into :meth:`stats` output.
+        self._stats_sources: dict[str, Callable[[], dict]] = {}
 
     @property
     def now(self) -> float:
@@ -240,15 +242,28 @@ class Simulator:
             self._tombstones_skipped += 1
         return heap[0][0] if heap else None
 
+    def register_stats_source(self, name: str, provider: Callable[[], dict]) -> None:
+        """Attach a named counter provider to :meth:`stats`.
+
+        Subsystems built on the kernel (the network's fault injector, a
+        chaos campaign) register a zero-arg callable returning a dict;
+        ``stats()`` evaluates it lazily so providers stay cheap to attach.
+        Re-registering a name replaces the previous provider.
+        """
+        self._stats_sources[name] = provider
+
     def stats(self) -> dict:
         """Kernel counters for diagnostics and the wall-clock profiler."""
-        return {
+        report = {
             "events_dispatched": self.dispatched,
             "timers_cancelled": self._timers_cancelled,
             "tombstones_skipped": self._tombstones_skipped,
             "heap_peak": self._peak_heap,
             "heap_pending": len(self._heap),
         }
+        for name, provider in self._stats_sources.items():
+            report[name] = provider()
+        return report
 
     def __repr__(self) -> str:
         return f"<Simulator t={self._now:.6f} pending={len(self._heap)}>"

@@ -128,6 +128,36 @@ def test_back_to_back_installs_do_not_lose_history():
     assert len(set(system.state_digests())) == 1
 
 
+def test_rejuvenation_under_fire():
+    """Rejuvenate while a WriteResult drop attack is active and a write is
+    in flight: the §IV-D logical timeout must still unblock the operator,
+    and the fresh replica must state-transfer back to convergence."""
+    from repro.net import Drop
+
+    sim, system, reconfigure = build(seed=13)
+    feed(sim, system, 5)
+    # The field executes writes but its results never come back.
+    rule = system.net.faults.add(Drop(src="frontend-0", kind="WriteResult"))
+
+    def operator():
+        result = yield system.hmi.write("actuator", 7)
+        return result
+
+    process = sim.process(operator())
+    sim.run(until=sim.now + 0.2)  # write enters the total order...
+    fresh = rejuvenate_replica(system, 1, handler_config=reconfigure)
+    sim.run(until=sim.now + 30)
+    result = process.value
+
+    assert not result.success
+    assert "logical timeout" in result.reason
+    system.net.faults.remove(rule)
+    feed(sim, system, 5, base=30)
+    assert converge(sim, system)
+    assert fresh.replica.state_transfer.completed >= 1
+    assert len(set(system.state_digests())) == 1
+
+
 def test_scheduler_validation():
     sim, system, _ = build()
     with pytest.raises(ValueError):

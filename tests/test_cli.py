@@ -31,3 +31,29 @@ def test_fig8_command_fast_window(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["no-such-command"])
+
+
+def test_chaos_list_shows_library(capsys):
+    assert main(["chaos", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "drop-write-value" in out
+    assert "overbudget-falsify" in out
+    assert "violation" in out
+
+
+def test_chaos_single_scenario_run(capsys):
+    assert main(["chaos", "leader-crash", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "chaos campaign: leader-crash" in out
+    assert "expectation: pass — as expected" in out
+
+
+def test_chaos_seed_sweep(capsys):
+    assert main(["chaos", "drop-write-value", "--seeds", "2"]) == 0
+    out = capsys.readouterr().out
+    # One row per seed, all passing.
+    assert out.count("PASS") == 2
+
+
+def test_chaos_requires_scenario_name(capsys):
+    assert main(["chaos"]) == 2
