@@ -20,7 +20,8 @@ chaos
     Run fault-drill campaigns against SMaRt-SCADA: a named scenario
     (``--list`` shows them), or ``random`` for seeded sampled schedules.
     ``--seeds N`` sweeps N seeds; ``--shrink`` minimizes a failing
-    schedule and prints a replayable snippet.
+    schedule and prints a replayable snippet; ``--json`` emits
+    machine-readable verdicts for CI and tooling.
 """
 
 from __future__ import annotations
@@ -202,6 +203,19 @@ def cmd_chaos(args) -> int:
     from repro.chaos.campaign import CampaignConfig
 
     if args.list:
+        if args.json:
+            import json
+
+            print(json.dumps([
+                {
+                    "name": s.name,
+                    "expectation": "violation" if s.expect_violation else "pass",
+                    "description": s.description,
+                    "overrides": dict(s.overrides),
+                }
+                for s in list_scenarios()
+            ], indent=2))
+            return 0
         _print_table(
             "chaos scenarios",
             ["name", "expects", "description"],
@@ -237,6 +251,7 @@ def cmd_chaos(args) -> int:
 
     seeds = range(args.seed, args.seed + args.seeds)
     rows = []
+    campaigns = []
     as_expected = True
     failing = None
     for seed in seeds:
@@ -256,6 +271,52 @@ def cmd_chaos(args) -> int:
             report.fault_stats.get("total_fired", 0),
             ", ".join(report.violated_invariants()) or "-",
         ])
+        campaigns.append({
+            "seed": seed,
+            "verdict": verdict,
+            "ok": report.ok,
+            "actions": len(schedule),
+            "writes": {
+                "total": report.writes_total,
+                "succeeded": report.writes_succeeded,
+                "failed_cleanly": report.writes_failed_cleanly,
+            },
+            "faults_fired": report.fault_stats.get("total_fired", 0),
+            "violations": [
+                {"time": v.time, "invariant": v.invariant, "detail": v.detail}
+                for v in report.violations
+            ],
+            "restarts": report.restarts,
+            "recoveries": report.recoveries,
+            "rejuvenations": report.rejuvenations,
+            "fingerprint": report.fingerprint(),
+        })
+
+    shrunk = None
+    if failing is not None and args.shrink:
+        _schedule, _config, _report = failing
+        if not args.json:
+            print("shrinking the failing schedule...")
+        result = shrink_schedule(_schedule, _config)
+        shrunk = result
+
+    if args.json:
+        import json
+
+        print(json.dumps({
+            "scenario": args.scenario,
+            "expectation": "violation" if expect_violation else "pass",
+            "as_expected": as_expected,
+            "campaigns": campaigns,
+            "shrink": None if shrunk is None else {
+                "runs": shrunk.runs,
+                "removed_actions": shrunk.removed_actions,
+                "schedule": shrunk.schedule.describe(),
+                "snippet": shrunk.snippet,
+            },
+        }, indent=2))
+        return 0 if as_expected else 1
+
     _print_table(
         f"chaos campaign: {args.scenario}",
         ["seed", "verdict", "actions", "writes", "faults fired", "violations"],
@@ -267,14 +328,12 @@ def cmd_chaos(args) -> int:
         for violation in report.violations:
             print(f"  t={violation.time:6.2f}s  {violation.invariant}: "
                   f"{violation.detail}")
-        if args.shrink:
-            print("\nshrinking the failing schedule...")
-            result = shrink_schedule(_schedule, _config)
-            print(f"minimal schedule after {result.runs} runs "
-                  f"({result.removed_actions} actions removed):")
-            print(result.schedule.describe())
+        if shrunk is not None:
+            print(f"minimal schedule after {shrunk.runs} runs "
+                  f"({shrunk.removed_actions} actions removed):")
+            print(shrunk.schedule.describe())
             print("\nreplay snippet:\n")
-            print(result.snippet)
+            print(shrunk.snippet)
     status = "as expected" if as_expected else "NOT as expected"
     print(f"\nexpectation: "
           f"{'violation' if expect_violation else 'pass'} — {status}")
@@ -324,6 +383,9 @@ def main(argv=None) -> int:
                        help="number of consecutive seeds to sweep (default 1)")
     chaos.add_argument("--shrink", action="store_true",
                        help="minimize the first failing schedule")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit machine-readable verdicts on stdout "
+                            "(for CI and tooling)")
     chaos.set_defaults(func=cmd_chaos)
 
     args = parser.parse_args(argv)

@@ -22,6 +22,7 @@ def build_group(
     service_factory,
     keystore: KeyStore | None = None,
     replica_classes: dict | None = None,
+    storages: dict | None = None,
 ) -> list:
     """Create the ``config.n`` replicas of a group.
 
@@ -29,22 +30,28 @@ def build_group(
     independent service instance — that independence is what replication
     protects). ``replica_classes`` optionally overrides the class used for
     specific indices, e.g. ``{0: SilentReplica}`` for fault drills.
+    ``storages`` maps indices to :class:`repro.storage.ReplicaStorage`
+    instances; replicas given one boot through ``recover_from_disk`` (a
+    no-op on an empty disk) and persist decisions/checkpoints to it.
     """
     keystore = keystore if keystore is not None else KeyStore()
     replica_classes = replica_classes or {}
+    storages = storages or {}
     replicas = []
     for index, address in enumerate(config.addresses):
         cls = replica_classes.get(index, ServiceReplica)
-        replicas.append(
-            cls(
-                sim=sim,
-                net=net,
-                address=address,
-                config=config,
-                service=service_factory(),
-                keystore=keystore,
-            )
+        replica = cls(
+            sim=sim,
+            net=net,
+            address=address,
+            config=config,
+            service=service_factory(),
+            keystore=keystore,
+            storage=storages.get(index),
         )
+        if replica.storage is not None:
+            replica.recover_from_disk()
+        replicas.append(replica)
     return replicas
 
 

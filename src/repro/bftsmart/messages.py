@@ -168,10 +168,18 @@ class Sync:
 @wire_type(30)
 @dataclass(frozen=True)
 class StateRequest:
-    """Ask peers for a snapshot covering decisions up to their checkpoint."""
+    """Ask peers for a snapshot covering decisions up to their checkpoint.
+
+    ``log_only`` marks a *partial* request: the sender already holds
+    state through ``from_cid - 1`` (recovered from its own disk or a
+    live prefix) and only wants the decided-log suffix. Peers that can
+    no longer serve the suffix — their checkpoint already swallowed it —
+    answer with a full snapshot instead.
+    """
 
     sender: str
     from_cid: int
+    log_only: bool = False
 
 
 @wire_type(31)
@@ -180,7 +188,11 @@ class StateReply:
     """Checkpoint snapshot plus the decided log after it.
 
     ``log`` is a tuple of ``(cid, value_bytes, timestamp)`` entries for
-    instances decided after the checkpoint.
+    instances decided after the checkpoint. A ``partial`` reply carries
+    no snapshot: ``checkpoint_cid`` names the base the requester must
+    already hold (``from_cid - 1``) and ``log`` is the suffix from
+    ``from_cid`` on. Partial and full replies vote in separate f+1
+    groups — whichever kind gathers the quorum first installs.
     """
 
     sender: str
@@ -188,6 +200,7 @@ class StateReply:
     snapshot: bytes
     log: tuple
     view: object
+    partial: bool = False
 
 
 # -- reconfiguration -----------------------------------------------------------

@@ -119,6 +119,7 @@ class ServiceReplica:
         service: Service,
         keystore: KeyStore,
         view: View | None = None,
+        storage=None,
     ) -> None:
         self.sim = sim
         self.net = net
@@ -126,6 +127,13 @@ class ServiceReplica:
         self.config = config
         self.service = service
         service.bind(self)
+        #: Optional :class:`repro.storage.ReplicaStorage`. When present,
+        #: decisions are WAL-appended, checkpoints persisted, and boot
+        #: recovers from disk before asking peers for anything.
+        self.storage = storage
+        #: The :class:`repro.storage.RecoveredState` this incarnation
+        #: booted from, or ``None`` (no storage / nothing recovered).
+        self.recovered_from_disk = None
 
         self.endpoint = net.endpoint(address)
         self.endpoint.set_handler(self._on_network_message)
@@ -542,6 +550,8 @@ class ServiceReplica:
         value = instance.decided_value
         timestamp = instance.decided_timestamp
         self.decision_log.append((instance.cid, value, timestamp))
+        if self.storage is not None:
+            self.storage.on_decided(instance.cid, value, timestamp)
         del self.instances[instance.cid]
 
         if value != b"":
@@ -714,6 +724,51 @@ class ServiceReplica:
         self.checkpoint_snapshot = self._snapshot_blob()
         self.decision_log = [entry for entry in self.decision_log if entry[0] > cid]
         self.stats["checkpoints"] += 1
+        if self.storage is not None:
+            self.storage.on_checkpoint(cid, self.checkpoint_snapshot)
+
+    def recover_from_disk(self):
+        """Restart-from-disk boot path.
+
+        Validates the newest durable checkpoint, installs it, and queues
+        the verified WAL tail through the normal execution path — the
+        replica then only needs the suffix it missed from peers (a
+        partial state transfer). If any digest failed, the disk is
+        distrusted wholesale and the replica boots empty, falling back
+        to the full f+1-verified transfer.
+
+        Must be called *after* the service is fully configured (handler
+        chains attached): installing a snapshot earlier would silently
+        drop the handler-chain state it carries. Returns the
+        :class:`repro.storage.RecoveredState` (also kept in
+        ``recovered_from_disk``), or ``None`` without storage.
+        """
+        if self.storage is None:
+            return None
+        recovered = self.storage.recover()
+        self.recovered_from_disk = recovered
+        if recovered.damaged:
+            return recovered
+        if recovered.snapshot is not None:
+            service_snapshot, dedup_table = decode(recovered.snapshot)
+            self.service.install_snapshot(service_snapshot)
+            self._last_executed_seq = dict(dedup_table)
+            self._dispatched_seq = dict(dedup_table)
+            self.checkpoint_cid = recovered.checkpoint_cid
+            self.checkpoint_snapshot = recovered.snapshot
+            self.executed_cid = recovered.checkpoint_cid
+            self.last_decided = recovered.checkpoint_cid
+            self.next_cid = recovered.checkpoint_cid + 1
+        for cid, value, timestamp in recovered.entries:
+            self.decision_log.append((cid, value, timestamp))
+            self.last_decided = cid
+            self.next_cid = cid + 1
+            if value != b"":
+                batch = decode(value)
+                self._exec_channel.put(
+                    (self._install_epoch, cid, batch.requests, timestamp, 0)
+                )
+        return recovered
 
     # ------------------------------------------------------------------
     # reconfiguration

@@ -1,12 +1,24 @@
 """State transfer: how a lagging or recovering replica catches up.
 
 A replica that observes consensus traffic for a slot beyond the one it is
-waiting on asks its peers for state. Each peer answers with its latest
-checkpoint (service snapshot + client dedup table), the decided log after
-the checkpoint, and its current view. The requester waits for ``f+1``
-replies with identical content — one of them is then guaranteed to come
-from a correct replica — installs the snapshot and replays the log
-through its normal execution path.
+waiting on asks its peers for state. Two transfer shapes exist:
+
+**Full** — the original path. Each peer answers with its latest
+checkpoint (service snapshot + client dedup table), the decided log
+after the checkpoint, and its current view. The requester installs the
+snapshot and replays the log through its normal execution path.
+
+**Partial** — the durable-storage fast path. A replica that already
+holds a verified prefix (recovered from its own disk, or simply a live
+replica that fell behind) sets ``log_only`` on its request: peers whose
+checkpoint has not yet swallowed ``from_cid`` answer with just the
+decided-log suffix, no snapshot. Peers that *have* checkpointed past it
+answer full — both kinds are grouped separately and either can win.
+
+Either way the requester waits for ``f+1`` replies with identical
+content — one of them is then guaranteed to come from a correct replica
+— so a partial transfer is exactly as Byzantine-safe as a full one,
+just smaller.
 """
 
 from __future__ import annotations
@@ -24,9 +36,6 @@ if typing.TYPE_CHECKING:
 class StateTransfer:
     """Drives state transfer for one replica."""
 
-    #: Minimum time between two state requests (seconds).
-    RETRY_INTERVAL = 0.5
-
     def __init__(self, replica: "ServiceReplica") -> None:
         self.replica = replica
         self.in_progress = False
@@ -36,8 +45,34 @@ class StateTransfer:
         self._retry_scheduled = False
         #: Completed transfers (metrics / tests).
         self.completed = 0
+        # -- transfer-shape metrics (benchmarks / acceptance tests) --
+        self.full_installs = 0
+        self.partial_installs = 0
+        #: Payload bytes this replica installed from peers (snapshot +
+        #: log values), the "bytes shipped" axis of the fig. 8c contrast.
+        self.bytes_installed = 0
+        self.full_served = 0
+        self.partial_served = 0
+
+    @property
+    def retry_interval(self) -> float:
+        """Minimum time between two state requests (seconds)."""
+        return self.replica.config.state_retry_interval
 
     # -- requesting ----------------------------------------------------------
+
+    def _send_request(self) -> None:
+        replica = self.replica
+        self.in_progress = True
+        self._replies.clear()
+        request = StateRequest(
+            sender=replica.address,
+            from_cid=replica.next_cid,
+            # Holding any decided prefix makes the log-tail fetch valid;
+            # peers fall back to full replies when they can't serve it.
+            log_only=replica.last_decided >= 0,
+        )
+        replica.channel.broadcast(replica.other_replicas(), request)
 
     def notice_gap(self, observed_cid: int, force: bool = False) -> None:
         """Called when traffic for a future slot reveals we are behind.
@@ -55,14 +90,11 @@ class StateTransfer:
         ):
             return
         now = replica.sim.now
-        if now - self._last_request_at < self.RETRY_INTERVAL:
+        if now - self._last_request_at < self.retry_interval:
             self._schedule_retry()
             return
         self._last_request_at = now
-        self.in_progress = True
-        self._replies.clear()
-        request = StateRequest(sender=replica.address, from_cid=replica.next_cid)
-        replica.channel.broadcast(replica.other_replicas(), request)
+        self._send_request()
 
     def bootstrap(self) -> None:
         """Fetch state unconditionally (fresh or rejuvenated replica boot).
@@ -76,23 +108,40 @@ class StateTransfer:
         replica = self.replica
         self._last_request_at = replica.sim.now
         self._highest_observed = max(self._highest_observed, replica.next_cid)
-        self.in_progress = True
-        self._replies.clear()
-        request = StateRequest(sender=replica.address, from_cid=replica.next_cid)
-        replica.channel.broadcast(replica.other_replicas(), request)
+        self._send_request()
         self._schedule_retry()
 
     # -- serving -------------------------------------------------------------
 
     def on_request(self, message: StateRequest) -> None:
         replica = self.replica
-        reply = StateReply(
-            sender=replica.address,
-            checkpoint_cid=replica.checkpoint_cid,
-            snapshot=replica.checkpoint_snapshot,
-            log=tuple(replica.decision_log),
-            view=replica.view,
-        )
+        if message.log_only and replica.checkpoint_cid < message.from_cid:
+            # Our decided log still covers the requested suffix: serve it
+            # without the snapshot. (The log is contiguous from
+            # checkpoint_cid + 1, so checkpoint_cid < from_cid guarantees
+            # every entry >= from_cid is present.)
+            reply = StateReply(
+                sender=replica.address,
+                checkpoint_cid=message.from_cid - 1,
+                snapshot=b"",
+                log=tuple(
+                    entry
+                    for entry in replica.decision_log
+                    if entry[0] >= message.from_cid
+                ),
+                view=replica.view,
+                partial=True,
+            )
+            self.partial_served += 1
+        else:
+            reply = StateReply(
+                sender=replica.address,
+                checkpoint_cid=replica.checkpoint_cid,
+                snapshot=replica.checkpoint_snapshot,
+                log=tuple(replica.decision_log),
+                view=replica.view,
+            )
+            self.full_served += 1
         replica.channel.send(message.sender, reply)
 
     # -- receiving -------------------------------------------------------------
@@ -113,6 +162,7 @@ class StateTransfer:
                         reply.snapshot,
                         reply.log,
                         reply.view.view_id,
+                        reply.partial,
                     )
                 )
             )
@@ -120,7 +170,10 @@ class StateTransfer:
         threshold = replica.view.f + 1
         for replies in groups.values():
             if len(replies) >= threshold:
-                self._install(replies[0])
+                if replies[0].partial:
+                    self._install_partial(replies[0])
+                else:
+                    self._install(replies[0])
                 return
 
     # -- installing ---------------------------------------------------------------
@@ -161,6 +214,13 @@ class StateTransfer:
         replica.instances.clear()
         replica._inflight_keys.clear()
 
+        if replica.storage is not None:
+            # The durable state must track the installed one, or the next
+            # restart would resurrect the pre-install history.
+            replica.storage.reinstall(
+                reply.checkpoint_cid, reply.snapshot, reply.log
+            )
+
         last = reply.checkpoint_cid
         for cid, value, timestamp in sorted(reply.log, key=lambda e: e[0]):
             last = max(last, cid)
@@ -179,6 +239,67 @@ class StateTransfer:
                 )
         replica.last_decided = last
         replica.next_cid = last + 1
+        self.full_installs += 1
+        self.bytes_installed += len(reply.snapshot) + sum(
+            len(value) for _, value, _ in reply.log
+        )
+        self._finish_install()
+
+    def _install_partial(self, reply: StateReply) -> None:
+        """Append an f+1-verified decided-log suffix to our own prefix.
+
+        Unlike a full install this does not touch the snapshot, the
+        dedup tables or the install epoch — the existing executor
+        backlog *is* the valid prefix the suffix extends.
+        """
+        replica = self.replica
+        top_cid = max(
+            [reply.checkpoint_cid] + [entry[0] for entry in reply.log]
+        )
+        if top_cid <= replica.last_decided:
+            # Stale: peers are no further along than we already are.
+            self.in_progress = False
+            return
+        if reply.checkpoint_cid > replica.last_decided:
+            # The suffix starts beyond our prefix and cannot anchor —
+            # only possible across a racing install; fetch again.
+            self.in_progress = False
+            self._schedule_retry()
+            return
+
+        if reply.view.view_id > replica.view.view_id:
+            replica.view = reply.view
+            replica.synchronizer.on_view_change()
+
+        installed_bytes = 0
+        for cid, value, timestamp in sorted(reply.log, key=lambda e: e[0]):
+            if cid <= replica.last_decided:
+                continue  # overlap with what we already hold
+            replica.decision_log.append((cid, value, timestamp))
+            if replica.storage is not None:
+                replica.storage.on_decided(cid, value, timestamp)
+            installed_bytes += len(value)
+            if value != b"":
+                batch = decode(value)
+                for request in batch.requests:
+                    replica.pending.pop(request.key(), None)
+                replica._exec_channel.put(
+                    (
+                        replica._install_epoch,
+                        cid,
+                        batch.requests,
+                        timestamp,
+                        replica.regency,
+                    )
+                )
+            replica.last_decided = cid
+        replica.next_cid = replica.last_decided + 1
+        self.partial_installs += 1
+        self.bytes_installed += installed_bytes
+        self._finish_install()
+
+    def _finish_install(self) -> None:
+        replica = self.replica
         replica.last_progress = replica.sim.now
         self.in_progress = False
         self.completed += 1
@@ -196,7 +317,7 @@ class StateTransfer:
         if self._retry_scheduled:
             return
         self._retry_scheduled = True
-        self.replica.sim.call_later(self.RETRY_INTERVAL, self._retry)
+        self.replica.sim.call_later(self.retry_interval, self._retry)
 
     def _retry(self) -> None:
         self._retry_scheduled = False

@@ -67,6 +67,11 @@ class CampaignConfig:
     sync_timeout: float = 2.0
     invoke_timeout: float = 0.5
     logical_timeout: float = 0.8
+    #: Durable replica state (`repro.storage`): required by
+    #: :class:`~repro.chaos.schedule.CrashRestart` actions.
+    durability: bool = False
+    fsync_policy: str = "every-decision"
+    checkpoint_interval: int = 1000
 
     def scada_config(self) -> SmartScadaConfig:
         return SmartScadaConfig(
@@ -76,6 +81,9 @@ class CampaignConfig:
             sync_timeout=self.sync_timeout,
             invoke_timeout=self.invoke_timeout,
             logical_timeout=self.logical_timeout,
+            durability=self.durability,
+            fsync_policy=self.fsync_policy,
+            checkpoint_interval=self.checkpoint_interval,
         )
 
 
@@ -106,6 +114,10 @@ class CampaignContext:
     crashed: set = field(default_factory=set)
     compromised: set = field(default_factory=set)
     rejuvenations: int = 0
+    restarts: int = 0
+    #: One dict per CrashRestart reboot: index, disk fault, crash /
+    #: restart / settle times and the replacement ProxyMaster.
+    restart_events: list = field(default_factory=list)
     #: item_id -> set of values the field actually produced.
     legal_values: dict = field(default_factory=dict)
     writes: list = field(default_factory=list)
@@ -194,6 +206,12 @@ class CampaignReport:
     fault_stats: dict
     state_digests: list
     trace_digest: str
+    #: CrashRestart recoveries: ``{index, disk, crashed_at, restarted_at,
+    #: settled_at}`` per reboot. Diagnostics only — deliberately outside
+    #: :meth:`fingerprint` (like ``fault_stats``), which hashes the
+    #: behaviour-defining trace and verdicts.
+    recoveries: list = field(default_factory=list)
+    restarts: int = 0
 
     @property
     def ok(self) -> bool:
@@ -392,6 +410,11 @@ def run_campaign(
         fault_stats=sim.stats().get("net.faults", {}),
         state_digests=system.state_digests(),
         trace_digest=_trace_digest(net),
+        recoveries=[
+            {key: value for key, value in event.items() if key != "proxy_master"}
+            for event in ctx.restart_events
+        ],
+        restarts=ctx.restarts,
     )
 
 

@@ -223,6 +223,79 @@ class StateConvergenceMonitor(InvariantMonitor):
             )
 
 
+class DurableRecoveryMonitor(InvariantMonitor):
+    """Checks every :class:`~repro.chaos.schedule.CrashRestart` recovery.
+
+    Polled: stamps ``settled_at`` on each restart event the first time
+    the rebooted replica has caught up with its honest peers (the
+    recovery-time measurement surfaced in ``CampaignReport.recoveries``).
+
+    At quiesce:
+
+    - every rebooted replica must have settled (no divergent stragglers);
+    - an ``intact``-disk reboot whose disk yielded a usable prefix must
+      have recovered *without* a full snapshot install — WAL replay plus
+      log-tail (partial) transfer only. A full install there means the
+      durable boot path silently degraded to state shipping, the
+      regression this monitor exists to catch. (Under the
+      ``checkpoint-only`` fsync policy an intact crash can honestly lose
+      the entire un-barriered tail — an empty prefix makes the full
+      transfer the correct answer, so the rule does not apply.)
+
+    Damaged disks (``torn``/``corrupt``/``wiped``) are *expected* to fall
+    back to the full transfer; for them only convergence is checked (the
+    safety monitors separately guarantee the fallback stayed honest).
+    """
+
+    name = "durable-recovery"
+
+    def poll(self, ctx) -> None:
+        for event in ctx.restart_events:
+            if event["settled_at"] is not None:
+                continue
+            replica = event["proxy_master"].replica
+            if not replica.active:
+                continue
+            peers = [
+                r
+                for r in ctx.honest_live_replicas()
+                if r is not replica
+            ]
+            if not peers:
+                continue
+            if replica.last_decided >= max(p.last_decided for p in peers):
+                event["settled_at"] = ctx.sim.now
+
+    def finish(self, ctx) -> None:
+        self.poll(ctx)  # catch settlements since the last tick
+        for event in ctx.restart_events:
+            replica = event["proxy_master"].replica
+            label = (
+                f"replica-{event['index']} ({event['disk']} disk, rebooted "
+                f"t={event['restarted_at']:.2f}s)"
+            )
+            if event["settled_at"] is None and replica.active:
+                ctx.record_violation(
+                    self.name,
+                    f"{label} never caught up with its peers after the "
+                    f"restart (last_decided={replica.last_decided})",
+                )
+            recovered = replica.recovered_from_disk
+            if (
+                event["disk"] == "intact"
+                and recovered is not None
+                and not recovered.damaged
+                and recovered.last_cid >= 0
+                and replica.state_transfer.full_installs
+            ):
+                ctx.record_violation(
+                    self.name,
+                    f"{label} recovered through a full snapshot transfer; "
+                    f"an intact disk must rejoin by WAL replay + log-tail "
+                    f"transfer only",
+                )
+
+
 def default_monitors() -> list:
     """The full invariant suite, in evaluation order."""
     return [
@@ -233,4 +306,5 @@ def default_monitors() -> list:
         WriteCompletionMonitor(),
         LeaderConvergenceMonitor(),
         StateConvergenceMonitor(),
+        DurableRecoveryMonitor(),
     ]

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field, replace
 from repro.chaos.campaign import CampaignConfig, CampaignReport, run_campaign
 from repro.chaos.schedule import (
     CrashReplica,
+    CrashRestart,
     DelayKind,
     DropKind,
     FieldOffline,
@@ -28,6 +29,23 @@ from repro.chaos.schedule import (
     Schedule,
     SwapByzantine,
 )
+
+#: Overrides for the intact crash-restart drill. The checkpoint interval
+#: is deliberately *longer* than the decisions the horizon produces: the
+#: peers never checkpoint past the rebooted replica's recovered position,
+#: so they still hold the log tail it needs and the reboot can rejoin by
+#: WAL replay + partial transfer alone (the invariant the
+#: durable-recovery monitor enforces). Once peers checkpoint beyond that
+#: point they truncate their logs and a full transfer becomes the only
+#: correct answer — that trade-off is the checkpoint-frequency vs
+#: log-retention tension, exercised separately in the recovery tests.
+_DURABLE_INTACT = {"durability": True, "checkpoint_interval": 40}
+
+#: Overrides for the damaged-disk drills: checkpoints frequent enough
+#: that one lands on the victim's disk *before* the crash fault hits it,
+#: so digest verification runs against real on-disk state (checkpoint +
+#: torn/corrupt WAL tail) rather than an empty device.
+_DURABLE_DAMAGED = {"durability": True, "checkpoint_interval": 5}
 
 
 @dataclass(frozen=True)
@@ -127,6 +145,18 @@ def _rolling_crashes() -> Schedule:
     ])
 
 
+def _crash_restart(disk: str) -> Schedule:
+    # Power-cut one replica mid-campaign with the given disk fault and
+    # reboot it from whatever the device honestly retained. ``intact``
+    # must rejoin by WAL replay + log-tail transfer alone; damaged disks
+    # must be caught by digest verification and fall back to the full
+    # transfer with no safety violation; ``wiped`` is exactly the
+    # rejuvenation path.
+    return Schedule([
+        CrashRestart(at=1.5, duration=2.0, index=2, disk=disk),
+    ])
+
+
 def _overbudget_falsify() -> Schedule:
     # DELIBERATELY over budget: two simultaneous falsifying replicas
     # (f=1) collude — their byte-identical forgeries reach the f+1 push
@@ -198,6 +228,34 @@ SCENARIOS: dict[str, Scenario] = {
             description="sequential crash/recover across the group, never"
             " more than f at once",
             build=_rolling_crashes,
+        ),
+        Scenario(
+            name="crash-restart-intact",
+            description="power-cut a replica with a durable disk; it must"
+            " rejoin from WAL replay + log-tail transfer, no snapshot",
+            build=lambda: _crash_restart("intact"),
+            overrides=_DURABLE_INTACT,
+        ),
+        Scenario(
+            name="crash-restart-torn",
+            description="crash leaves a torn WAL tail write; digest checks"
+            " must catch it and fall back to full transfer",
+            build=lambda: _crash_restart("torn"),
+            overrides=_DURABLE_DAMAGED,
+        ),
+        Scenario(
+            name="crash-restart-corrupt",
+            description="silent bit flip on the durable log; digest checks"
+            " must catch it and fall back to full transfer",
+            build=lambda: _crash_restart("corrupt"),
+            overrides=_DURABLE_DAMAGED,
+        ),
+        Scenario(
+            name="crash-restart-wiped",
+            description="total disk loss on crash; recovery must behave"
+            " exactly like proactive rejuvenation (full transfer)",
+            build=lambda: _crash_restart("wiped"),
+            overrides=_DURABLE_DAMAGED,
         ),
         Scenario(
             name="overbudget-falsify",

@@ -348,6 +348,66 @@ class Rejuvenate(Action):
 
 
 @dataclass
+class CrashRestart(Action):
+    """Power-cut replica ``index``; reboot it from its durable disk.
+
+    Requires a durable campaign (``CampaignConfig(durability=True)``).
+    At ``at`` the machine goes down and the ``disk`` crash fault model —
+    ``intact`` / ``torn`` / ``corrupt`` / ``wiped`` (see
+    :data:`repro.storage.CRASH_MODES`) — is applied to its device, the
+    honest-crash-semantics moment. At the end of the window the machine
+    reboots through :func:`repro.core.recovery.restart_replica`:
+    checkpoint + WAL-tail recovery from disk, then a partial (log-tail)
+    state transfer for the suffix — or the full-transfer fallback when
+    the disk failed digest verification.
+    """
+
+    index: int = 0
+    disk: str = "intact"
+    replica_fault = True
+
+    def _apply(self, ctx) -> None:
+        self._rules = _crash_machine(ctx, self.index)
+        old = ctx.system.proxy_masters[self.index]
+        # The power cut: the process dies with the machine (a halted
+        # replica with its storage detached can't write "post-mortem"
+        # checkpoints), and the crash fault hits the device *now* — the
+        # torn write is whatever was in flight at this instant.
+        old.replica.halt()
+        storage = old.replica.storage
+        old.replica.storage = None
+        if storage is not None:
+            storage.crash(self.disk)
+
+    def _revert(self, ctx) -> None:
+        from repro.core.recovery import restart_replica
+
+        _recover_machine(ctx, self.index, getattr(self, "_rules", []))
+        replacement = restart_replica(
+            ctx.system,
+            self.index,
+            disk_fault=None,  # the fault already hit at crash time
+            handler_config=ctx.handler_config,
+        )
+        ctx.restarts += 1
+        ctx.restart_events.append(
+            {
+                "index": self.index,
+                "disk": self.disk,
+                "crashed_at": self.at,
+                "restarted_at": ctx.sim.now,
+                "settled_at": None,
+                "proxy_master": replacement,
+            }
+        )
+
+    def fault_interval(self, horizon: float):
+        # Like a rejuvenation, the replica stays charged to the budget
+        # for a recovery window after the reboot while it catches up.
+        return (self.at, min(self.end(horizon) + REJUVENATION_WINDOW, horizon), 1)
+
+
+@dataclass
 class Schedule:
     """An ordered list of fault actions forming one campaign."""
 

@@ -67,6 +67,16 @@ class SmartScadaConfig:
     logical_timeout: float = 1.0
     #: BFT client retransmission timeout.
     invoke_timeout: float = 1.0
+    #: Durable replica state (``repro.storage``): give every replica a
+    #: crash-consistent WAL + checkpoint store so restarts recover from
+    #: disk instead of paying for a full state transfer.
+    durability: bool = False
+    #: WAL fsync policy: ``every-decision`` / ``every-n`` / ``checkpoint-only``.
+    fsync_policy: str = "every-decision"
+    fsync_interval: int = 8
+    checkpoint_retention: int = 2
+    #: Minimum time between state-transfer requests (seconds).
+    state_retry_interval: float = 0.5
     #: Master cost model for the replicas.
     costs: MasterCosts = field(default_factory=smartscada_costs)
 
@@ -79,6 +89,10 @@ class SmartScadaConfig:
             request_timeout=self.request_timeout,
             sync_timeout=self.sync_timeout,
             checkpoint_interval=self.checkpoint_interval,
+            fsync_policy=self.fsync_policy,
+            fsync_interval=self.fsync_interval,
+            checkpoint_retention=self.checkpoint_retention,
+            state_retry_interval=self.state_retry_interval,
         )
 
     @property

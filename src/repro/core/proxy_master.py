@@ -38,6 +38,7 @@ class ProxyMaster:
         group: GroupConfig | None = None,
         view: View | None = None,
         replica_class: type | None = None,
+        storage=None,
     ) -> None:
         self.sim = sim
         self.index = index
@@ -99,6 +100,7 @@ class ProxyMaster:
             service=self.service,
             keystore=keystore,
             view=view,
+            storage=storage,
         )
 
     def _send_vote(self, vote) -> None:

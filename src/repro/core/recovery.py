@@ -51,6 +51,14 @@ def rejuvenate_replica(
     old = system.proxy_masters[index]
     old.replica.halt()
     view = old.replica.view
+    storage = None
+    if system.durable_storage is not None:
+        # Rejuvenation reprovisions the machine: the disk is wiped along
+        # with everything else (a compromised replica's disk contents are
+        # exactly what proactive recovery must not trust).
+        storage = system.durable_storage.get(index)
+        if storage is not None:
+            storage.crash("wiped")
     replacement = ProxyMaster(
         system.sim,
         system.net,
@@ -59,13 +67,70 @@ def rejuvenate_replica(
         system.keystore,
         view=view,
         replica_class=replica_class,
+        storage=storage,
     )
     if handler_config is not None:
         handler_config(replacement)
     system.proxy_masters[index] = replacement
+    if storage is not None:
+        replacement.replica.recover_from_disk()  # wiped: a recorded no-op
     # Fetch state immediately: if this address is the current leader, the
     # group would otherwise stall for a whole request-timeout before the
     # synchronization phase deposed the amnesiac newcomer.
+    replacement.replica.state_transfer.bootstrap()
+    return replacement
+
+
+def restart_replica(
+    system: "SmartScadaSystem",
+    index: int,
+    disk_fault: str | None = "intact",
+    handler_config=None,
+) -> ProxyMaster:
+    """Crash one Master replica and reboot it from its durable disk.
+
+    Unlike :func:`rejuvenate_replica`, the replacement keeps the old
+    incarnation's :class:`repro.storage.ReplicaStorage`: the crash fault
+    model (``disk_fault`` — ``intact``/``torn``/``corrupt``/``wiped``)
+    is applied to the disk, then the new incarnation boots through
+    ``recover_from_disk`` — newest valid checkpoint + WAL-tail replay —
+    and only asks peers for the suffix it missed (a *partial* state
+    transfer). Damaged disks are detected by digest verification and
+    fall back to the full transfer automatically.
+
+    ``disk_fault=None`` means the crash fault was already applied to the
+    device (the chaos engine applies it at crash time, which may be long
+    before the reboot).
+
+    Requires a deployment built with ``config.durability``.
+    """
+    if system.durable_storage is None:
+        raise ValueError(
+            "restart_replica needs a durable deployment "
+            "(SmartScadaConfig(durability=True)); use rejuvenate_replica "
+            "for memory-only groups"
+        )
+    old = system.proxy_masters[index]
+    old.replica.halt()
+    view = old.replica.view
+    storage = system.durable_storage[index]
+    if disk_fault is not None:
+        storage.crash(disk_fault)
+    replacement = ProxyMaster(
+        system.sim,
+        system.net,
+        index,
+        system.config,
+        system.keystore,
+        view=view,
+        storage=storage,
+    )
+    # Handler chains are configuration, re-applied before recovery so the
+    # installed snapshot can restore their state into them.
+    if handler_config is not None:
+        handler_config(replacement)
+    system.proxy_masters[index] = replacement
+    replacement.replica.recover_from_disk()
     replacement.replica.state_transfer.bootstrap()
     return replacement
 

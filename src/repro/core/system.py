@@ -117,6 +117,10 @@ class SmartScadaSystem:
     proxy_masters: list
     proxy_hmi: ProxyHMI
     hmi: HMI
+    #: index -> :class:`repro.storage.ReplicaStorage` when the deployment
+    #: was built with ``config.durability``; ``None`` otherwise. Disks
+    #: outlive replica incarnations — a restart boots from the same one.
+    durable_storage: dict | None = None
 
     @property
     def frontend(self) -> Frontend:
@@ -211,6 +215,26 @@ def build_smartscada(
         frontends.append(frontend)
         proxy_frontends.append(proxy)
 
+    durable_storage = None
+    if config.durability:
+        from repro.bftsmart.config import replica_address
+        from repro.storage import ReplicaStorage
+
+        durable_storage = {
+            index: ReplicaStorage(
+                replica_address(index),
+                fsync_policy=config.fsync_policy,
+                fsync_interval=config.fsync_interval,
+                checkpoint_retention=config.checkpoint_retention,
+            )
+            for index in range(config.n)
+        }
+        storages = dict(durable_storage)
+        sim.register_stats_source(
+            "storage",
+            lambda: {s.address: s.counters() for s in storages.values()},
+        )
+
     proxy_masters = [
         ProxyMaster(
             sim,
@@ -220,6 +244,7 @@ def build_smartscada(
             keystore,
             group=group,
             replica_class=replica_classes.get(index),
+            storage=durable_storage[index] if durable_storage else None,
         )
         for index in range(config.n)
     ]
@@ -245,4 +270,5 @@ def build_smartscada(
         proxy_masters=proxy_masters,
         proxy_hmi=proxy_hmi,
         hmi=hmi,
+        durable_storage=durable_storage,
     )

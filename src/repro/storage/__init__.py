@@ -1,0 +1,28 @@
+"""Simulated durable storage with honest crash semantics.
+
+The paper's replicas are memory-only: every recovery pays for a full
+state transfer (Figure 8c). This package gives each replica a durable
+tier — :class:`SimDisk` (fsync barriers + crash fault models),
+:class:`WriteAheadLog` (digest-framed decisions), and
+:class:`CheckpointStore` (atomic-rename snapshot installs) — bundled
+behind :class:`ReplicaStorage`, so a restarted replica recovers from
+its own disk and only fetches the log suffix it missed from peers.
+
+See ``docs/DURABILITY.md`` for the crash model and recovery decision
+tree.
+"""
+
+from repro.storage.checkpoint import CheckpointStore
+from repro.storage.disk import CRASH_MODES, SimDisk
+from repro.storage.replica_storage import RecoveredState, ReplicaStorage
+from repro.storage.wal import FSYNC_POLICIES, WriteAheadLog
+
+__all__ = [
+    "CRASH_MODES",
+    "FSYNC_POLICIES",
+    "CheckpointStore",
+    "RecoveredState",
+    "ReplicaStorage",
+    "SimDisk",
+    "WriteAheadLog",
+]

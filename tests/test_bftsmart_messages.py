@@ -41,12 +41,21 @@ SAMPLES = [
     StopData(sender="r3", regency=4, last_decided=9, in_flight=None, signature=b"s"),
     Sync(sender="r1", regency=4, cid=10, value=b"", timestamp=3.0),
     StateRequest(sender="r3", from_cid=11),
+    StateRequest(sender="r3", from_cid=11, log_only=True),
     StateReply(
         sender="r0",
         checkpoint_cid=9,
         snapshot=b"snap",
         log=((10, b"v", 1.0),),
         view=View(0, ("r0", "r1", "r2", "r3"), 1),
+    ),
+    StateReply(
+        sender="r0",
+        checkpoint_cid=10,
+        snapshot=b"",
+        log=((11, b"v", 1.5),),
+        view=View(0, ("r0", "r1", "r2", "r3"), 1),
+        partial=True,
     ),
     ReconfigRequest(admin="admin", join=("r4",), leave=(), new_f=1, signature=b"sig"),
     TimeoutVote(replica="r2", operation_key=("scada-master:w9",)),

@@ -16,12 +16,13 @@ from repro.sim import Simulator
 from repro.wire import decode, encode
 
 
-def make_world(seed=1, checkpoint_interval=5):
+def make_world(seed=1, checkpoint_interval=5, **extra):
     sim = Simulator(seed=seed)
     net = Network(sim, latency=ConstantLatency(0.0003))
     keystore = KeyStore()
     config = GroupConfig(
-        n=4, f=1, checkpoint_interval=checkpoint_interval, request_timeout=0.5
+        n=4, f=1, checkpoint_interval=checkpoint_interval,
+        request_timeout=0.5, **extra
     )
     replicas = build_group(sim, net, config, CounterService, keystore)
     proxy = build_proxy(sim, net, "client-1", config, keystore)
@@ -114,3 +115,76 @@ def test_stale_gap_notice_aborts_cleanly():
     assert not replica.state_transfer.in_progress
     # State unchanged, no bogus rollback.
     assert replica.service.value == 5
+
+
+def test_retry_interval_comes_from_group_config():
+    """The retry pace is deployment configuration, not a class constant."""
+    sim, net, replicas, proxy = make_world(state_retry_interval=0.125)
+    for replica in replicas:
+        assert replica.state_transfer.retry_interval == 0.125
+    with pytest.raises(ValueError):
+        GroupConfig(n=4, f=1, state_retry_interval=0.0)
+
+
+def test_retry_interval_throttles_repeat_requests():
+    sim, net, replicas, proxy = make_world(state_retry_interval=5.0)
+    run_adds(sim, proxy, 3)
+    replica = replicas[1]
+    transfer = replica.state_transfer
+    transfer._last_request_at = sim.now  # as if a request just went out
+    served_before = sum(r.state_transfer.full_served +
+                        r.state_transfer.partial_served for r in replicas)
+    transfer.notice_gap(replica.next_cid + 3)
+    sim.run(until=sim.now + 1)
+    # Inside the interval: no new request hit the wire, a retry is armed.
+    served_after = sum(r.state_transfer.full_served +
+                       r.state_transfer.partial_served for r in replicas)
+    assert served_after == served_before
+    assert transfer._retry_scheduled
+
+
+def test_notice_gap_force_requests_at_the_waiting_slot():
+    """``force=True`` (the retry path) must re-request even when the
+    observed cid equals ``next_cid``: that instance may have decided at
+    the peers during our install, after which no further traffic would
+    ever re-open the gap."""
+    sim, net, replicas, proxy = make_world()
+    run_adds(sim, proxy, 4)
+    replica = replicas[2]
+    transfer = replica.state_transfer
+    transfer._last_request_at = -1000.0
+
+    transfer.notice_gap(replica.next_cid)  # not a gap without force
+    assert not transfer.in_progress
+    transfer.notice_gap(replica.next_cid, force=True)
+    assert transfer.in_progress
+
+
+def test_transfer_completing_during_leader_change_adopts_new_view():
+    """A recovering replica whose transfer lands while the group is
+    electing a new leader must adopt the regency its peers converged on
+    and keep participating (retry-driven re-request included)."""
+    sim, net, replicas, proxy = make_world(state_retry_interval=0.2)
+    # The straggler misses a stretch of decisions...
+    net.crash("replica-3")
+    run_adds(sim, proxy, 6)
+    net.recover("replica-3")
+    # ...and the instant it returns, the leader dies: its state transfer
+    # now races the regency election (quorum needs the straggler, so the
+    # group only makes progress once its transfer lands and it votes).
+    net.crash("replica-0")
+    run_adds(sim, proxy, 3)
+    live = [r for r in replicas if r.address != "replica-0"]
+    deadline = sim.now + 30
+    while sim.now < deadline:
+        sim.run(until=sim.now + 0.5)
+        if len({r.last_decided for r in live}) == 1:
+            break
+    assert len({r.last_decided for r in live}) == 1
+    straggler = replicas[3]
+    assert straggler.service.value == replicas[1].service.value == 9
+    assert straggler.state_transfer.completed >= 1
+    # It converged onto the post-election regency, not the stale one.
+    top = max(r.synchronizer.regency for r in live)
+    assert top > 0
+    assert straggler.synchronizer.regency == top

@@ -57,3 +57,39 @@ def test_chaos_seed_sweep(capsys):
 
 def test_chaos_requires_scenario_name(capsys):
     assert main(["chaos"]) == 2
+
+
+def test_chaos_json_verdicts(capsys):
+    import json
+
+    assert main(["chaos", "leader-crash", "--seed", "3", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["scenario"] == "leader-crash"
+    assert payload["expectation"] == "pass"
+    assert payload["as_expected"] is True
+    (campaign,) = payload["campaigns"]
+    assert campaign["seed"] == 3
+    assert campaign["ok"] is True
+    assert campaign["violations"] == []
+    assert campaign["fingerprint"]
+
+
+def test_chaos_json_reports_recoveries(capsys):
+    import json
+
+    assert main(["chaos", "crash-restart-intact", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    (campaign,) = payload["campaigns"]
+    assert campaign["restarts"] == 1
+    (event,) = campaign["recoveries"]
+    assert event["disk"] == "intact"
+    assert event["settled_at"] is not None
+
+
+def test_chaos_json_list(capsys):
+    import json
+
+    assert main(["chaos", "--list", "--json"]) == 0
+    scenarios = json.loads(capsys.readouterr().out)
+    names = {s["name"] for s in scenarios}
+    assert {"leader-crash", "crash-restart-torn", "overbudget-falsify"} <= names

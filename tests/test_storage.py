@@ -1,0 +1,313 @@
+"""Unit tests for the simulated durable-storage subsystem.
+
+Covers the SimDisk fsync-barrier and crash-fault semantics, the
+digest-framed WAL under every fsync policy, the atomic-rename
+checkpoint store, and the ReplicaStorage recovery read path.
+"""
+
+import pytest
+
+from repro.crypto import digest
+from repro.storage import (
+    CRASH_MODES,
+    FSYNC_POLICIES,
+    CheckpointStore,
+    ReplicaStorage,
+    SimDisk,
+    WriteAheadLog,
+)
+from repro.wire import decode, encode
+
+
+# ----------------------------------------------------------------------
+# SimDisk
+# ----------------------------------------------------------------------
+
+
+def test_disk_appends_are_volatile_until_fsync():
+    disk = SimDisk("d")
+    disk.log_append(b"one")
+    assert disk.log_records() == [b"one"]  # readers see the cache
+    assert disk.dirty
+    disk.crash("intact")
+    assert disk.log_records() == []  # ...but a crash loses it
+
+
+def test_disk_fsync_makes_appends_crash_proof():
+    disk = SimDisk("d")
+    disk.log_append(b"one")
+    disk.log_append(b"two")
+    disk.fsync()
+    assert not disk.dirty
+    disk.crash("intact")
+    assert disk.log_records() == [b"one", b"two"]
+
+
+def test_disk_torn_crash_halves_the_in_flight_record():
+    disk = SimDisk("d")
+    disk.log_append(b"durable")
+    disk.fsync()
+    disk.log_append(b"0123456789")  # in flight at crash time
+    disk.crash("torn")
+    assert disk.log_records() == [b"durable", b"01234"]
+
+
+def test_disk_torn_crash_with_clean_cache_tears_last_durable():
+    disk = SimDisk("d")
+    disk.log_append(b"0123456789")
+    disk.fsync()
+    disk.crash("torn")
+    assert disk.log_records() == [b"01234"]
+
+
+def test_disk_corrupt_crash_flips_one_bit_silently():
+    disk = SimDisk("d")
+    disk.log_append(b"abcdef")
+    disk.fsync()
+    disk.crash("corrupt")
+    (record,) = disk.log_records()
+    assert record != b"abcdef"
+    assert len(record) == 6
+    # Exactly one bit differs.
+    diff = [a ^ b for a, b in zip(record, b"abcdef")]
+    assert sum(bin(d).count("1") for d in diff) == 1
+
+
+def test_disk_wiped_crash_loses_everything():
+    disk = SimDisk("d")
+    disk.log_append(b"rec")
+    disk.put_blob("blob", b"data")
+    disk.fsync()
+    disk.crash("wiped")
+    assert disk.log_records() == []
+    assert disk.blob_names() == []
+
+
+def test_disk_rejects_unknown_crash_mode():
+    with pytest.raises(ValueError):
+        SimDisk("d").crash("melted")
+    assert set(CRASH_MODES) == {"intact", "torn", "corrupt", "wiped"}
+
+
+def test_disk_rename_requires_durable_source():
+    disk = SimDisk("d")
+    disk.put_blob("a.tmp", b"data")
+    with pytest.raises(ValueError):
+        disk.rename_blob("a.tmp", "a")  # classic torn-install bug
+    disk.fsync()
+    disk.rename_blob("a.tmp", "a")
+    assert disk.read_blob("a") == b"data"  # visible immediately...
+    disk.crash("intact")
+    assert disk.blob_names() == ["a.tmp"]  # ...durable only after fsync
+
+
+def test_disk_counters_track_barriers_and_volume():
+    disk = SimDisk("d")
+    disk.log_append(b"x" * 100)
+    disk.fsync()
+    counters = disk.counters()
+    assert counters["fsyncs"] == 1
+    assert counters["appends"] == 1
+    assert counters["bytes_written"] == 100
+    assert counters["busy_time"] > 0
+
+
+# ----------------------------------------------------------------------
+# WriteAheadLog
+# ----------------------------------------------------------------------
+
+
+def _filled_wal(policy, count=5, interval=3):
+    disk = SimDisk("d")
+    wal = WriteAheadLog(disk, policy=policy, interval=interval)
+    for cid in range(count):
+        wal.append(cid, b"value-%d" % cid, float(cid))
+    return disk, wal
+
+
+def test_wal_roundtrips_entries():
+    disk, wal = _filled_wal("every-decision")
+    entries, damaged = WriteAheadLog(disk).replay()
+    assert not damaged
+    assert entries == [(cid, b"value-%d" % cid, float(cid)) for cid in range(5)]
+
+
+@pytest.mark.parametrize("policy", FSYNC_POLICIES)
+def test_wal_fsync_policies_bound_the_loss_window(policy):
+    disk, wal = _filled_wal(policy, count=5, interval=3)
+    disk.crash("intact")
+    entries, damaged = WriteAheadLog(disk).replay()
+    assert not damaged
+    survived = [cid for cid, _, _ in entries]
+    if policy == "every-decision":
+        assert survived == [0, 1, 2, 3, 4]  # nothing lost, ever
+    elif policy == "every-n":
+        assert survived == [0, 1, 2]  # loss window < interval
+    else:  # checkpoint-only
+        assert survived == []  # whole tail gone
+
+
+def test_wal_detects_torn_tail_and_repairs_the_log():
+    disk, wal = _filled_wal("every-decision")
+    disk.crash("torn")
+    entries, damaged = WriteAheadLog(disk).replay()
+    assert damaged
+    assert [cid for cid, _, _ in entries] == [0, 1, 2, 3]
+    # The damaged suffix was cut: a fresh replay is clean.
+    entries2, damaged2 = WriteAheadLog(disk).replay()
+    assert not damaged2
+    assert len(entries2) == 4
+
+
+def test_wal_detects_silent_bit_flip():
+    disk, wal = _filled_wal("every-decision")
+    disk.crash("corrupt")
+    entries, damaged = WriteAheadLog(disk).replay()
+    assert damaged
+    assert [cid for cid, _, _ in entries] == [0, 1, 2, 3]
+
+
+def test_wal_truncate_through_drops_checkpointed_prefix():
+    disk, wal = _filled_wal("every-decision")
+    wal.truncate_through(2)
+    assert wal.tail_cids == [3, 4]
+    entries, damaged = WriteAheadLog(disk).replay()
+    assert not damaged
+    assert [cid for cid, _, _ in entries] == [3, 4]
+
+
+def test_wal_rejects_unknown_policy():
+    with pytest.raises(ValueError):
+        WriteAheadLog(SimDisk("d"), policy="yolo")
+    with pytest.raises(ValueError):
+        WriteAheadLog(SimDisk("d"), policy="every-n", interval=0)
+
+
+# ----------------------------------------------------------------------
+# CheckpointStore
+# ----------------------------------------------------------------------
+
+
+def test_checkpoint_roundtrip_and_retention():
+    disk = SimDisk("d")
+    store = CheckpointStore(disk, retention=2)
+    for cid in (4, 9, 14):
+        store.install(cid, b"snapshot-%d" % cid)
+    assert store.load_newest() == (14, b"snapshot-14")
+    # Retention bound: only the last two generations survive.
+    names = [n for n in disk.blob_names() if not n.endswith(".tmp")]
+    assert len(names) == 2
+
+
+def test_checkpoint_survives_crash_after_install():
+    disk = SimDisk("d")
+    CheckpointStore(disk).install(7, b"snap")
+    disk.crash("intact")
+    assert CheckpointStore(disk).load_newest() == (7, b"snap")
+
+
+def test_checkpoint_corruption_falls_back_a_generation():
+    disk = SimDisk("d")
+    store = CheckpointStore(disk, retention=2)
+    store.install(4, b"old-snapshot")
+    store.install(9, b"new-snapshot")
+    # Log is empty, so the corrupt fault hits the newest blob.
+    disk.crash("corrupt")
+    assert CheckpointStore(disk).load_newest() == (4, b"old-snapshot")
+
+
+def test_checkpoint_orphaned_tmp_is_never_loaded():
+    disk = SimDisk("d")
+    store = CheckpointStore(disk)
+    store.install(4, b"good")
+    # A mid-install crash leaves a durable .tmp with no rename.
+    disk.put_blob("checkpoint-000000000009.tmp", b"half-written")
+    disk.fsync()
+    disk.crash("intact")
+    assert CheckpointStore(disk).load_newest() == (4, b"good")
+
+
+# ----------------------------------------------------------------------
+# ReplicaStorage recovery read path
+# ----------------------------------------------------------------------
+
+
+def _decided(storage, cids):
+    for cid in cids:
+        storage.on_decided(cid, b"batch-%d" % cid, float(cid))
+
+
+def test_recover_returns_checkpoint_plus_contiguous_tail():
+    storage = ReplicaStorage("replica-0")
+    _decided(storage, range(5))
+    storage.on_checkpoint(4, b"snapshot-at-4")
+    _decided(storage, range(5, 8))
+    storage.crash("intact")
+    recovered = storage.recover()
+    assert not recovered.damaged
+    assert recovered.checkpoint_cid == 4
+    assert recovered.snapshot == b"snapshot-at-4"
+    assert [cid for cid, _, _ in recovered.entries] == [5, 6, 7]
+    assert recovered.last_cid == 7
+
+
+def test_recover_flags_torn_tail_as_damaged():
+    storage = ReplicaStorage("replica-0")
+    _decided(storage, range(5))
+    storage.on_checkpoint(4, b"snap")
+    _decided(storage, range(5, 8))
+    storage.crash("torn")
+    recovered = storage.recover()
+    assert recovered.damaged
+    assert "digest" in recovered.notes
+
+
+def test_recover_flags_wal_gap_as_damaged():
+    storage = ReplicaStorage("replica-0")
+    _decided(storage, [0, 1, 2])
+    storage.on_checkpoint(2, b"snap")
+    # Simulate a history the checkpoint cannot anchor: entries resume
+    # past a hole (as after falling back a checkpoint generation).
+    _decided(storage, [5, 6])
+    storage.crash("intact")
+    recovered = storage.recover()
+    assert recovered.damaged
+    assert "gap" in recovered.notes
+    assert recovered.entries == []  # un-anchorable tail dropped
+    assert recovered.last_cid == 2
+
+
+def test_recover_after_wipe_is_a_clean_slate():
+    storage = ReplicaStorage("replica-0")
+    _decided(storage, range(6))
+    storage.on_checkpoint(5, b"snap")
+    storage.crash("wiped")
+    recovered = storage.recover()
+    assert not recovered.damaged  # an empty disk is honest, not lying
+    assert recovered.checkpoint_cid == -1
+    assert recovered.snapshot is None
+    assert recovered.entries == []
+    assert recovered.last_cid == -1
+
+
+def test_reinstall_reseeds_disk_to_match_transferred_state():
+    storage = ReplicaStorage("replica-0")
+    _decided(storage, range(3))
+    log = [(10, b"ten", 1.0), (11, b"eleven", 1.1)]
+    storage.reinstall(9, b"snapshot-at-9", log)
+    storage.crash("intact")
+    recovered = storage.recover()
+    assert not recovered.damaged
+    assert recovered.checkpoint_cid == 9
+    assert [cid for cid, _, _ in recovered.entries] == [10, 11]
+
+
+def test_counters_include_recovery_metrics():
+    storage = ReplicaStorage("replica-0")
+    _decided(storage, range(3))
+    storage.crash("intact")
+    storage.recover()
+    counters = storage.counters()
+    assert counters["recoveries"] == 1
+    assert counters["bytes_replayed"] > 0
+    assert counters["crashes"] == 1
