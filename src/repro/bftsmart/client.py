@@ -23,18 +23,42 @@ from repro.sim.events import Event
 from repro.sim.kernel import Simulator
 
 
+class QuorumDivergence(Exception):
+    """An unordered read's replies diverged beyond quorum reach.
+
+    Raised (through the invocation event) when enough distinct answers
+    arrived that no reply group can still collect ``n-f`` matching votes.
+    Callers fall back to ordered execution, which always agrees.
+    """
+
+
 class _PendingInvocation:
     """Vote state for one outstanding request."""
 
-    __slots__ = ("request", "event", "votes", "quorum", "attempts", "timer")
+    __slots__ = (
+        "request",
+        "event",
+        "votes",
+        "quorum",
+        "attempts",
+        "timer",
+        "unordered",
+    )
 
-    def __init__(self, request: ClientRequest, event: Event, quorum: int) -> None:
+    def __init__(
+        self,
+        request: ClientRequest,
+        event: Event,
+        quorum: int,
+        unordered: bool = False,
+    ) -> None:
         self.request = request
         self.event = event
         #: result digest -> {replica: result bytes}
         self.votes: dict[bytes, dict] = {}
         self.quorum = quorum
         self.attempts = 1
+        self.unordered = unordered
         #: The pending retransmission ScheduledCall; cancelled on quorum.
         self.timer = None
 
@@ -144,7 +168,12 @@ class ServiceProxy:
         #: quorum completes an invocation (chaos invariant monitors hook
         #: this to check results are backed by honest replicas).
         self.on_result = None
-        self.stats = {"invocations": 0, "retransmissions": 0, "failures": 0}
+        self.stats = {
+            "invocations": 0,
+            "retransmissions": 0,
+            "failures": 0,
+            "read_divergences": 0,
+        }
 
     # -- invoking --------------------------------------------------------------
 
@@ -172,7 +201,7 @@ class ServiceProxy:
             self.view.n - self.view.f if unordered else self.view.f + 1
         )
         event = Event(self.sim, name=f"invoke:{self.client_id}:{sequence}")
-        invocation = _PendingInvocation(request, event, quorum)
+        invocation = _PendingInvocation(request, event, quorum, unordered=unordered)
         self._pending[sequence] = invocation
         self.stats["invocations"] += 1
         self._transmit(request)
@@ -273,6 +302,33 @@ class ServiceProxy:
             if self.on_result is not None:
                 self.on_result(reply.sequence, reply.result, frozenset(votes))
             invocation.event.succeed(reply.result)
+            return
+        if invocation.unordered:
+            # Unordered reads can diverge legitimately (a replica serving
+            # a stale read while it catches up). Waiting the invocation
+            # out would only time it out f attempts later — fail fast the
+            # moment no group can still reach quorum even if every silent
+            # replica joins the largest one, so the caller can fall back
+            # to ordered execution.
+            largest = max(len(group) for group in invocation.votes.values())
+            repliers = {
+                replica
+                for group in invocation.votes.values()
+                for replica in group
+            }
+            if largest + (self.view.n - len(repliers)) < invocation.quorum:
+                self._pending.pop(reply.sequence, None)
+                if invocation.timer is not None:
+                    invocation.timer.cancel()
+                self.stats["read_divergences"] += 1
+                invocation.event.fail(
+                    QuorumDivergence(
+                        f"unordered request {reply.sequence}: "
+                        f"{len(invocation.votes)} distinct answers from "
+                        f"{len(repliers)} replicas, quorum {invocation.quorum} "
+                        "unreachable"
+                    )
+                )
 
     # -- membership -------------------------------------------------------------
 

@@ -28,6 +28,15 @@ class GroupConfig:
     batch_wait:
         How long the leader waits to fill a batch before proposing what it
         has (seconds; 0 proposes immediately when idle).
+    pipeline_depth:
+        Maximum consensus instances the leader keeps in flight at once
+        (BFT-SMaRt's consensus pipelining). 1 reproduces strictly
+        sequential Mod-SMaRt: the leader idles for a full
+        PROPOSE/WRITE/ACCEPT round-trip between batches. Depths > 1 let
+        instance ``cid+1..cid+depth-1`` start while ``cid`` is still
+        deciding; every replica buffers out-of-order decisions and
+        releases them strictly in cid order, so execution (and the
+        deterministic timestamps of §IV-C) is unchanged.
     request_timeout:
         Age at which an undecided client request makes a replica suspect
         the leader and start the synchronization phase.
@@ -62,6 +71,7 @@ class GroupConfig:
     f: int = 1
     batch_max: int = 400
     batch_wait: float = 0.002
+    pipeline_depth: int = 4
     request_timeout: float = 2.0
     sync_timeout: float = 4.0
     checkpoint_interval: int = 200
@@ -80,6 +90,8 @@ class GroupConfig:
             raise ValueError(f"n={self.n} violates n >= 3f+1 for f={self.f}")
         if self.batch_max < 1:
             raise ValueError("batch_max must be >= 1")
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
         if self.execution_lanes < 1:
             raise ValueError("execution_lanes must be >= 1")
         if self.fsync_policy not in ("every-decision", "every-n", "checkpoint-only"):

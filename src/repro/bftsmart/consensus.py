@@ -31,6 +31,7 @@ class Instance:
         self.accept_sent = False
         self.decided = False
         self.decided_value: bytes | None = None
+        self.decided_digest: bytes | None = None
         self.decided_timestamp: float = 0.0
         self.decided_batch = None
 
@@ -96,6 +97,7 @@ class Instance:
             raise RuntimeError(f"cid {self.cid}: cannot decide without a proposal")
         self.decided = True
         self.decided_value = self.proposal_value
+        self.decided_digest = self.proposal_digest
         self.decided_timestamp = self.proposal_timestamp
         self.decided_batch = self.proposal_batch
 

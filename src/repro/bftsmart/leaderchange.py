@@ -4,17 +4,22 @@ When a replica's pending requests age past the request timeout, it votes
 STOP for the next regency. ``f+1`` STOPs make other replicas join (a
 correct replica is suspicious, so everyone should be); ``2f+1`` STOPs
 install the new regency. Every replica then sends a signed STOP-DATA to
-the new leader describing its last decision and any in-flight proposal it
-echoed; the leader collects ``n-f`` of them, resolves what value (if any)
-must be recovered for the open consensus slot, and broadcasts SYNC. On
-SYNC, replicas resume normal operation under the new leader.
+the new leader describing its last decision and every in-flight proposal
+it echoed (with consensus pipelining there can be up to
+``pipeline_depth`` of them); the leader collects ``n-f`` of them,
+resolves per slot what value (if any) must be recovered for the open
+consensus window, and broadcasts SYNC carrying the whole recovered
+window. On SYNC, replicas re-propose the recovered slots in cid order
+and resume normal operation under the new leader.
 
-Simplification vs. BFT-SMaRt (documented in DESIGN.md §4): the recovered
-value is the in-flight proposal reported by at least ``f+1`` replicas
-(sufficient for any possibly-decided value to be re-proposed, since a
-decision leaves ``f+1`` correct witnesses among any ``n-f`` STOP-DATAs);
-proofs are signatures over the whole STOP-DATA rather than per-message
-write certificates.
+Simplification vs. BFT-SMaRt (documented in DESIGN.md §4): a slot's
+recovered value is the in-flight proposal reported by at least ``f+1``
+replicas (sufficient for any possibly-decided value to be re-proposed,
+since a decision leaves ``f+1`` correct witnesses among any ``n-f``
+STOP-DATAs); proofs are signatures over the whole STOP-DATA rather than
+per-message write certificates. Slots inside the window with no
+recoverable value are re-proposed as the empty batch so the decided
+sequence stays gap-free.
 """
 
 from __future__ import annotations
@@ -111,20 +116,29 @@ class Synchronizer:
         self.in_progress = True
         # Requests marked in-flight under the old leader go back to the pool.
         replica._inflight_keys.clear()
+        # Proposing resumes from wherever SYNC re-anchors the window.
+        replica.next_propose_cid = replica.next_cid
 
-        in_flight = None
-        instance = replica.instances.get(replica.next_cid)
-        if (
-            instance is not None
-            and instance.write_sent
-            and instance.proposal_value is not None
-        ):
-            in_flight = (
-                instance.cid,
-                instance.epoch,
-                instance.proposal_value,
-                instance.proposal_timestamp,
-            )
+        # Report every open slot of the pipeline window: undecided
+        # instances we WRITE-voted, plus decided-but-unreleased ones (a
+        # decision this replica holds may be exactly the value the new
+        # leader must re-propose for the peers that missed it).
+        entries = []
+        for cid in sorted(replica.instances):
+            if cid < replica.next_cid:
+                continue
+            instance = replica.instances[cid]
+            if instance.decided and instance.decided_value is not None:
+                entries.append(
+                    (cid, instance.epoch, instance.decided_value,
+                     instance.decided_timestamp)
+                )
+            elif instance.write_sent and instance.proposal_value is not None:
+                entries.append(
+                    (cid, instance.epoch, instance.proposal_value,
+                     instance.proposal_timestamp)
+                )
+        in_flight = tuple(entries)
         payload = _stop_data_payload(
             replica.address, target, replica.last_decided, in_flight
         )
@@ -183,33 +197,47 @@ class Synchronizer:
             # one cannot complete in time.
             replica.state_transfer.notice_gap(max_decided + 1)
 
-        cid = replica.next_cid
-        counts: dict[bytes, tuple] = {}
-        tally: dict[bytes, int] = {}
+        # Per-slot tally over the whole pipeline window. Slots at or
+        # below max_decided are already settled somewhere — recovering
+        # them is state transfer's job (above), never a re-proposal's.
+        floor = max(replica.next_cid, max_decided + 1)
+        per_cid: dict[int, dict] = {}  # cid -> digest -> [value, ts, votes]
         for data in collected.values():
-            if data.in_flight is None:
-                continue
-            inflight_cid, _epoch, value, timestamp = data.in_flight
-            if inflight_cid != cid:
-                continue
-            key = digest(value)
-            counts[key] = (value, timestamp)
-            tally[key] = tally.get(key, 0) + 1
+            for inflight_cid, _epoch, value, timestamp in data.in_flight:
+                if inflight_cid < floor:
+                    continue
+                counts = per_cid.setdefault(inflight_cid, {})
+                record = counts.get(digest(value))
+                if record is None:
+                    counts[digest(value)] = [value, timestamp, 1]
+                else:
+                    record[2] += 1
 
-        value, timestamp = b"", replica.sim.now
-        threshold = self._join_threshold()  # f + 1 witnesses
-        eligible = sorted(
-            (key for key, votes in tally.items() if votes >= threshold)
-        )
-        if eligible:
-            value, timestamp = counts[eligible[0]]
+        threshold = self._join_threshold()  # f + 1 witnesses per slot
+        recovered: dict[int, tuple] = {}
+        for cid, counts in per_cid.items():
+            eligible = sorted(
+                key for key, record in counts.items() if record[2] >= threshold
+            )
+            if eligible:
+                value, timestamp, _votes = counts[eligible[0]]
+                recovered[cid] = (value, timestamp)
+
+        proposals = ()
+        if recovered:
+            # Holes below the highest recovered slot are filled with the
+            # empty batch: every slot must decide or nothing above it
+            # ever executes.
+            now = replica.sim.now
+            proposals = tuple(
+                (cid,) + recovered.get(cid, (b"", now))
+                for cid in range(floor, max(recovered) + 1)
+            )
 
         sync = Sync(
             sender=replica.address,
             regency=regency,
-            cid=cid,
-            value=value,
-            timestamp=timestamp,
+            proposals=proposals,
         )
         replica.channel.broadcast(replica.other_replicas(), sync)
         self.on_sync(sync)
@@ -225,15 +253,22 @@ class Synchronizer:
         self.in_progress = False
         self.changes_completed += 1
         replica.last_progress = replica.sim.now
-        if message.value != b"" and message.cid == replica.next_cid:
+        highest = replica.next_cid - 1
+        for cid, value, timestamp in message.proposals:
+            highest = max(highest, cid)
+            if cid < replica.next_cid:
+                continue  # already decided and released locally
             propose = Propose(
                 sender=message.sender,
-                cid=message.cid,
+                cid=cid,
                 epoch=message.regency,
-                value=message.value,
-                timestamp=message.timestamp,
+                value=value,
+                timestamp=timestamp,
             )
             replica.on_propose(propose, from_sync=True)
+        # Fresh proposals resume above the recovered window everywhere,
+        # so a returning leader never reuses a recovered slot.
+        replica.next_propose_cid = max(replica.next_cid, highest + 1)
         replica._maybe_propose()
 
     # -- hooks ------------------------------------------------------------------------

@@ -138,28 +138,34 @@ class Stop:
 class StopData:
     """State a replica hands the new leader when a regency is installed.
 
-    ``in_flight`` is ``(cid, epoch, value_bytes, timestamp)`` of a
-    proposal this replica sent a WRITE for but did not see decided, or
-    ``None``. ``signature`` covers the serialized content (slow path).
+    ``in_flight`` is a tuple of ``(cid, epoch, value_bytes, timestamp)``
+    entries, one per open slot of the consensus pipeline window: every
+    proposal this replica sent a WRITE for but has not released, decided
+    ones included (empty tuple when nothing is open). ``signature``
+    covers the serialized content (slow path).
     """
 
     sender: str
     regency: int
     last_decided: int
-    in_flight: tuple | None
+    in_flight: tuple
     signature: bytes
 
 
 @wire_type(29)
 @dataclass(frozen=True)
 class Sync:
-    """New leader's resolution: resume consensus at ``cid`` with ``value``."""
+    """New leader's resolution for the open consensus window.
+
+    ``proposals`` is a tuple of ``(cid, value_bytes, timestamp)`` in
+    ascending cid order — every slot the group must re-run under the new
+    regency (``b""`` values are gap-filling empty batches). Empty when
+    nothing was in flight; fresh proposing resumes above the window.
+    """
 
     sender: str
     regency: int
-    cid: int
-    value: bytes
-    timestamp: float
+    proposals: tuple
 
 
 # -- state transfer -----------------------------------------------------------

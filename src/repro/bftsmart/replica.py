@@ -38,7 +38,7 @@ from repro.bftsmart.messages import (
 from repro.bftsmart.service import MessageContext, Service
 from repro.bftsmart.statetransfer import StateTransfer
 from repro.bftsmart.view import View
-from repro.crypto import KeyStore, Signature, Signer, Verifier
+from repro.crypto import KeyStore, Signature, Signer, Verifier, digest
 from repro.net.network import Network
 from repro.perf import PERF
 from repro.sim.channels import Channel
@@ -147,6 +147,14 @@ class ServiceReplica:
         # -- ordering state --
         self.next_cid = 0
         self.last_decided = -1
+        #: Next slot this replica would propose as leader. Runs ahead of
+        #: ``next_cid`` by up to ``config.pipeline_depth`` slots: the
+        #: leader opens instances for cid+1..cid+depth-1 while earlier
+        #: ones are still deciding. Decided-but-unreleased instances stay
+        #: in ``instances`` until every lower cid decided too — execution
+        #: (and the deterministic §IV-C timestamps) is strictly in cid
+        #: order regardless of decision order.
+        self.next_propose_cid = 0
         self.instances: dict[int, Instance] = {}
         #: Consensus messages for slots just ahead of next_cid, buffered
         #: until we catch up (a recovering replica would otherwise chase
@@ -202,7 +210,13 @@ class ServiceReplica:
             "pushes": 0,
             "rejected_requests": 0,
             "checkpoints": 0,
+            # -- pipeline occupancy --
+            "decided_out_of_order": 0,
+            "pipeline_occupancy_sum": 0,
+            "pipeline_occupancy_peak": 0,
+            "pipeline_occupancy_samples": 0,
         }
+        sim.register_stats_source(f"pipeline.{address}", self._pipeline_stats)
 
         sim.process(self._executor(), name=f"executor:{address}")
         sim.process(self._watchdog(), name=f"watchdog:{address}")
@@ -331,55 +345,86 @@ class ServiceReplica:
             if key not in self._inflight_keys
         ]
 
-    def _consensus_in_flight(self) -> bool:
-        instance = self.instances.get(self.next_cid)
-        return (
-            instance is not None
-            and instance.proposal_value is not None
-            and not instance.decided
-        )
+    def _pipeline_full(self) -> bool:
+        """Has the leader exhausted its window of open consensus slots?"""
+        head = max(self.next_propose_cid, self.next_cid)
+        return head >= self.next_cid + self.config.pipeline_depth
+
+    def _pipeline_stats(self) -> dict:
+        samples = self.stats["pipeline_occupancy_samples"]
+        return {
+            "depth": self.config.pipeline_depth,
+            "occupancy_peak": self.stats["pipeline_occupancy_peak"],
+            "occupancy_mean": (
+                self.stats["pipeline_occupancy_sum"] / samples if samples else 0.0
+            ),
+            "decided_out_of_order": self.stats["decided_out_of_order"],
+        }
 
     def _maybe_propose(self) -> None:
         if not (self.active and self.is_leader):
             return
         if self.synchronizer.in_progress or self.state_transfer.in_progress:
             return
-        if self._consensus_in_flight() or self._batch_timer_armed:
+        while not (self._pipeline_full() or self._batch_timer_armed):
+            available = self._available_requests()
+            if not available:
+                return
+            if len(available) >= self.config.batch_max or self.config.batch_wait <= 0:
+                self._propose_batch()
+                continue
+            self._batch_timer_armed = True
+            self.sim.call_later(self.config.batch_wait, self._batch_timer_fired)
             return
-        available = self._available_requests()
-        if not available:
-            return
-        if len(available) >= self.config.batch_max or self.config.batch_wait <= 0:
-            self._propose_batch()
-            return
-        self._batch_timer_armed = True
-        self.sim.call_later(self.config.batch_wait, self._batch_timer_fired)
 
     def _batch_timer_fired(self) -> None:
         self._batch_timer_armed = False
-        if not (self.active and self.is_leader) or self._consensus_in_flight():
+        if not (self.active and self.is_leader) or self._pipeline_full():
             return
         if self.synchronizer.in_progress or self.state_transfer.in_progress:
             return
         if self._available_requests():
             self._propose_batch()
+            self._maybe_propose()
 
     def _propose_batch(self) -> None:
         batch = self._available_requests()[: self.config.batch_max]
+        # A retransmission can re-enter the pool after the same client's
+        # newer requests (the original was dropped, the resend arrived
+        # post-heal). Restore each client's sequence order in place —
+        # keeping the cross-client interleaving — or every replica would
+        # reject the batch's out-of-order sequences and suspect us.
+        positions: dict[str, list] = {}
+        for index, request in enumerate(batch):
+            positions.setdefault(request.client_id, []).append(index)
+        for indices in positions.values():
+            if len(indices) > 1:
+                ordered = sorted(
+                    (batch[i] for i in indices), key=lambda r: r.sequence
+                )
+                for index, request in zip(indices, ordered):
+                    batch[index] = request
         for request in batch:
             self._inflight_keys.add(request.key())
         batch_message = RequestBatch(requests=tuple(batch))
         value = encode(batch_message)
         if PERF.decode_share:
             self._last_proposed = (value, batch_message)
+        cid = max(self.next_propose_cid, self.next_cid)
         propose = Propose(
             sender=self.address,
-            cid=self.next_cid,
+            cid=cid,
             epoch=self.regency,
             value=value,
             timestamp=self.sim.now,
         )
+        self.next_propose_cid = cid + 1
         self.stats["proposals"] += 1
+        occupancy = self.next_propose_cid - self.next_cid
+        self.stats["pipeline_occupancy_sum"] += occupancy
+        self.stats["pipeline_occupancy_samples"] += 1
+        if occupancy > self.stats["pipeline_occupancy_peak"]:
+            self.stats["pipeline_occupancy_peak"] = occupancy
         self.channel.broadcast(self.other_replicas(), propose)
         self._handle_propose_locally(propose)
 
@@ -444,26 +489,33 @@ class ServiceReplica:
             del self._future_buffer[cid]
 
     def _drain_future(self) -> None:
-        """Replay buffered messages now that next_cid caught up."""
+        """Replay buffered messages that moved inside the pipeline window."""
         if self._draining_future:
             return
         self._draining_future = True
         try:
             while True:
-                batch = self._future_buffer.pop(self.next_cid, None)
-                if batch is None:
+                for cid in [c for c in self._future_buffer if c < self.next_cid]:
+                    del self._future_buffer[cid]
+                window_end = self.next_cid + self.config.pipeline_depth
+                ready = sorted(c for c in self._future_buffer if c < window_end)
+                if not ready:
                     return
-                for message in batch:
-                    handler = self._dispatch_table.get(type(message))
-                    if handler is not None:
-                        handler(self, message)
+                for cid in ready:
+                    batch = self._future_buffer.pop(cid, None)
+                    if batch is None:
+                        continue
+                    for message in batch:
+                        handler = self._dispatch_table.get(type(message))
+                        if handler is not None:
+                            handler(self, message)
         finally:
             self._draining_future = False
 
     def on_propose(self, message: Propose, from_sync: bool = False) -> None:
         if message.cid < self.next_cid:
             return  # old slot, already decided
-        if message.cid > self.next_cid:
+        if message.cid >= self.next_cid + self.config.pipeline_depth:
             self._buffer_future(message)
             return
         if message.epoch != self.regency:
@@ -471,7 +523,29 @@ class ServiceReplica:
         if not from_sync and message.sender != self.leader:
             return
         instance = self._instance(message.cid, message.epoch)
-        if instance.proposal_value is not None or instance.decided:
+        if instance.decided:
+            # Decided here but not yet released (a lower cid is still
+            # open). A new regency may legitimately re-propose the slot
+            # for the peers that missed the decision; re-echo our votes
+            # iff the value matches what we decided — never two values.
+            if digest(message.value) != instance.decided_digest:
+                return
+            if instance.proposal_value is None:
+                value_digest = instance.set_proposal(
+                    message.value, message.timestamp, batch=instance.decided_batch
+                )
+                instance.write_sent = True
+                write = WriteMsg(
+                    sender=self.address,
+                    cid=message.cid,
+                    epoch=message.epoch,
+                    value_digest=value_digest,
+                )
+                self.channel.broadcast(self.other_replicas(), write)
+                instance.add_write(self.address, value_digest)
+                self._advance_instance(instance)
+            return
+        if instance.proposal_value is not None:
             return
         batch = self._validate_batch(message.value)
         if batch is None and message.value != b"":
@@ -500,7 +574,7 @@ class ServiceReplica:
     def on_write(self, message: WriteMsg) -> None:
         if message.cid < self.next_cid or message.epoch != self.regency:
             return
-        if message.cid > self.next_cid:
+        if message.cid >= self.next_cid + self.config.pipeline_depth:
             self._buffer_future(message)
             return
         if not self.view.contains(message.sender):
@@ -512,7 +586,7 @@ class ServiceReplica:
     def on_accept(self, message: AcceptMsg) -> None:
         if message.cid < self.next_cid or message.epoch != self.regency:
             return
-        if message.cid > self.next_cid:
+        if message.cid >= self.next_cid + self.config.pipeline_depth:
             self._buffer_future(message)
             return
         if not self.view.contains(message.sender):
@@ -522,7 +596,7 @@ class ServiceReplica:
         self._advance_instance(instance)
 
     def _advance_instance(self, instance: Instance) -> None:
-        if instance.decided or instance.proposal_digest is None:
+        if instance.proposal_digest is None:
             return
         if not instance.accept_sent and instance.has_write_quorum(self.quorum_write()):
             instance.accept_sent = True
@@ -534,7 +608,11 @@ class ServiceReplica:
             )
             self.channel.broadcast(self.other_replicas(), accept)
             instance.add_accept(self.address, instance.proposal_digest)
-        if instance.accept_sent and instance.has_accept_quorum(self.quorum_accept()):
+        if (
+            not instance.decided
+            and instance.accept_sent
+            and instance.has_accept_quorum(self.quorum_accept())
+        ):
             instance.decide()
             self._on_decided(instance)
 
@@ -543,8 +621,30 @@ class ServiceReplica:
     # ------------------------------------------------------------------
 
     def _on_decided(self, instance: Instance) -> None:
-        assert instance.cid == self.next_cid
         self.stats["decided"] += 1
+        if instance.cid != self.next_cid:
+            # Decided ahead of the execution head: the instance stays in
+            # ``instances`` until every lower cid decided too.
+            self.stats["decided_out_of_order"] += 1
+            head = self.instances.get(self.next_cid)
+            if head is None or head.proposal_value is None:
+                # We never even saw the head's PROPOSE — the prefix
+                # decided while we were away, and if the group now goes
+                # quiet no further traffic would reveal the gap.
+                self.state_transfer.notice_gap(instance.cid)
+        self._release_decided()
+        self._drain_future()
+        self._maybe_propose()
+
+    def _release_decided(self) -> None:
+        """Deliver buffered decisions strictly in cid order."""
+        while True:
+            head = self.instances.get(self.next_cid)
+            if head is None or not head.decided:
+                return
+            self._deliver_decision(head)
+
+    def _deliver_decision(self, instance: Instance) -> None:
         self.last_decided = instance.cid
         self.next_cid = instance.cid + 1
         value = instance.decided_value
@@ -574,8 +674,6 @@ class ServiceReplica:
                 )
             )
         self.synchronizer.on_decision()
-        self._drain_future()
-        self._maybe_propose()
 
     def _executor(self):
         """The execution thread(s), in decided order.
@@ -768,6 +866,7 @@ class ServiceReplica:
                 self._exec_channel.put(
                     (self._install_epoch, cid, batch.requests, timestamp, 0)
                 )
+        self.next_propose_cid = self.next_cid
         return recovered
 
     # ------------------------------------------------------------------
@@ -833,17 +932,26 @@ class ServiceReplica:
             yield self.sim.timeout(interval)
             if not self.active:
                 return  # halted (removed or rejuvenated): stop ticking
-            if not self.pending:
-                continue
             if self.synchronizer.in_progress or self.state_transfer.in_progress:
                 continue  # escalation is handled by the sync timer
             now = self.sim.now
-            oldest = min(arrival for _request, arrival in self.pending.values())
-            if (
-                now - oldest > self.config.request_timeout
-                and now - self.last_progress > self.config.request_timeout
-            ):
-                self.synchronizer.suspect()
+            if now - self.last_progress <= self.config.request_timeout:
+                continue
+            aged = False
+            if self.pending:
+                oldest = min(arrival for _request, arrival in self.pending.values())
+                aged = now - oldest > self.config.request_timeout
+                if aged:
+                    self.synchronizer.suspect()
+            if self.instances and (aged or not self.pending):
+                # Consensus slots we opened never resolved — with
+                # pipelining the rest of the group may have decided them
+                # and gone quiet (our quorum messages were lost), in
+                # which case no further traffic reveals the gap and only
+                # a state transfer can. If instead the whole group is
+                # stalled, the probe aborts on stale replies and the
+                # suspicion above drives the leader change.
+                self.state_transfer.notice_gap(max(self.instances), force=True)
 
     # ------------------------------------------------------------------
     # dispatch table

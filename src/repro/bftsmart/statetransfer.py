@@ -73,6 +73,10 @@ class StateTransfer:
             log_only=replica.last_decided >= 0,
         )
         replica.channel.broadcast(replica.other_replicas(), request)
+        # A request whose replies are lost (partition, crash) would
+        # otherwise leave the transfer in progress forever — and an
+        # in-progress transfer suppresses proposing and suspicion.
+        self._schedule_retry()
 
     def notice_gap(self, observed_cid: int, force: bool = False) -> None:
         """Called when traffic for a future slot reveals we are behind.
@@ -185,8 +189,10 @@ class StateTransfer:
         )
         if top_cid <= replica.last_decided:
             # Peers agree but are no further along than we are; the gap
-            # message was stale. Abort and wait for real progress.
+            # message was stale. Abort, drop the refuted observation and
+            # wait for real progress.
             self.in_progress = False
+            self._highest_observed = min(self._highest_observed, replica.last_decided)
             return
 
         if reply.view.view_id > replica.view.view_id:
@@ -239,6 +245,9 @@ class StateTransfer:
                 )
         replica.last_decided = last
         replica.next_cid = last + 1
+        # Everything this replica had proposed or decided-but-not-released
+        # predates the installed state; proposing restarts at the new head.
+        replica.next_propose_cid = replica.next_cid
         self.full_installs += 1
         self.bytes_installed += len(reply.snapshot) + sum(
             len(value) for _, value, _ in reply.log
@@ -259,6 +268,7 @@ class StateTransfer:
         if top_cid <= replica.last_decided:
             # Stale: peers are no further along than we already are.
             self.in_progress = False
+            self._highest_observed = min(self._highest_observed, replica.last_decided)
             return
         if reply.checkpoint_cid > replica.last_decided:
             # The suffix starts beyond our prefix and cannot anchor —
@@ -303,6 +313,14 @@ class StateTransfer:
         replica.last_progress = replica.sim.now
         self.in_progress = False
         self.completed += 1
+        # Open instances the install swallowed (cid below the new head)
+        # must not be delivered a second time; ones above it survive. A
+        # decided instance sitting exactly at the new head was waiting
+        # for the gap the install just filled — release it now.
+        for cid in [c for c in replica.instances if c < replica.next_cid]:
+            del replica.instances[cid]
+        replica.next_propose_cid = max(replica.next_propose_cid, replica.next_cid)
+        replica._release_decided()
         # Consensus traffic that arrived during the transfer was buffered;
         # joining the live protocol from it avoids another transfer round.
         replica._drain_future()
@@ -321,5 +339,7 @@ class StateTransfer:
 
     def _retry(self) -> None:
         self._retry_scheduled = False
-        if self._highest_observed >= self.replica.next_cid:
-            self.notice_gap(self._highest_observed, force=True)
+        if self.in_progress or self._highest_observed >= self.replica.next_cid:
+            self.notice_gap(
+                max(self._highest_observed, self.replica.next_cid), force=True
+            )

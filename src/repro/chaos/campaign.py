@@ -67,6 +67,9 @@ class CampaignConfig:
     sync_timeout: float = 2.0
     invoke_timeout: float = 0.5
     logical_timeout: float = 0.8
+    #: Consensus pipeline depth (1 = strictly sequential ordering; the
+    #: ``pipelined-*`` scenarios override it to exercise overlap).
+    pipeline_depth: int = 1
     #: Durable replica state (`repro.storage`): required by
     #: :class:`~repro.chaos.schedule.CrashRestart` actions.
     durability: bool = False
@@ -81,6 +84,7 @@ class CampaignConfig:
             sync_timeout=self.sync_timeout,
             invoke_timeout=self.invoke_timeout,
             logical_timeout=self.logical_timeout,
+            pipeline_depth=self.pipeline_depth,
             durability=self.durability,
             fsync_policy=self.fsync_policy,
             checkpoint_interval=self.checkpoint_interval,

@@ -47,6 +47,12 @@ _DURABLE_INTACT = {"durability": True, "checkpoint_interval": 40}
 #: torn/corrupt WAL tail) rather than an empty device.
 _DURABLE_DAMAGED = {"durability": True, "checkpoint_interval": 5}
 
+#: Overrides for the ``pipelined-*`` drills: the same faults as their
+#: sequential counterparts, but with the consensus pipeline open — the
+#: leader keeps several instances in flight, so crashes and restarts hit
+#: a window of undecided cids instead of at most one.
+_PIPELINED = {"pipeline_depth": 4}
+
 
 @dataclass(frozen=True)
 class Scenario:
@@ -256,6 +262,20 @@ SCENARIOS: dict[str, Scenario] = {
             " exactly like proactive rejuvenation (full transfer)",
             build=lambda: _crash_restart("wiped"),
             overrides=_DURABLE_DAMAGED,
+        ),
+        Scenario(
+            name="pipelined-leader-crash",
+            description="crash the leader with pipeline_depth=4 — a window"
+            " of undecided cids must be re-proposed by the successor",
+            build=_leader_crash,
+            overrides=_PIPELINED,
+        ),
+        Scenario(
+            name="pipelined-crash-restart",
+            description="power-cut a durable replica while the consensus"
+            " pipeline is open; WAL replay must restore execution order",
+            build=lambda: _crash_restart("intact"),
+            overrides={**_DURABLE_INTACT, **_PIPELINED},
         ),
         Scenario(
             name="overbudget-falsify",

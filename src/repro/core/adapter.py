@@ -25,10 +25,14 @@ from repro.bftsmart.service import MessageContext, Service
 from repro.core.context import ContextInfo
 from repro.core.timeout import LogicalTimeoutManager
 from repro.neoscada.master import ScadaMaster
+from repro.neoscada.messages import EventQuery, ValueQuery
 from repro.wire import DecodeError, decode, encode
 
 #: Stream name under which all SCADA pushes travel to the proxies.
 SCADA_STREAM = "scada"
+
+#: Messages servable outside the total order (pure reads of Master state).
+_READ_ONLY_QUERIES = (EventQuery, ValueQuery)
 
 
 class ScadaService(Service):
@@ -105,6 +109,11 @@ class ScadaService(Service):
         if message is None:
             self.stats["bad_operations"] += 1
             return encode(("error", "undecodable operation"))
+        if isinstance(message, _READ_ONLY_QUERIES):
+            # The ordered fallback for a read whose unordered quorum
+            # diverged: consensus placed it in the total order, so every
+            # replica answers from the same state — no Master mutation.
+            return encode(self._answer_query(message))
         self.context.begin(ctx)
         try:
             if isinstance(message, TimeoutVote):
@@ -171,12 +180,15 @@ class ScadaService(Service):
         The caller (ServiceProxy) demands n-f matching answers, so a
         minority of stale or lying replicas cannot fabricate history.
         """
-        from repro.neoscada.messages import EventQuery
-
         message = self._decode_operation(operation)
-        if isinstance(message, EventQuery):
-            return encode(self.master.answer_event_query(message))
+        if isinstance(message, _READ_ONLY_QUERIES):
+            return encode(self._answer_query(message))
         raise ValueError("only read-only queries may execute unordered")
+
+    def _answer_query(self, message):
+        if isinstance(message, EventQuery):
+            return self.master.answer_event_query(message)
+        return self.master.answer_value_query(message)
 
     # ------------------------------------------------------------------
     # snapshots

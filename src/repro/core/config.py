@@ -60,6 +60,10 @@ class SmartScadaConfig:
     #: Mod-SMaRt tunables.
     batch_max: int = 200
     batch_wait: float = 0.0005
+    #: Consensus instances the leader keeps in flight (1 = the strictly
+    #: sequential ordering the paper's evaluation ran with; raise it to
+    #: overlap instances — see GroupConfig.pipeline_depth).
+    pipeline_depth: int = 1
     request_timeout: float = 2.0
     sync_timeout: float = 4.0
     checkpoint_interval: int = 1000
@@ -86,6 +90,7 @@ class SmartScadaConfig:
             f=self.f,
             batch_max=self.batch_max,
             batch_wait=self.batch_wait,
+            pipeline_depth=self.pipeline_depth,
             request_timeout=self.request_timeout,
             sync_timeout=self.sync_timeout,
             checkpoint_interval=self.checkpoint_interval,

@@ -12,7 +12,7 @@ copies (§IV-D: "the ProxyHMI waits for f+1 matching messages").
 
 from __future__ import annotations
 
-from repro.bftsmart.client import ServiceProxy
+from repro.bftsmart.client import QuorumDivergence, ServiceProxy
 from repro.bftsmart.config import GroupConfig
 from repro.bftsmart.view import View
 from repro.core.adapter import SCADA_STREAM
@@ -27,6 +27,7 @@ from repro.neoscada.messages import (
     ItemUpdate,
     Subscribe,
     SubscribeEvents,
+    ValueQuery,
     WriteResult,
     WriteValue,
 )
@@ -76,6 +77,8 @@ class ProxyHMI:
             "events_out": 0,
             "write_results_out": 0,
             "invoke_failures": 0,
+            "unordered_reads": 0,
+            "ordered_read_fallbacks": 0,
         }
         self._started = False
 
@@ -98,6 +101,9 @@ class ProxyHMI:
             return
         if isinstance(message, EventQuery):
             self._forward_event_query(message)
+            return
+        if isinstance(message, ValueQuery):
+            self._forward_value_query(message)
             return
         if self.da_server.dispatch(message, src):
             return
@@ -126,6 +132,43 @@ class ProxyHMI:
             self.endpoint.send(origin, decode(ev.value))
 
         event.add_callback(on_done)
+
+    def _forward_value_query(self, query: ValueQuery) -> None:
+        """Current-value reads ride the unordered path, with a fallback.
+
+        The read is first submitted unordered (n-f matching answers, no
+        consensus round). When the read quorum diverges — replicas caught
+        mid-catch-up serve different values — the proxy re-issues the same
+        query through the total order, which always agrees.
+        """
+        origin = query.reply_to
+        rewritten = ValueQuery(
+            query_id=query.query_id,
+            reply_to=self.bft.client_id,
+            item_id=query.item_id,
+        )
+        operation = encode(rewritten)
+        self.stats["unordered_reads"] += 1
+
+        def on_ordered(ev) -> None:
+            if not ev.ok:
+                ev.defused = True
+                self.stats["invoke_failures"] += 1
+                return
+            self.endpoint.send(origin, decode(ev.value))
+
+        def on_unordered(ev) -> None:
+            if ev.ok:
+                self.endpoint.send(origin, decode(ev.value))
+                return
+            ev.defused = True
+            if isinstance(ev.exception, QuorumDivergence):
+                self.stats["ordered_read_fallbacks"] += 1
+                self.bft.invoke_ordered(operation).add_callback(on_ordered)
+            else:
+                self.stats["invoke_failures"] += 1
+
+        self.bft.invoke_unordered(operation).add_callback(on_unordered)
 
     def _on_hmi_write(self, message: WriteValue, src: str) -> None:
         """Rewrite the reply path and push the write into the total order."""

@@ -14,7 +14,13 @@ from collections import deque
 
 from repro.neoscada.ae.client import AEClient
 from repro.neoscada.da.client import DAClient
-from repro.neoscada.messages import EventQuery, EventQueryReply, WriteResult
+from repro.neoscada.messages import (
+    EventQuery,
+    EventQueryReply,
+    ValueQuery,
+    ValueQueryReply,
+    WriteResult,
+)
 from repro.neoscada.values import DataValue
 from repro.net.network import Network
 from repro.sim.events import Event
@@ -124,6 +130,30 @@ class HMI:
         )
         return done
 
+    def query_value(self, item_id: str) -> Event:
+        """Read an item's current value from the Master (read-only).
+
+        Unlike :meth:`value_of` — which answers from the locally cached
+        view model — this asks the Master (through the proxy's unordered
+        read path in the replicated deployment). The returned event
+        triggers with the item's :class:`DataValue`, or ``None`` when the
+        Master does not know the item. Use from a process:
+        ``value = yield hmi.query_value("feeder.voltage")``.
+        """
+        self._query_counter += 1
+        query_id = f"{self.address}:q{self._query_counter}"
+        done = Event(self.sim, name=f"valuequery:{query_id}")
+        self._pending_queries[query_id] = done
+        self.endpoint.send(
+            self.master_address,
+            ValueQuery(
+                query_id=query_id,
+                reply_to=self.address,
+                item_id=item_id,
+            ),
+        )
+        return done
+
     def value_of(self, item_id: str):
         """Latest known raw value of an item (None if never seen)."""
         value = self.values.get(item_id)
@@ -158,6 +188,11 @@ class HMI:
             pending = self._pending_queries.pop(message.query_id, None)
             if pending is not None:
                 pending.succeed(list(message.events))
+            return
+        if isinstance(message, ValueQueryReply):
+            pending = self._pending_queries.pop(message.query_id, None)
+            if pending is not None:
+                pending.succeed(message.value)
             return
         if self.da.dispatch(message, src):
             return

@@ -39,6 +39,8 @@ from repro.neoscada.messages import (
     EventQuery,
     EventQueryReply,
     ItemUpdate,
+    ValueQuery,
+    ValueQueryReply,
     WriteResult,
     WriteValue,
 )
@@ -261,6 +263,10 @@ class ScadaMaster:
             # the library's unordered path instead; see ScadaService.)
             self._send(message.reply_to, self.answer_event_query(message))
             return None
+        if isinstance(message, ValueQuery):
+            # Read-only current-value query: same inline treatment.
+            self._send(message.reply_to, self.answer_value_query(message))
+            return None
         if self.da_server.dispatch(message, src):
             return None
         if self.ae_server.dispatch(message, src):
@@ -277,6 +283,15 @@ class ScadaMaster:
             limit=query.limit,
         )
         return EventQueryReply(query_id=query.query_id, events=tuple(events))
+
+    def answer_value_query(self, query: ValueQuery) -> ValueQueryReply:
+        """Read an item's current value off the Master state."""
+        item = self.items.try_get(query.item_id)
+        return ValueQueryReply(
+            query_id=query.query_id,
+            item_id=query.item_id,
+            value=item.value if item is not None else None,
+        )
 
     def _learn_browse(self, message: BrowseReply, src: str) -> None:
         for item_id, writable in message.items:

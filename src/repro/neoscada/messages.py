@@ -143,3 +143,33 @@ class EventQueryReply:
 
     query_id: str
     events: tuple
+
+
+@wire_type(66)
+@dataclass(frozen=True)
+class ValueQuery:
+    """Read-only query of an item's current value.
+
+    Like :class:`EventQuery` this is served from Master state without a
+    state change; in the replicated deployment it travels the library's
+    unordered path (n-f matching answers), falling back to ordered
+    execution when the read quorum diverges.
+    """
+
+    query_id: str
+    reply_to: str
+    item_id: str
+
+
+@wire_type(67)
+@dataclass(frozen=True)
+class ValueQueryReply:
+    """Answer to a :class:`ValueQuery`.
+
+    ``value`` is the item's current :class:`DataValue`, or ``None`` when
+    the Master has never seen the item.
+    """
+
+    query_id: str
+    item_id: str
+    value: DataValue | None

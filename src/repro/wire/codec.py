@@ -14,9 +14,9 @@ enum encoders are built once per class with their type-id prefix bytes
 precomputed and the field list pre-resolved from the registry.
 ``encode_into`` appends to a caller-owned buffer, skipping the final
 ``bytes(bytearray)`` copy, and :func:`encode_cached` memoizes whole-message
-encodings of immutable (frozen-dataclass) messages in an identity-keyed
-LRU, wrapped in :class:`EncodedMessage` so the payload's content digest is
-computed at most once. All caching is behaviour-invisible: the memoized
+encodings of immutable (frozen-dataclass) messages on the message object
+itself, wrapped in :class:`EncodedMessage` so the payload's content digest
+is computed at most once. All caching is behaviour-invisible: the memoized
 path returns byte-identical output to a fresh encode (see
 ``tests/test_wire_codec_caching.py``).
 """
@@ -503,12 +503,18 @@ class EncodedMessage:
         )
 
 
-#: Identity-keyed LRU of whole-message encodings. Entries hold a strong
-#: reference to the message, so an id() key can never be re-used by a
-#: different live object while its entry is alive.
-_ENCODE_CACHE: dict[int, EncodedMessage] = {}
-_ENCODE_CACHE_LIMIT = 4096
+#: Attribute under which a frozen message memoizes its own encoding. The
+#: memo lives exactly as long as the object, so the paths that genuinely
+#: re-encode one object — client retransmissions, duplicate-request reply
+#: resends, leader-change re-proposals — always hit, with no shared cache
+#: to churn or evict. (A global id-keyed LRU here was measurably dead: the
+#: per-send traffic between two encodes of the same long-lived object
+#: evicted it every time — 0 hits against ~100k misses per benchmark run.)
+_MEMO_ATTR = "_encoded_memo"
 _ENCODE_STATS = PERF.stats["codec_encode"]
+
+#: Classes whose instances cannot take the memo attribute (``__slots__``).
+_UNMEMOIZABLE: set[type] = set()
 
 #: Per-class eligibility for memoization (only frozen dataclasses, whose
 #: identity pins their content).
@@ -527,27 +533,33 @@ def _is_frozen_dataclass(cls: type) -> bool:
 def encode_cached(message) -> EncodedMessage:
     """Encode ``message`` (default codec), memoizing immutable messages.
 
-    Only frozen-dataclass instances are memoized — their identity pins
-    their content — and the cache is keyed on identity, so the memoized
-    payload is byte-identical to a fresh encode by construction.
+    Only frozen-dataclass instances are memoized — their immutability pins
+    their content — and the memo is stored on the message object itself,
+    so the payload is byte-identical to a fresh encode by construction and
+    the memo's lifetime is exactly the object's.
     """
     if not PERF.codec_cache or not _is_frozen_dataclass(message.__class__):
         return EncodedMessage(message, DEFAULT_CODEC.encode(message))
-    key = id(message)
-    cached = _ENCODE_CACHE.get(key)
-    if cached is not None and cached.message is message:
+    memo = getattr(message, "__dict__", None)
+    cached = memo.get(_MEMO_ATTR) if memo is not None else None
+    if cached is not None:
         _ENCODE_STATS.hits += 1
         return cached
     _ENCODE_STATS.misses += 1
     encoded = EncodedMessage(message, DEFAULT_CODEC.encode(message))
-    # Cleared wholesale when full: O(1) amortized eviction, and the cache
-    # only needs to cover in-flight messages anyway.
-    if len(_ENCODE_CACHE) >= _ENCODE_CACHE_LIMIT:
-        _ENCODE_CACHE.clear()
-    _ENCODE_CACHE[key] = encoded
+    if message.__class__ not in _UNMEMOIZABLE:
+        try:
+            # Frozen dataclasses block plain setattr; going through
+            # object.__setattr__ stores the memo without touching any
+            # wire field (dataclass __eq__/__repr__/fields ignore it).
+            object.__setattr__(message, _MEMO_ATTR, encoded)
+        except AttributeError:
+            _UNMEMOIZABLE.add(message.__class__)
     return encoded
 
 
 def clear_encode_cache() -> None:
-    _ENCODE_CACHE.clear()
+    # Encodings are memoized on the message objects themselves now, so
+    # there is no global encode table left to drop — clearing for a cold
+    # measurement is a per-object affair handled by using fresh messages.
     _STR_ENC_CACHE.clear()

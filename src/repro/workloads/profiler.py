@@ -139,8 +139,24 @@ def profile_hot_paths(pipelines: dict | None = None) -> dict:
 
 
 def write_report(report: dict, path: str = REPORT_FILE) -> str:
+    """Write ``report``'s sections into ``path``, merging over the file.
+
+    Top-level keys already present on disk but absent from ``report``
+    (e.g. the ``pipeline_ablation`` curve written by a different
+    benchmark) are preserved, so the wallclock pass and the ablations can
+    update the same BENCH_PERF.json in any order.
+    """
+    merged: dict = {}
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            existing = json.load(fh)
+        if isinstance(existing, dict):
+            merged = existing
+    except (OSError, ValueError):
+        merged = {}
+    merged.update(report)
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
+        json.dump(merged, fh, indent=2, sort_keys=True)
         fh.write("\n")
     return path
 

@@ -42,12 +42,25 @@ class ExperimentResult:
         return 1.0 - self.throughput / baseline.throughput
 
 
-def _build(system: str, sim: Simulator, item_count: int, alarms: bool, trace: bool = False):
-    net = make_network(sim, trace=trace)
+def _build(
+    system: str,
+    sim: Simulator,
+    item_count: int,
+    alarms: bool,
+    trace: bool = False,
+    config: SmartScadaConfig | None = None,
+    hop_latency: float | None = None,
+):
+    if hop_latency is None:
+        net = make_network(sim, trace=trace)
+    else:
+        net = make_network(sim, hop_latency=hop_latency, trace=trace)
     if system == "neoscada":
         deployment = build_neoscada(sim, net=net)
     elif system == "smartscada":
-        deployment = build_smartscada(sim, net=net, config=SmartScadaConfig())
+        deployment = build_smartscada(
+            sim, net=net, config=config if config is not None else SmartScadaConfig()
+        )
     else:
         raise ValueError(f"unknown system {system!r}")
     frontend = deployment.frontend
@@ -72,15 +85,24 @@ def run_update_experiment(
     warmup: float = 1.0,
     item_count: int = 20,
     seed: int = 1,
+    config: SmartScadaConfig | None = None,
+    hop_latency: float | None = None,
 ) -> ExperimentResult:
     """The Update-Item workload of §V-A (Figures 8a and 8b).
 
     Offers ``rate`` ItemUpdates/s at the Frontend and measures how many
-    per second reach the HMI during the steady-state window.
+    per second reach the HMI during the steady-state window. ``config``
+    (smartscada only) and ``hop_latency`` override the deployment for
+    ablations; the defaults reproduce the paper's Figure 8 setup.
     """
     sim = Simulator(seed=seed)
     deployment, item_ids = _build(
-        system, sim, item_count, alarms=alarm_ratio > 0.0
+        system,
+        sim,
+        item_count,
+        alarms=alarm_ratio > 0.0,
+        config=config,
+        hop_latency=hop_latency,
     )
     # End-to-end update latency: the injected DataValue carries its
     # creation time; handlers preserve it all the way to the HMI.

@@ -123,6 +123,80 @@ def test_two_crashes_halt_but_do_not_corrupt():
     assert run_adds(sim, proxy, 2) == 3
 
 
+def make_pipelined_world(seed=1):
+    """A slow-network world where the leader's window genuinely fills.
+
+    ``batch_wait=0`` proposes each arriving request immediately, and the
+    10 ms hop latency keeps instances undecided long enough to observe
+    (and crash into) a multi-slot pipeline.
+    """
+    sim = Simulator(seed=seed)
+    net = Network(sim, latency=ConstantLatency(0.01))
+    keystore = KeyStore()
+    config = GroupConfig(
+        n=4, f=1, request_timeout=0.4, sync_timeout=0.8, batch_wait=0.0
+    )
+    replicas = build_group(sim, net, config, CounterService, keystore)
+    proxy = build_proxy(sim, net, "client-1", config, keystore)
+    return sim, net, replicas, proxy
+
+
+def test_pipelined_leader_crash_reproposes_every_inflight_cid():
+    """Crashing the leader with several undecided cids in flight loses
+    nothing: the sync phase collects the whole window from the STOP-DATA
+    tuples and the new leader re-proposes every slot."""
+    sim, net, replicas, proxy = make_pipelined_world()
+    assert replicas[0].config.pipeline_depth >= 4
+
+    events = [proxy.invoke_ordered(encode(("add", 1))) for _ in range(8)]
+    # Requests land at 10 ms, the window's PROPOSEs at 20 ms, WRITEs at
+    # 30 ms — crash the leader before any ACCEPT quorum (40 ms) forms.
+    sim.run(until=sim.now + 0.025)
+    live = replicas[1:]
+    open_cids = {cid for r in live for cid in r.instances}
+    assert len(open_cids) >= 2  # the pipeline really was multi-slot
+    assert all(r.last_decided == -1 for r in live)
+    net.crash("replica-0")
+
+    sim.run(until=sim.now + 30, stop_on=sim.all_of(events))
+    assert all(event.ok for event in events)
+    sim.run(until=sim.now + 1)
+    assert all(r.synchronizer.regency >= 1 for r in live)
+    assert all(r.leader != "replica-0" for r in live)
+    assert all(r.service.value == 8 for r in live)
+    # Ordered-prefix invariant: every live replica executed the same
+    # decisions in the same cid order.
+    logs = [list(r.decision_log) for r in live]
+    shortest = min(len(log) for log in logs)
+    assert shortest > 0
+    assert logs[0][:shortest] == logs[1][:shortest] == logs[2][:shortest]
+
+
+def test_pipelined_leader_crash_preserves_client_order():
+    """Re-proposed window slots keep per-client sequence order intact."""
+    sim, net, replicas, proxy = make_pipelined_world(seed=3)
+    events = [proxy.invoke_ordered(encode(("add", 1))) for _ in range(8)]
+    sim.run(until=sim.now + 0.025)
+    net.crash("replica-0")
+    sim.run(until=sim.now + 30, stop_on=sim.all_of(events))
+    assert all(event.ok for event in events)
+    sim.run(until=sim.now + 1)
+    live = replicas[1:]
+    # Decode every decided batch in execution order and flatten to the
+    # per-client sequence stream: it must be strictly increasing, with
+    # every request executed exactly once.
+    for replica in live:
+        sequences = []
+        for _cid, value, _timestamp in replica.decision_log:
+            if value == b"":
+                continue
+            for request in decode(value).requests:
+                if request.client_id == proxy.client_id:
+                    sequences.append(request.sequence)
+        assert sequences == sorted(sequences)
+        assert len(sequences) == len(set(sequences)) == 8
+
+
 def test_progress_suppresses_suspicion_under_load():
     """A busy but healthy group must not churn regencies just because
     individual requests wait behind others."""

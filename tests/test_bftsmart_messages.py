@@ -37,9 +37,16 @@ SAMPLES = [
     WriteMsg(sender="r1", cid=5, epoch=1, value_digest=b"d" * 20),
     AcceptMsg(sender="r2", cid=5, epoch=1, value_digest=b"d" * 20),
     Stop(sender="r3", regency=4),
-    StopData(sender="r3", regency=4, last_decided=9, in_flight=(10, 1, b"v", 1.0), signature=b"s"),
-    StopData(sender="r3", regency=4, last_decided=9, in_flight=None, signature=b"s"),
-    Sync(sender="r1", regency=4, cid=10, value=b"", timestamp=3.0),
+    StopData(
+        sender="r3",
+        regency=4,
+        last_decided=9,
+        in_flight=((10, 1, b"v", 1.0), (11, 1, b"w", 1.2)),
+        signature=b"s",
+    ),
+    StopData(sender="r3", regency=4, last_decided=9, in_flight=(), signature=b"s"),
+    Sync(sender="r1", regency=4, proposals=((10, b"v", 1.0), (11, b"", 3.0))),
+    Sync(sender="r1", regency=4, proposals=()),
     StateRequest(sender="r3", from_cid=11),
     StateRequest(sender="r3", from_cid=11, log_only=True),
     StateReply(

@@ -92,6 +92,74 @@ def test_replicated_query_with_one_replica_down():
     assert len(events) == 3
 
 
+def test_unreplicated_value_query():
+    sim = Simulator(seed=6)
+    system = build_neoscada(sim)
+    system.frontend.add_item("sensor", initial=0)
+    system.start()
+    system.frontend.inject_update("sensor", 42)
+    sim.run(until=sim.now + 0.5)
+
+    def operator():
+        value = yield system.hmi.query_value("sensor")
+        missing = yield system.hmi.query_value("no-such-item")
+        return value, missing
+
+    value, missing = sim.run_process(operator(), until=sim.now + 5)
+    assert value.value == 42
+    assert missing is None
+
+
+def test_replicated_value_query_uses_unordered_path():
+    sim = Simulator(seed=7)
+    system = build_smartscada(sim)
+    system.frontend.add_item("sensor", initial=0)
+    system.start()
+    system.frontend.inject_update("sensor", 17)
+    sim.run(until=sim.now + 0.5)
+    decided_before = system.replicas[0].stats["decided"]
+
+    def operator():
+        value = yield system.hmi.query_value("sensor")
+        return value
+
+    value = sim.run_process(operator(), until=sim.now + 10)
+    assert value.value == 17
+    # No new consensus instance was spent on the read...
+    assert system.replicas[0].stats["decided"] == decided_before
+    # ...because it rode the unordered path, without needing a fallback.
+    assert system.proxy_hmi.stats["unordered_reads"] >= 1
+    assert system.proxy_hmi.stats["ordered_read_fallbacks"] == 0
+
+
+def test_diverging_value_read_falls_back_to_ordered():
+    """A split read quorum fails fast and the proxy re-reads in order."""
+    from repro.neoscada.values import DataValue, Quality
+
+    sim = Simulator(seed=8)
+    system = build_smartscada(sim)
+    system.frontend.add_item("sensor", initial=0)
+    system.start()
+    system.frontend.inject_update("sensor", 17)
+    sim.run(until=sim.now + 0.5)
+    # Two replicas serve stale/garbled values (beyond the f=1 the
+    # unordered n-f quorum tolerates), each a different one: no reply
+    # group can reach n-f = 3, but the honest pair still forms the f+1
+    # ordered-read quorum.
+    for index, bogus in ((2, -1), (3, -2)):
+        item = system.masters[index].items.ensure("sensor")
+        item.value = DataValue(bogus, Quality.GOOD, sim.now)
+
+    def operator():
+        value = yield system.hmi.query_value("sensor")
+        return value
+
+    value = sim.run_process(operator(), until=sim.now + 10)
+    assert value.value == 17
+    assert system.proxy_hmi.stats["ordered_read_fallbacks"] == 1
+    assert system.proxy_hmi.bft.stats["read_divergences"] == 1
+
+
 def test_mutations_cannot_ride_the_unordered_path():
     """The adapter refuses non-read-only operations outside consensus."""
     from repro.core import SmartScadaConfig, build_smartscada
