@@ -1,0 +1,132 @@
+"""Wall-clock cost of span tracing on the §V-B microbenchmark pipeline.
+
+Three configurations of the same seeded run: no tracer installed
+(baseline), a tracer installed but disabled (the shipping default — the
+hooks reduce to one attribute read and a ``None``/flag check), and a
+tracer enabled (full span trees for every request). Tracing is
+behaviour-invisible, so all three must execute identical request
+streams and dispatch identical event counts; only wall-clock may
+differ. Results land under the ``observability`` key of
+``BENCH_PERF.json``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+from conftest import once, print_table
+
+from repro.bftsmart import EchoService, GroupConfig, build_group, build_proxy
+from repro.crypto import KeyStore
+from repro.net import ConstantLatency, Network
+from repro.obs.trace import install_tracer
+from repro.sim import Simulator
+from repro.workloads.metrics import ThroughputMeter
+from repro.workloads.profiler import write_report
+
+REPORT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_PERF.json"
+
+OFFERED_RATE = 25_000.0
+WARMUP = 0.2
+WINDOW = 0.6
+
+#: Enabled tracing allocates a span per protocol step, so it is allowed
+#: to cost real time — but not an order of magnitude. Generous bound:
+#: CI boxes are noisy and this guards regressions, not marketing.
+MAX_TRACED_OVERHEAD = 3.0
+
+
+def run_micro(mode: str) -> dict:
+    """One seeded bft-micro run; ``mode`` is untraced/disabled/enabled."""
+    payload = bytes(1024)
+    sim = Simulator(seed=1)
+    tracer = None
+    if mode != "untraced":
+        tracer = install_tracer(sim)
+        tracer.enabled = mode == "enabled"
+    net = Network(sim, latency=ConstantLatency(0.00025))
+    keystore = KeyStore()
+    config = GroupConfig(n=4, f=1, batch_max=500, batch_wait=0.001)
+    replicas = build_group(sim, net, config, EchoService, keystore)
+    proxy = build_proxy(
+        sim, net, "load-client", config, keystore, invoke_timeout=5.0
+    )
+
+    def firehose():
+        interval = 1.0 / OFFERED_RATE
+        while True:
+            event = proxy.invoke_ordered(payload)
+            event.add_callback(lambda ev: setattr(ev, "defused", True))
+            yield sim.timeout(interval)
+
+    sim.process(firehose())
+    meter = ThroughputMeter(sim, lambda: replicas[0].stats["executed"])
+    start = time.perf_counter()
+    sim.run(until=WARMUP)
+    meter.open_window()
+    sim.run(until=WARMUP + WINDOW)
+    meter.close_window()
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": round(wall, 4),
+        "executed": replicas[0].stats["executed"],
+        "events_dispatched": sim.dispatched,
+        "spans": len(tracer.spans) if tracer is not None else 0,
+    }
+
+
+def measure() -> dict:
+    untraced = run_micro("untraced")
+    disabled = run_micro("disabled")
+    enabled = run_micro("enabled")
+    return {
+        "pipeline": "bft_micro",
+        "offered_rate": OFFERED_RATE,
+        "window_s": WINDOW,
+        "untraced": untraced,
+        "disabled": disabled,
+        "enabled": enabled,
+        "overhead_disabled": round(disabled["wall_s"] / untraced["wall_s"], 3),
+        "overhead_enabled": round(enabled["wall_s"] / untraced["wall_s"], 3),
+        "identical_results": (
+            untraced["executed"]
+            == disabled["executed"]
+            == enabled["executed"]
+            and untraced["events_dispatched"]
+            == disabled["events_dispatched"]
+            == enabled["events_dispatched"]
+        ),
+    }
+
+
+def test_tracing_overhead(benchmark):
+    report = once(benchmark, measure)
+    write_report({"observability": report}, str(REPORT_PATH))
+
+    print_table(
+        "span tracing overhead — bft_micro wall-clock seconds",
+        ["mode", "wall_s", "executed", "events", "spans"],
+        [
+            [
+                mode,
+                report[mode]["wall_s"],
+                report[mode]["executed"],
+                report[mode]["events_dispatched"],
+                report[mode]["spans"],
+            ]
+            for mode in ("untraced", "disabled", "enabled")
+        ],
+    )
+
+    # Behaviour invisibility: same work happened in all three modes.
+    assert report["identical_results"], report
+    assert report["enabled"]["spans"] > 0
+    assert report["disabled"]["spans"] == 0
+
+    # Cost envelope: a disabled tracer is within noise of no tracer at
+    # all; an enabled tracer may cost real time but stays bounded.
+    assert report["overhead_disabled"] < 1.5, report["overhead_disabled"]
+    assert report["overhead_enabled"] < MAX_TRACED_OVERHEAD, (
+        report["overhead_enabled"]
+    )

@@ -21,7 +21,12 @@ chaos
     (``--list`` shows them), or ``random`` for seeded sampled schedules.
     ``--seeds N`` sweeps N seeds; ``--shrink`` minimizes a failing
     schedule and prints a replayable snippet; ``--json`` emits
-    machine-readable verdicts for CI and tooling.
+    machine-readable verdicts for CI and tooling; ``--trace-dump PATH``
+    dumps the span window around the first invariant violation.
+trace
+    Trace a seeded workload end to end (``repro.obs``): writes a
+    Perfetto-loadable Chrome trace-event file and prints phase-by-phase
+    "request autopsies" of the slowest and median requests.
 """
 
 from __future__ import annotations
@@ -192,6 +197,98 @@ def cmd_steps(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from repro.obs.export import (
+        autopsy,
+        format_autopsy,
+        pick_trace,
+        validate_chrome_trace,
+        write_chrome_trace,
+        write_spans_jsonl,
+    )
+    from repro.obs.trace import install_tracer
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=args.seed)
+    tracer = install_tracer(sim)
+
+    if args.workload == "bft-micro":
+        from repro.bftsmart import EchoService, GroupConfig, build_group, build_proxy
+        from repro.crypto import KeyStore
+        from repro.net import ConstantLatency, Network
+
+        net = Network(sim, latency=ConstantLatency(0.00025))
+        keystore = KeyStore()
+        group = GroupConfig(n=4, f=1, batch_max=500, batch_wait=0.001)
+        build_group(sim, net, group, EchoService, keystore)
+        proxy = build_proxy(
+            sim, net, "load-client", group, keystore, invoke_timeout=5.0
+        )
+
+        def firehose():
+            interval = 1.0 / args.rate
+            while True:
+                event = proxy.invoke_ordered(bytes(256))
+                event.add_callback(lambda ev: setattr(ev, "defused", True))
+                yield sim.timeout(interval)
+
+        sim.process(firehose(), name="trace-firehose")
+        sim.run(until=args.duration)
+    else:  # fig8(a)-style SCADA update stream plus one operator write
+        from repro.core import build_smartscada, make_network
+        from repro.core.config import SmartScadaConfig
+
+        net = make_network(sim)
+        system = build_smartscada(
+            sim, net=net, config=SmartScadaConfig(durability=True)
+        )
+        system.frontend.add_item("plant.sensor", initial=0)
+        system.frontend.add_item("plant.actuator", initial=0, writable=True)
+        system.start()
+        tracer.clear()  # drop subscription churn; trace the steady state
+
+        def update_traffic():
+            interval = 1.0 / args.rate
+            step = 0
+            while True:
+                yield sim.timeout(interval)
+                step += 1
+                system.frontend.inject_update("plant.sensor", step % 700 + 1)
+
+        def operator_write():
+            yield sim.timeout(args.duration / 2)
+            result = yield system.hmi.write("plant.actuator", 42)
+            return result.success
+
+        sim.process(update_traffic(), name="trace-updates")
+        sim.process(operator_write(), name="trace-write")
+        sim.run(until=args.duration)
+
+    data = write_chrome_trace(args.out, tracer.spans, clock=sim.now)
+    errors = validate_chrome_trace(data)
+    if errors:
+        for error in errors:
+            print(f"invalid trace: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"wrote {args.out}: {len(tracer.spans)} spans, "
+        f"{len(tracer.trace_ids())} traces, {len(data['traceEvents'])} events "
+        f"(load in Perfetto / chrome://tracing)"
+    )
+    if args.jsonl:
+        lines = write_spans_jsonl(args.jsonl, tracer.spans)
+        print(f"wrote {args.jsonl}: {lines} span lines")
+    for which in ("slowest", "median"):
+        trace_id = pick_trace(tracer, which)
+        report = autopsy(tracer, trace_id) if trace_id is not None else None
+        if report is None:
+            print(f"no finished request trace to autopsy ({which})")
+            continue
+        print(f"\n[{which}]")
+        print(format_autopsy(report))
+    return 0
+
+
 def cmd_chaos(args) -> int:
     from repro.chaos import (
         get_scenario,
@@ -248,6 +345,14 @@ def cmd_chaos(args) -> int:
 
         def config_for(seed):
             return scenario.config(seed=seed)
+
+    if args.trace_dump is not None:
+        from dataclasses import replace as dc_replace
+
+        base_config_for = config_for
+
+        def config_for(seed):
+            return dc_replace(base_config_for(seed), trace_dump=args.trace_dump)
 
     seeds = range(args.seed, args.seed + args.seeds)
     rows = []
@@ -386,7 +491,31 @@ def main(argv=None) -> int:
     chaos.add_argument("--json", action="store_true",
                        help="emit machine-readable verdicts on stdout "
                             "(for CI and tooling)")
+    chaos.add_argument("--trace-dump", default=None, metavar="PATH",
+                       help="install the span tracer and, on the first "
+                            "invariant violation, dump the surrounding "
+                            "span window as Chrome trace JSON to PATH")
     chaos.set_defaults(func=cmd_chaos)
+
+    trace = subparsers.add_parser(
+        "trace", help="trace a seeded workload and print request autopsies"
+    )
+    trace.add_argument("--workload", choices=("scada", "bft-micro"),
+                       default="scada",
+                       help="fig8(a)-style SCADA updates + one operator "
+                            "write (default), or the §V-B BFT echo "
+                            "microbenchmark")
+    trace.add_argument("--duration", type=float, default=1.0,
+                       help="simulated seconds to trace (default 1.0)")
+    trace.add_argument("--rate", type=float, default=50.0,
+                       help="offered request rate per second (default 50)")
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome trace-event output file "
+                            "(default trace.json)")
+    trace.add_argument("--jsonl", default=None, metavar="PATH",
+                       help="also write one span per line as JSONL")
+    trace.set_defaults(func=cmd_trace)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -43,6 +43,8 @@ class _PendingInvocation:
         "attempts",
         "timer",
         "unordered",
+        "span",
+        "quorum_span",
     )
 
     def __init__(
@@ -61,6 +63,10 @@ class _PendingInvocation:
         self.unordered = unordered
         #: The pending retransmission ScheduledCall; cancelled on quorum.
         self.timer = None
+        #: Observability: the open "request" span and its reply-quorum
+        #: child, or ``None`` when tracing is off.
+        self.span = None
+        self.quorum_span = None
 
 
 class PushVoter:
@@ -122,6 +128,12 @@ class ServiceProxy:
     backoff_cap = 4.0
     #: Deterministic jitter fraction added on top of each backoff step.
     backoff_jitter = 0.1
+    #: Opt-in: stamp the canonical trace id into the request's wire
+    #: ``trace_id`` field. Off by default — stamping grows the frame, and
+    #: message size feeds the latency model, so the default keeps a run's
+    #: schedule byte-identical with tracing on or off. Derived ids
+    #: (``req:<client>:<sequence>``) carry the linkage instead.
+    trace_wire_ids = False
 
     def __init__(
         self,
@@ -177,17 +189,31 @@ class ServiceProxy:
 
     # -- invoking --------------------------------------------------------------
 
-    def invoke_ordered(self, operation: bytes) -> Event:
-        """Submit an ordered operation; the event triggers with the result."""
-        return self._invoke(operation, unordered=False)
+    def invoke_ordered(self, operation: bytes, parent=None) -> Event:
+        """Submit an ordered operation; the event triggers with the result.
 
-    def invoke_unordered(self, operation: bytes) -> Event:
+        ``parent`` optionally names an upstream trace context (anything
+        with ``trace_id``/``span_id``, e.g. a :class:`repro.obs.Span`):
+        the request's derived trace id is aliased into that trace so the
+        proxy layers and the BFT spans form one tree.
+        """
+        return self._invoke(operation, unordered=False, parent=parent)
+
+    def invoke_unordered(self, operation: bytes, parent=None) -> Event:
         """Submit a read-only operation outside the total order."""
-        return self._invoke(operation, unordered=True)
+        return self._invoke(operation, unordered=True, parent=parent)
 
-    def _invoke(self, operation: bytes, unordered: bool) -> Event:
+    def _invoke(self, operation: bytes, unordered: bool, parent=None) -> Event:
         self._sequence += 1
         sequence = self._sequence
+        tracer = self.sim.tracer
+        wire_trace_id = ""
+        if tracer is not None and tracer.enabled:
+            derived = f"req:{self.client_id}:{sequence}"
+            if parent is not None:
+                tracer.alias(derived, parent.trace_id)
+            if self.trace_wire_ids:
+                wire_trace_id = tracer.resolve(derived)
         request = ClientRequest(
             client_id=self.client_id,
             sequence=sequence,
@@ -195,6 +221,7 @@ class ServiceProxy:
             reply_to=self.client_id,
             unordered=unordered,
             mac=b"",
+            trace_id=wire_trace_id,
         )
         request = self._sign(request)
         quorum = (
@@ -202,6 +229,16 @@ class ServiceProxy:
         )
         event = Event(self.sim, name=f"invoke:{self.client_id}:{sequence}")
         invocation = _PendingInvocation(request, event, quorum, unordered=unordered)
+        if tracer is not None and tracer.enabled:
+            invocation.span = tracer.begin(
+                "request",
+                tracer.for_request(request),
+                parent=parent,
+                process=self.client_id,
+                client=self.client_id,
+                sequence=sequence,
+                unordered=unordered,
+            )
         self._pending[sequence] = invocation
         self.stats["invocations"] += 1
         self._transmit(request)
@@ -220,6 +257,7 @@ class ServiceProxy:
             reply_to=request.reply_to,
             unordered=request.unordered,
             mac=tag,
+            trace_id=request.trace_id,
         )
         if PERF.signing_cache:
             # The signed tuple excludes the MAC field, so the stamped
@@ -257,6 +295,7 @@ class ServiceProxy:
         if invocation.attempts >= self.max_attempts:
             self._pending.pop(sequence, None)
             self.stats["failures"] += 1
+            self._close_spans(invocation, error="timeout")
             invocation.event.fail(
                 TimeoutError(
                     f"request {sequence} got no quorum after "
@@ -273,6 +312,14 @@ class ServiceProxy:
         invocation.timer = self.sim.call_later(
             self._retransmission_delay(invocation.attempts), self._retransmit, sequence
         )
+
+    def _close_spans(self, invocation: _PendingInvocation, **attrs) -> None:
+        tracer = self.sim.tracer
+        if tracer is None or invocation.span is None:
+            return
+        if invocation.quorum_span is not None:
+            tracer.end(invocation.quorum_span, **attrs)
+        tracer.end(invocation.span, attempts=invocation.attempts, **attrs)
 
     # -- receiving -------------------------------------------------------------
 
@@ -293,12 +340,23 @@ class ServiceProxy:
             return
         if not self.view.contains(reply.replica):
             return
+        if invocation.span is not None and invocation.quorum_span is None:
+            tracer = self.sim.tracer
+            if tracer is not None:
+                invocation.quorum_span = tracer.begin(
+                    "request.reply_quorum",
+                    invocation.span.trace_id,
+                    parent=invocation.span,
+                    process=self.client_id,
+                    quorum=invocation.quorum,
+                )
         votes = invocation.votes.setdefault(digest(reply.result), {})
         votes[reply.replica] = reply.result
         if len(votes) >= invocation.quorum:
             self._pending.pop(reply.sequence, None)
             if invocation.timer is not None:
                 invocation.timer.cancel()
+            self._close_spans(invocation, voters=len(votes))
             if self.on_result is not None:
                 self.on_result(reply.sequence, reply.result, frozenset(votes))
             invocation.event.succeed(reply.result)
@@ -321,6 +379,7 @@ class ServiceProxy:
                 if invocation.timer is not None:
                     invocation.timer.cancel()
                 self.stats["read_divergences"] += 1
+                self._close_spans(invocation, error="quorum_divergence")
                 invocation.event.fail(
                     QuorumDivergence(
                         f"unordered request {reply.sequence}: "

@@ -34,6 +34,10 @@ class Instance:
         self.decided_digest: bytes | None = None
         self.decided_timestamp: float = 0.0
         self.decided_batch = None
+        #: Observability state (dict of open spans) set by the replica
+        #: when a tracer is installed; ``None`` otherwise. The protocol
+        #: never reads it.
+        self.obs = None
 
     # -- epoch handling -------------------------------------------------------
 

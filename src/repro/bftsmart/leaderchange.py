@@ -53,6 +53,8 @@ class Synchronizer:
         self._resolved: set = set()
         #: Counts leader changes completed (metrics / tests).
         self.changes_completed = 0
+        #: Open ``sync.leader_change`` span, when a tracer is installed.
+        self._obs_span = None
 
     # -- quorum sizes under the current view ---------------------------------
 
@@ -114,6 +116,17 @@ class Synchronizer:
         replica = self.replica
         self.regency = target
         self.in_progress = True
+        tracer = replica.sim.tracer
+        if tracer is not None and tracer.enabled:
+            if self._obs_span is not None:
+                tracer.end(self._obs_span, aborted=True)
+            self._obs_span = tracer.begin(
+                "sync.leader_change",
+                f"regency:{target}@{replica.address}",
+                process=replica.address,
+                regency=target,
+                new_leader=replica.view.leader_for(target),
+            )
         # Requests marked in-flight under the old leader go back to the pool.
         replica._inflight_keys.clear()
         # Proposing resumes from wherever SYNC re-anchors the window.
@@ -252,6 +265,11 @@ class Synchronizer:
             return
         self.in_progress = False
         self.changes_completed += 1
+        if self._obs_span is not None:
+            tracer = replica.sim.tracer
+            if tracer is not None:
+                tracer.end(self._obs_span, proposals=len(message.proposals))
+            self._obs_span = None
         replica.last_progress = replica.sim.now
         highest = replica.next_cid - 1
         for cid, value, timestamp in message.proposals:

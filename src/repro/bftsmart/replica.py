@@ -40,6 +40,7 @@ from repro.bftsmart.statetransfer import StateTransfer
 from repro.bftsmart.view import View
 from repro.crypto import KeyStore, Signature, Signer, Verifier, digest
 from repro.net.network import Network
+from repro.obs.trace import request_trace_id
 from repro.perf import PERF
 from repro.sim.channels import Channel
 from repro.sim.kernel import Simulator
@@ -320,6 +321,14 @@ class ServiceReplica:
         self._maybe_propose()
 
     def _execute_unordered(self, request: ClientRequest) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.point(
+                "request.execute",
+                tracer.for_request(request),
+                process=self.address,
+                unordered=True,
+            )
         try:
             result = self.service.execute_unordered(request.operation)
         except Exception as exc:  # deterministic failure -> error reply
@@ -411,6 +420,22 @@ class ServiceReplica:
         if PERF.decode_share:
             self._last_proposed = (value, batch_message)
         cid = max(self.next_propose_cid, self.next_cid)
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            # One pending span per request: arrival at the leader through
+            # inclusion in this proposal (the batching wait of §IV).
+            for request in batch:
+                entry = self.pending.get(request.key())
+                arrival = entry[1] if entry is not None else self.sim.now
+                tracer.end(
+                    tracer.begin(
+                        "request.pending",
+                        tracer.for_request(request),
+                        process=self.address,
+                        start=arrival,
+                        cid=cid,
+                    )
+                )
         propose = Propose(
             sender=self.address,
             cid=cid,
@@ -438,8 +463,46 @@ class ServiceReplica:
             instance = Instance(cid, epoch)
             self.instances[cid] = instance
         elif epoch > instance.epoch:
+            self._trace_abort_instance(instance)
             instance.advance_epoch(epoch)
         return instance
+
+    # -- tracing hooks (no-ops unless a SpanTracer is installed) --------
+
+    def _trace_open_instance(self, instance: Instance, batch, message: Propose) -> None:
+        tracer = self.sim.tracer
+        if tracer is None or not tracer.enabled:
+            return
+        if batch is not None and batch.requests:
+            tids = tuple(request_trace_id(r) for r in batch.requests)
+            primary, extra = tids[0], tids[1:]
+        else:
+            # Empty (gap-filling) batch: no request to derive an id from.
+            primary, extra = f"cid:{message.cid}@{self.address}", ()
+        span = tracer.begin(
+            "consensus",
+            primary,
+            process=self.address,
+            trace_ids=extra,
+            cid=message.cid,
+            epoch=message.epoch,
+            leader=message.sender,
+            batch=len(batch.requests) if batch is not None else 0,
+        )
+        write = tracer.begin(
+            "consensus.write", primary, parent=span, process=self.address
+        )
+        instance.obs = {"span": span, "write": write, "accept": None, "wait": None}
+
+    def _trace_abort_instance(self, instance: Instance) -> None:
+        obs, instance.obs = instance.obs, None
+        tracer = self.sim.tracer
+        if obs is None or tracer is None:
+            return
+        for key in ("write", "accept", "wait", "span"):
+            span = obs.get(key)
+            if span is not None:
+                tracer.end(span, aborted=True)
 
     def _validate_batch(self, value: bytes) -> RequestBatch | None:
         """Decode and authenticate a proposed batch (Byzantine leader guard).
@@ -557,6 +620,7 @@ class ServiceReplica:
             message.timestamp,
             batch=batch if PERF.decode_share else None,
         )
+        self._trace_open_instance(instance, batch, message)
         instance.write_sent = True
         write = WriteMsg(
             sender=self.address,
@@ -600,6 +664,15 @@ class ServiceReplica:
             return
         if not instance.accept_sent and instance.has_write_quorum(self.quorum_write()):
             instance.accept_sent = True
+            obs, tracer = instance.obs, self.sim.tracer
+            if obs is not None and tracer is not None:
+                tracer.end(obs["write"], votes=len(instance.writes))
+                obs["accept"] = tracer.begin(
+                    "consensus.accept",
+                    obs["span"].trace_id,
+                    parent=obs["span"],
+                    process=self.address,
+                )
             accept = AcceptMsg(
                 sender=self.address,
                 cid=instance.cid,
@@ -614,6 +687,11 @@ class ServiceReplica:
             and instance.has_accept_quorum(self.quorum_accept())
         ):
             instance.decide()
+            obs, tracer = instance.obs, self.sim.tracer
+            if obs is not None and tracer is not None:
+                if obs["accept"] is not None:
+                    tracer.end(obs["accept"], votes=len(instance.accepts))
+                tracer.end(obs["span"], decided=True)
             self._on_decided(instance)
 
     # ------------------------------------------------------------------
@@ -626,6 +704,15 @@ class ServiceReplica:
             # Decided ahead of the execution head: the instance stays in
             # ``instances`` until every lower cid decided too.
             self.stats["decided_out_of_order"] += 1
+            obs, tracer = instance.obs, self.sim.tracer
+            if obs is not None and tracer is not None:
+                obs["wait"] = tracer.begin(
+                    "consensus.pipeline_wait",
+                    obs["span"].trace_id,
+                    parent=obs["span"],
+                    process=self.address,
+                    cid=instance.cid,
+                )
             head = self.instances.get(self.next_cid)
             if head is None or head.proposal_value is None:
                 # We never even saw the head's PROPOSE — the prefix
@@ -650,8 +737,21 @@ class ServiceReplica:
         value = instance.decided_value
         timestamp = instance.decided_timestamp
         self.decision_log.append((instance.cid, value, timestamp))
+        obs, tracer = instance.obs, self.sim.tracer
+        if obs is not None and tracer is not None and obs["wait"] is not None:
+            tracer.end(obs["wait"])
         if self.storage is not None:
-            self.storage.on_decided(instance.cid, value, timestamp)
+            fsynced = self.storage.on_decided(instance.cid, value, timestamp)
+            if obs is not None and tracer is not None:
+                tracer.point(
+                    "wal.append",
+                    obs["span"].trace_id,
+                    parent=obs["span"],
+                    process=self.address,
+                    trace_ids=obs["span"].trace_ids,
+                    cid=instance.cid,
+                    fsynced=bool(fsynced),
+                )
         del self.instances[instance.cid]
 
         if value != b"":
@@ -702,12 +802,26 @@ class ServiceReplica:
                 if serial or lane is None:
                     if not serial:
                         yield self._drain_lanes()
+                    tracer = self.sim.tracer
+                    span = None
+                    if tracer is not None and tracer.enabled:
+                        span = tracer.begin(
+                            "request.execute",
+                            tracer.for_request(request),
+                            process=self.address,
+                            cid=cid,
+                            order=order,
+                        )
                     cost = self.service.cost_of(request.operation)
                     if cost > 0:
                         yield self.sim.timeout(cost)
                     if epoch != self._install_epoch:
+                        if span is not None:
+                            tracer.end(span, aborted=True)
                         break  # an install landed during the cost wait
                     self._execute_one(cid, order, request, timestamp, regency)
+                    if span is not None:
+                        tracer.end(span)
                     post = self.service.post_cost()
                     if post > 0:
                         yield self.sim.timeout(post)
@@ -734,15 +848,30 @@ class ServiceReplica:
     def _lane_worker(self, channel):
         while True:
             epoch, cid, order, request, timestamp, regency = yield channel.get()
+            tracer = self.sim.tracer
+            span = None
+            if tracer is not None and tracer.enabled and epoch == self._install_epoch:
+                span = tracer.begin(
+                    "request.execute",
+                    tracer.for_request(request),
+                    process=self.address,
+                    cid=cid,
+                    order=order,
+                    lane=True,
+                )
             if epoch == self._install_epoch:
                 cost = self.service.cost_of(request.operation)
                 if cost > 0:
                     yield self.sim.timeout(cost)
             if epoch == self._install_epoch:
                 self._execute_one(cid, order, request, timestamp, regency)
+                if span is not None:
+                    tracer.end(span)
                 post = self.service.post_cost()
                 if post > 0:
                     yield self.sim.timeout(post)
+            elif span is not None:
+                tracer.end(span, aborted=True)
             self._lane_idle()
 
     def _lane_idle(self) -> None:

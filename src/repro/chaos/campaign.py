@@ -29,6 +29,8 @@ from repro.chaos.schedule import Schedule
 from repro.core.config import SmartScadaConfig
 from repro.core.system import build_smartscada, make_network
 from repro.neoscada import HandlerChain, Monitor
+from repro.obs.export import write_chrome_trace
+from repro.obs.trace import install_tracer
 from repro.sim.kernel import Simulator
 
 #: Retransmission budget for campaign clients: campaigns crash replicas
@@ -75,6 +77,17 @@ class CampaignConfig:
     durability: bool = False
     fsync_policy: str = "every-decision"
     checkpoint_interval: int = 1000
+    #: Install a :class:`repro.obs.trace.SpanTracer` for the run.
+    trace_spans: bool = False
+    #: When set, a first invariant violation dumps the span window around
+    #: it as Chrome trace-event JSON to this path (implies tracing).
+    trace_dump: str | None = None
+    #: Seconds of span context kept on each side of the first violation.
+    trace_window: float = 1.0
+    #: Span retention cap for the installed tracer.
+    max_trace_spans: int = 200_000
+    #: Hop-trace ring-buffer cap (``None`` = keep every hop).
+    trace_max_hops: int | None = None
 
     def scada_config(self) -> SmartScadaConfig:
         return SmartScadaConfig(
@@ -210,6 +223,10 @@ class CampaignReport:
     fault_stats: dict
     state_digests: list
     trace_digest: str
+    #: Path of the violation span dump written this run (``None`` when
+    #: tracing was off or no violation occurred). Diagnostics only —
+    #: outside :meth:`fingerprint`.
+    trace_dump: str | None = None
     #: CrashRestart recoveries: ``{index, disk, crashed_at, restarted_at,
     #: settled_at}`` per reboot. Diagnostics only — deliberately outside
     #: :meth:`fingerprint` (like ``fault_stats``), which hashes the
@@ -283,7 +300,10 @@ def run_campaign(
     monitors = monitors if monitors is not None else default_monitors()
 
     sim = Simulator(seed=config.seed)
-    net = make_network(sim, trace=config.trace)
+    tracer = None
+    if config.trace_spans or config.trace_dump is not None:
+        tracer = install_tracer(sim, max_spans=config.max_trace_spans)
+    net = make_network(sim, trace=config.trace, max_hops=config.trace_max_hops)
     system = build_smartscada(sim, net=net, config=config.scada_config())
 
     sensors = [f"plant.s{i}" for i in range(config.sensors)]
@@ -400,6 +420,17 @@ def run_campaign(
     failed_cleanly = sum(
         1 for r in ctx.writes if r.completed is not None and not r.success
     )
+    dump_path = None
+    if tracer is not None and config.trace_dump is not None and ctx.violations:
+        # Failure forensics: keep the span window around the first
+        # violation, Perfetto-loadable.
+        first = min(v.time for v in ctx.violations)
+        write_chrome_trace(
+            config.trace_dump,
+            tracer.window(first - config.trace_window, first + config.trace_window),
+            clock=sim.now,
+        )
+        dump_path = config.trace_dump
     return CampaignReport(
         seed=config.seed,
         schedule=schedule,
@@ -414,6 +445,7 @@ def run_campaign(
         fault_stats=sim.stats().get("net.faults", {}),
         state_digests=system.state_digests(),
         trace_digest=_trace_digest(net),
+        trace_dump=dump_path,
         recoveries=[
             {key: value for key, value in event.items() if key != "proxy_master"}
             for event in ctx.restart_events

@@ -69,6 +69,8 @@ class ProxyHMI:
 
         #: origin op_id -> HMI reply address for in-flight writes.
         self._write_origins: dict[str, str] = {}
+        #: op_id -> open ``proxy.forward`` span (tracer installed only).
+        self._write_spans: dict = {}
         #: FIFO of HMI addresses awaiting a BrowseReply.
         self._browse_waiters: list = []
         self.stats = {
@@ -174,6 +176,17 @@ class ProxyHMI:
         """Rewrite the reply path and push the write into the total order."""
         self.stats["forwarded_writes"] += 1
         self._write_origins[message.op_id] = message.reply_to
+        tracer = self.sim.tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            span = tracer.begin(
+                "proxy.forward",
+                f"op:{message.op_id}",
+                process=self.address,
+                op_id=message.op_id,
+                item=message.item_id,
+            )
+            self._write_spans[message.op_id] = span
         rewritten = WriteValue(
             item_id=message.item_id,
             value=message.value,
@@ -181,10 +194,10 @@ class ProxyHMI:
             reply_to=self.bft.client_id,
             operator=message.operator,
         )
-        self._submit(rewritten)
+        self._submit(rewritten, parent=span)
 
-    def _submit(self, message) -> None:
-        event = self.bft.invoke_ordered(encode(message))
+    def _submit(self, message, parent=None) -> None:
+        event = self.bft.invoke_ordered(encode(message), parent=parent)
         event.add_callback(self._on_invoke_done)
 
     def _on_invoke_done(self, event) -> None:
@@ -209,6 +222,9 @@ class ProxyHMI:
             self.ae_server.publish(message.event)
         elif isinstance(message, WriteResult):
             origin = self._write_origins.pop(message.op_id, None)
+            span = self._write_spans.pop(message.op_id, None)
+            if span is not None and self.sim.tracer is not None:
+                self.sim.tracer.end(span, success=message.success)
             if origin is not None:
                 self.stats["write_results_out"] += 1
                 self.endpoint.send(origin, message)

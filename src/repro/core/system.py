@@ -35,8 +35,13 @@ def make_network(
     sim: Simulator,
     hop_latency: float = DEFAULT_HOP_LATENCY,
     trace: bool = False,
+    max_hops: int | None = None,
 ) -> Network:
-    """A switched-LAN network like the paper's Gigabit testbed."""
+    """A switched-LAN network like the paper's Gigabit testbed.
+
+    ``max_hops`` bounds hop-trace retention (ring buffer) for long
+    campaigns; ``None`` keeps every hop.
+    """
     return Network(
         sim,
         latency=LanLatency(
@@ -44,7 +49,7 @@ def make_network(
             jitter=hop_latency / 5,
             rng=sim.rng.stream("net.jitter"),
         ),
-        trace=NetworkTrace(enabled=trace),
+        trace=NetworkTrace(enabled=trace, max_hops=max_hops),
     )
 
 

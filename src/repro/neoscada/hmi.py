@@ -83,19 +83,32 @@ class HMI:
         """
         self.stats["writes"] += 1
         done = Event(self.sim, name=f"write:{item_id}")
+        state = {"span": None}  # filled once da.write assigns the op_id
 
         def on_result(result: WriteResult) -> None:
             if not result.success:
                 self.stats["write_failures"] += 1
+            span = state["span"]
+            if span is not None and self.sim.tracer is not None:
+                self.sim.tracer.end(span, success=result.success)
             done.succeed(result)
 
-        self.da.write(
+        op_id = self.da.write(
             self.master_address,
             item_id,
             value,
             on_result,
             operator=self.operator,
         )
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            state["span"] = tracer.begin(
+                "hmi.write",
+                f"op:{op_id}",
+                process=self.address,
+                item=item_id,
+                operator=self.operator,
+            )
         return done
 
     def query_events(

@@ -43,10 +43,20 @@ class Network:
             rng=sim.rng.stream("net.jitter")
         )
         self.trace = trace if trace is not None else NetworkTrace(enabled=False)
+        self.trace.bind_counter(sim.metrics.counter("net.trace.hops"))
         self.faults = FaultInjector(sim.rng.stream("net.faults"))
         # Campaigns read fault-firing counts through the kernel's stats
         # (one deployment has one network; re-registration is harmless).
         sim.register_stats_source("net.faults", self.faults.stats)
+        sim.register_stats_source(
+            "net",
+            lambda: {
+                "sent": self.sent,
+                "delivered": self.delivered,
+                "trace_hops": self.trace.recorded,
+                "trace_dropped": self.trace.dropped,
+            },
+        )
         self._endpoints: dict[str, Endpoint] = {}
         self._links: dict[tuple[str, str], LatencyModel] = {}
         #: Per-directed-link delivery horizon enforcing FIFO (TCP-like)

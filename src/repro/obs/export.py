@@ -1,0 +1,252 @@
+"""Trace exporters: Chrome trace-event JSON, JSONL spans, request autopsy.
+
+``chrome_trace`` produces the Trace Event Format dict that Perfetto /
+``chrome://tracing`` load directly — one track per process (replica,
+proxy, client, HMI), spans as complete ("X") events in microseconds.
+``autopsy`` turns one request's span tree into the phase-by-phase latency
+breakdown the paper argues with step diagrams (Figures 6/7): consecutive
+phase boundaries partition the end-to-end interval, so the phase
+durations sum to the request latency *exactly*.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.trace import Span, SpanTracer
+
+#: Simulated seconds -> trace-event microseconds.
+_US = 1_000_000.0
+
+
+def chrome_trace(spans, clock: float | None = None) -> dict:
+    """Spans as a Chrome trace-event JSON object.
+
+    ``clock`` closes still-open spans for display (defaults to the latest
+    timestamp seen). Pass ``tracer.spans`` or any span list.
+    """
+    spans = list(spans)
+    latest = 0.0
+    for span in spans:
+        latest = max(latest, span.start, span.end or 0.0)
+    if clock is None:
+        clock = latest
+    processes = sorted({span.process for span in spans})
+    pids = {process: index + 1 for index, process in enumerate(processes)}
+    events = []
+    for process, pid in pids.items():
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process or "unknown"},
+            }
+        )
+    for span in spans:
+        end = span.end if span.end is not None else clock
+        args = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent": span.parent_id,
+        }
+        args.update(span.attrs)
+        if span.end is None:
+            args["open"] = True
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.trace_id,
+                "ph": "X",
+                "ts": span.start * _US,
+                "dur": max(end - span.start, 0.0) * _US,
+                "pid": pids[span.process],
+                "tid": 0,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(data) -> list:
+    """Shape-check a Chrome trace-event object; returns a list of errors."""
+    errors = []
+    if not isinstance(data, dict):
+        return ["top level is not an object"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    try:
+        json.dumps(data)
+    except (TypeError, ValueError) as exc:
+        errors.append(f"not JSON-serializable: {exc}")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"event {index}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in ("X", "M", "B", "E", "i", "C"):
+            errors.append(f"event {index}: unknown phase {phase!r}")
+            continue
+        if not isinstance(event.get("pid"), int):
+            errors.append(f"event {index}: pid missing or not an int")
+        if phase == "X":
+            for key in ("name", "ts", "dur"):
+                if key not in event:
+                    errors.append(f"event {index}: X event missing {key!r}")
+            if not isinstance(event.get("ts"), (int, float)):
+                errors.append(f"event {index}: ts is not a number")
+            if not isinstance(event.get("dur"), (int, float)):
+                errors.append(f"event {index}: dur is not a number")
+            elif event["dur"] < 0:
+                errors.append(f"event {index}: negative dur")
+        elif phase == "M" and event.get("name") != "process_name":
+            errors.append(f"event {index}: unexpected metadata {event.get('name')!r}")
+    return errors
+
+
+def write_chrome_trace(path: str, spans, clock: float | None = None) -> dict:
+    """Write the Chrome trace-event JSON for ``spans`` to ``path``."""
+    data = chrome_trace(spans, clock=clock)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=1)
+        fh.write("\n")
+    return data
+
+
+def write_spans_jsonl(path: str, spans) -> int:
+    """One span dict per line; returns the number of lines written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for span in spans:
+            fh.write(json.dumps(span.to_dict(), sort_keys=True))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+# -- request autopsy ---------------------------------------------------------
+
+
+def _first(spans, name: str, process: str | None = None) -> Span | None:
+    for span in spans:
+        if span.name == name and (process is None or span.process == process):
+            return span
+    return None
+
+
+def autopsy(tracer: SpanTracer, trace_id: str) -> dict | None:
+    """Phase-by-phase latency breakdown of one finished request trace.
+
+    Returns ``None`` when the trace has no finished root. Phases are the
+    intervals between consecutive boundaries of the request's journey
+    (client/HMI send → leader arrival → batching wait → consensus →
+    pipeline release → execution → reply quorum → result delivery), so
+    ``sum(phase durations) == end_to_end`` to float addition exactness.
+    """
+    root = tracer.root_of(trace_id)
+    if root is None or root.end is None:
+        return None
+    spans = tracer.spans_for(trace_id)
+    request = _first(spans, "request")
+    proxy = _first(spans, "proxy.forward")
+    pending = _first(spans, "request.pending")
+    leader = pending.process if pending is not None else None
+    consensus = _first(spans, "consensus", leader)
+    wait = _first(spans, "consensus.pipeline_wait", leader)
+    execute = _first(spans, "request.execute", leader)
+    quorum = _first(spans, "request.reply_quorum")
+
+    boundaries: list[tuple[str, float | None]] = []
+    if proxy is not None and proxy is not root:
+        boundaries.append(("origin → proxy", proxy.start))
+    if request is not None and request is not root:
+        boundaries.append(("proxy handoff", request.start))
+    if pending is not None:
+        boundaries.append(("client → leader", pending.start))
+        boundaries.append(("leader batching wait", pending.end))
+    if consensus is not None:
+        boundaries.append(("consensus PROPOSE→WRITE→ACCEPT", consensus.end))
+    if wait is not None:
+        boundaries.append(("pipeline in-order wait", wait.end))
+    if execute is not None:
+        boundaries.append(("execution queue", execute.start))
+        boundaries.append(("execute", execute.end))
+    if request is not None:
+        boundaries.append(("reply + f+1 quorum", request.end))
+    if not boundaries or boundaries[-1][1] != root.end:
+        boundaries.append(("result delivery", root.end))
+
+    phases = []
+    cursor = root.start
+    for label, time in boundaries:
+        if time is None:
+            continue
+        clamped = min(max(time, cursor), root.end)
+        phases.append(
+            {
+                "phase": label,
+                "start": cursor,
+                "end": clamped,
+                "duration": clamped - cursor,
+            }
+        )
+        cursor = clamped
+    wal_points = [s for s in spans if s.name == "wal.append"]
+    return {
+        "trace_id": tracer.resolve(trace_id),
+        "root": root.name,
+        "start": root.start,
+        "end": root.end,
+        "end_to_end": root.end - root.start,
+        "leader": leader,
+        "phases": phases,
+        "spans": len(spans),
+        "processes": sorted({s.process for s in spans}),
+        "wal_appends": len(wal_points),
+        "wal_fsyncs": sum(1 for s in wal_points if s.attrs.get("fsynced")),
+    }
+
+
+def pick_trace(tracer: SpanTracer, which: str = "slowest") -> str | None:
+    """Trace id of the slowest / median finished request-bearing trace."""
+    candidates = []
+    for trace_id, root in list(tracer._roots.items()):
+        if root.end is None or root.trace_id != trace_id:
+            continue  # open, or an alias entry pointing at a shared span
+        if _first(tracer.spans_for(trace_id), "request") is None:
+            continue
+        candidates.append((root.end - root.start, trace_id))
+    if not candidates:
+        return None
+    candidates.sort()
+    if which == "slowest":
+        return candidates[-1][1]
+    if which == "median":
+        return candidates[len(candidates) // 2][1]
+    if which == "fastest":
+        return candidates[0][1]
+    raise ValueError(f"unknown pick {which!r}; use slowest/median/fastest")
+
+
+def format_autopsy(report: dict) -> str:
+    """Render an :func:`autopsy` report as the text table the CLI prints."""
+    total = report["end_to_end"]
+    lines = [
+        f"request autopsy: {report['trace_id']}  "
+        f"(root {report['root']}, leader {report['leader'] or '?'})",
+        f"  end-to-end {total * 1000:.3f} ms over {report['spans']} spans "
+        f"on {len(report['processes'])} processes; "
+        f"{report['wal_appends']} WAL appends "
+        f"({report['wal_fsyncs']} fsynced)",
+    ]
+    for phase in report["phases"]:
+        share = phase["duration"] / total if total > 0 else 0.0
+        bar = "#" * int(round(share * 30))
+        lines.append(
+            f"  {phase['phase']:<32} {phase['duration'] * 1000:9.3f} ms "
+            f"{share:6.1%}  {bar}"
+        )
+    lines.append(f"  {'total':<32} {total * 1000:9.3f} ms 100.0%")
+    return "\n".join(lines)

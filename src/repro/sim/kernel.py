@@ -24,6 +24,7 @@ import math
 from heapq import heappush
 from typing import Callable, Generator, Iterable
 
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.events import AllOf, AnyOf, Event, ScheduledCall, Timeout
 from repro.sim.process import Process
 from repro.sim.rng import RngRegistry
@@ -84,8 +85,19 @@ class Simulator:
         self._timers_cancelled = 0
         self._tombstones_skipped = 0
         self._peak_heap = 0
-        #: name -> zero-arg provider merged into :meth:`stats` output.
-        self._stats_sources: dict[str, Callable[[], dict]] = {}
+        #: The unified metrics registry (:mod:`repro.obs.metrics`) every
+        #: subsystem of this simulation registers into. The kernel's own
+        #: counters stay plain attributes on the hot path; the registry
+        #: reads them through gauges, so there is no duplicated state.
+        self.metrics = MetricsRegistry()
+        self.metrics.gauge("events_dispatched", lambda: self.dispatched)
+        self.metrics.gauge("timers_cancelled", lambda: self._timers_cancelled)
+        self.metrics.gauge("tombstones_skipped", lambda: self._tombstones_skipped)
+        self.metrics.gauge("heap_peak", lambda: self._peak_heap)
+        self.metrics.gauge("heap_pending", lambda: len(self._heap))
+        #: The installed :class:`repro.obs.trace.SpanTracer`, or ``None``
+        #: (the default — every tracing hook is then a no-op guard check).
+        self.tracer = None
 
     @property
     def now(self) -> float:
@@ -248,22 +260,20 @@ class Simulator:
         Subsystems built on the kernel (the network's fault injector, a
         chaos campaign) register a zero-arg callable returning a dict;
         ``stats()`` evaluates it lazily so providers stay cheap to attach.
-        Re-registering a name replaces the previous provider.
+        Re-registering a name replaces the previous provider. Providers
+        live in :attr:`metrics` as ``group`` entries — this method is the
+        compatibility spelling of ``sim.metrics.group(name, provider)``.
         """
-        self._stats_sources[name] = provider
+        self.metrics.group(name, provider)
 
     def stats(self) -> dict:
-        """Kernel counters for diagnostics and the wall-clock profiler."""
-        report = {
-            "events_dispatched": self.dispatched,
-            "timers_cancelled": self._timers_cancelled,
-            "tombstones_skipped": self._tombstones_skipped,
-            "heap_peak": self._peak_heap,
-            "heap_pending": len(self._heap),
-        }
-        for name, provider in self._stats_sources.items():
-            report[name] = provider()
-        return report
+        """Kernel counters for diagnostics and the wall-clock profiler.
+
+        A snapshot of :attr:`metrics`: the kernel gauges come first (same
+        keys as always), followed by every registered counter, histogram
+        and group provider in registration order.
+        """
+        return self.metrics.snapshot()
 
     def __repr__(self) -> str:
         return f"<Simulator t={self._now:.6f} pending={len(self._heap)}>"

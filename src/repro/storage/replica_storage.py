@@ -81,8 +81,9 @@ class ReplicaStorage:
 
     # -- replica-facing write path -----------------------------------------
 
-    def on_decided(self, cid: int, value: bytes, timestamp: float) -> None:
-        self.wal.append(cid, value, timestamp)
+    def on_decided(self, cid: int, value: bytes, timestamp: float) -> bool:
+        """WAL-append one decision; returns True when the append fsynced."""
+        return self.wal.append(cid, value, timestamp)
 
     def on_checkpoint(self, cid: int, snapshot_blob: bytes) -> None:
         self.checkpoints.install(cid, snapshot_blob)

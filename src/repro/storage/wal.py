@@ -47,19 +47,23 @@ class WriteAheadLog:
         self._cids: list[int] = []
         self._since_fsync = 0
 
-    def append(self, cid: int, value: bytes, timestamp: float) -> None:
+    def append(self, cid: int, value: bytes, timestamp: float) -> bool:
+        """Append one decision record; returns True when it fsynced."""
         payload = encode((cid, value, timestamp))
         self.disk.log_append(encode((payload, digest(payload))))
         self._cids.append(cid)
         if self.policy == "every-decision":
             self.disk.fsync()
             self._since_fsync = 0
-        elif self.policy == "every-n":
+            return True
+        if self.policy == "every-n":
             self._since_fsync += 1
             if self._since_fsync >= self.interval:
                 self.disk.fsync()
                 self._since_fsync = 0
+                return True
         # checkpoint-only: the checkpoint install's barrier covers us.
+        return False
 
     def truncate_through(self, cid: int) -> None:
         """Drop every record with cid ≤ ``cid`` (post-checkpoint prune)."""

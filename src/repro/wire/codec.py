@@ -366,15 +366,25 @@ class Codec:
             count, pos = _read_uvarint(data, pos)
             fields = self.registry.fields_of(cls)
             if count != len(fields):
-                raise DecodeError(
-                    f"{cls.__name__}: expected {len(fields)} fields, got {count}"
-                )
+                if count > len(fields):
+                    raise DecodeError(
+                        f"{cls.__name__}: expected {len(fields)} fields, got {count}"
+                    )
+                # Backward compatibility: a frame written before trailing
+                # default fields were added (e.g. ClientRequest.trace_id)
+                # decodes by filling the missing tail from the defaults.
+                tail = self._default_tail(cls, count)
+            else:
+                tail = None
             decode_inner = self._decode
             values = []
             append = values.append
             for _ in range(count):
                 value, pos = decode_inner(data, pos)
                 append(value)
+            if tail is not None:
+                for kind, default in tail:
+                    append(default() if kind else default)
             construct = self._constructors.get(cls)
             if construct is None:
                 construct = self._make_constructor(cls)
@@ -416,6 +426,27 @@ class Codec:
             except ValueError as exc:
                 raise DecodeError(f"invalid enum value for {cls.__name__}: {exc}")
         raise DecodeError(f"unknown tag byte {tag:#04x}")
+
+    def _default_tail(self, cls: type, count: int) -> list:
+        """Defaults for the trailing fields a short frame omitted.
+
+        Returns ``[(is_factory, default_or_factory), ...]`` for the
+        fields past ``count``; raises :class:`DecodeError` when any of
+        them has no default (the frame is then genuinely malformed).
+        """
+        fields = self.registry.fields_of(cls)
+        tail = []
+        for field in fields[count:]:
+            if field.default is not dataclasses.MISSING:
+                tail.append((False, field.default))
+            elif field.default_factory is not dataclasses.MISSING:
+                tail.append((True, field.default_factory))
+            else:
+                raise DecodeError(
+                    f"{cls.__name__}: expected {len(fields)} fields, got "
+                    f"{count}, and field {field.name!r} has no default"
+                )
+        return tail
 
     def _make_constructor(self, cls: type):
         """Build (and install) the decode-side constructor for ``cls``.

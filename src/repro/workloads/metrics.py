@@ -25,6 +25,11 @@ class ThroughputMeter:
         self._start_time = self.sim.now
 
     def close_window(self) -> None:
+        if self._start_count is None:
+            raise RuntimeError(
+                "close_window() before open_window(): open the steady-state "
+                "window after warm-up first"
+            )
         self._end_count = self._sample()
         self._end_time = self.sim.now
 
@@ -36,6 +41,8 @@ class ThroughputMeter:
 
     @property
     def duration(self) -> float:
+        if self._start_time is None or self._end_time is None:
+            raise RuntimeError("window was not opened/closed")
         return self._end_time - self._start_time
 
     @property
@@ -67,11 +74,17 @@ class LatencyRecorder:
         return sum(self.samples) / len(self.samples)
 
     def percentile(self, p: float) -> float:
-        """Linear-interpolated percentile, ``p`` in [0, 100]."""
-        if not self.samples:
-            return math.nan
+        """Linear-interpolated percentile, ``p`` in [0, 100].
+
+        Raises ``RuntimeError`` on an empty recorder — a silent ``nan``
+        here tends to propagate into reports unnoticed. (The ``p50`` /
+        ``p99`` convenience properties keep the ``nan`` convention for
+        summary tables.)
+        """
         if not 0 <= p <= 100:
             raise ValueError("percentile must be within [0, 100]")
+        if not self.samples:
+            raise RuntimeError("no latency samples recorded")
         ordered = sorted(self.samples)
         if len(ordered) == 1:
             return ordered[0]
@@ -83,11 +96,11 @@ class LatencyRecorder:
 
     @property
     def p50(self) -> float:
-        return self.percentile(50)
+        return self.percentile(50) if self.samples else math.nan
 
     @property
     def p99(self) -> float:
-        return self.percentile(99)
+        return self.percentile(99) if self.samples else math.nan
 
     def summary(self) -> dict:
         return {

@@ -93,3 +93,55 @@ def test_chaos_json_list(capsys):
     scenarios = json.loads(capsys.readouterr().out)
     names = {s["name"] for s in scenarios}
     assert {"leader-crash", "crash-restart-torn", "overbudget-falsify"} <= names
+
+
+def test_trace_command_writes_valid_chrome_trace(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "trace.json"
+    assert main(
+        ["trace", "--duration", "0.3", "--out", str(out), "--seed", "2"]
+    ) == 0
+    text = capsys.readouterr().out
+    assert "wrote" in text and "spans" in text
+    assert "request autopsy" in text
+    data = json.loads(out.read_text())
+    assert isinstance(data["traceEvents"], list) and data["traceEvents"]
+    phases = {e["ph"] for e in data["traceEvents"]}
+    assert phases <= {"X", "M"} and "X" in phases
+
+
+def test_trace_command_bft_micro_and_jsonl(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "trace.json"
+    jsonl = tmp_path / "spans.jsonl"
+    assert main(
+        [
+            "trace", "--workload", "bft-micro", "--duration", "0.2",
+            "--out", str(out), "--jsonl", str(jsonl),
+        ]
+    ) == 0
+    lines = jsonl.read_text().splitlines()
+    assert lines
+    names = {json.loads(line)["name"] for line in lines}
+    assert "consensus" in names and "request" in names
+
+
+def test_chaos_trace_dump_on_violation(tmp_path, capsys):
+    import json
+
+    dump = tmp_path / "violation.json"
+    # overbudget-falsify deliberately fails its expectation, producing
+    # invariant violations — exactly the case the dump wiring targets.
+    exit_code = main(
+        ["chaos", "overbudget-falsify", "--trace-dump", str(dump), "--json"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    (campaign,) = payload["campaigns"]
+    assert campaign["violations"]
+    # The falsifier *expects* to fail, so the verdict is as-expected.
+    assert exit_code == 0 and payload["as_expected"] is True
+    assert dump.exists()
+    data = json.loads(dump.read_text())
+    assert isinstance(data["traceEvents"], list)

@@ -1,0 +1,136 @@
+"""Unit tests for the unified metrics registry (``repro.obs.metrics``)."""
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.sim import Simulator
+
+
+def test_counter_increments_and_resets():
+    counter = Counter("hits")
+    assert counter.value == 0
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    counter.reset()
+    assert counter.value == 0
+
+
+def test_gauge_reads_live_value():
+    box = {"n": 1}
+    gauge = Gauge("depth", lambda: box["n"])
+    assert gauge.read() == 1
+    box["n"] = 7
+    assert gauge.read() == 7
+
+
+def test_histogram_observe_and_quantile():
+    hist = Histogram("latency", buckets=(0.001, 0.01, 0.1))
+    for value in (0.0005, 0.002, 0.003, 0.05, 0.5):
+        hist.observe(value)
+    summary = hist.summary()
+    assert summary["count"] == 5
+    assert summary["buckets"][0.001] == 1
+    assert summary["buckets"][0.01] == 2
+    assert summary["buckets"][0.1] == 1
+    assert summary["buckets"]["+inf"] == 1
+    assert summary["min"] == 0.0005 and summary["max"] == 0.5
+    # Quantiles report the bucket upper bound the rank falls into; the
+    # +inf bucket reports the observed max.
+    assert hist.quantile(0.0) == 0.001
+    assert hist.quantile(0.5) == 0.01
+    assert hist.quantile(1.0) == 0.5
+
+
+def test_histogram_empty_quantile_is_nan():
+    import math
+
+    hist = Histogram("empty")
+    assert math.isnan(hist.quantile(0.5))
+
+
+def test_registry_counter_get_or_create():
+    registry = MetricsRegistry()
+    a = registry.counter("requests")
+    b = registry.counter("requests")
+    assert a is b
+    a.inc()
+    assert registry.value_of("requests") == 1
+
+
+def test_registry_snapshot_shapes():
+    registry = MetricsRegistry()
+    registry.counter("c").inc(3)
+    registry.gauge("g", lambda: 12)
+    registry.histogram("h").observe(0.002)
+    registry.group("grp", lambda: {"x": 1})
+    snap = registry.snapshot()
+    assert snap["c"] == 3
+    assert snap["g"] == 12
+    assert snap["h"]["count"] == 1
+    assert snap["grp"] == {"x": 1}
+
+
+def test_registry_rejects_cross_kind_name_conflict():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ValueError):
+        registry.gauge("x", lambda: 0)
+    with pytest.raises(ValueError):
+        registry.histogram("x")
+
+
+def test_registry_reset_clears_counters_and_histograms():
+    registry = MetricsRegistry()
+    registry.counter("c").inc(9)
+    registry.histogram("h").observe(1.0)
+    registry.reset()
+    assert registry.value_of("c") == 0
+    assert registry.snapshot()["h"]["count"] == 0
+
+
+def test_registry_contains_and_names():
+    registry = MetricsRegistry()
+    registry.counter("first")
+    registry.gauge("second", lambda: 0)
+    assert "first" in registry and "second" in registry
+    assert registry.names() == ["first", "second"]
+
+
+# -- kernel integration ------------------------------------------------------
+
+
+def test_simulator_stats_backed_by_registry():
+    sim = Simulator(seed=1)
+    sim.call_later(0.1, lambda: None)
+    sim.run()
+    stats = sim.stats()
+    assert stats["events_dispatched"] == sim.dispatched == 1
+    # The registry reads the kernel's own attributes — no duplicated state.
+    assert sim.metrics.snapshot()["events_dispatched"] == sim.dispatched
+
+
+def test_register_stats_source_is_a_registry_group():
+    sim = Simulator()
+    sim.register_stats_source("custom", lambda: {"a": 1})
+    assert sim.stats()["custom"] == {"a": 1}
+    # Re-registering replaces the provider (documented contract).
+    sim.register_stats_source("custom", lambda: {"a": 2})
+    assert sim.stats()["custom"] == {"a": 2}
+
+
+def test_network_hop_counter_registered(monkeypatch=None):
+    from repro.net import ConstantLatency, Network
+    from repro.net.trace import NetworkTrace
+
+    sim = Simulator(seed=2)
+    net = Network(
+        sim, latency=ConstantLatency(0.001), trace=NetworkTrace(enabled=True)
+    )
+    a = net.endpoint("a")
+    net.endpoint("b").set_handler(lambda payload, src: None)
+    a.send("b", "hello")
+    sim.run()
+    assert sim.metrics.value_of("net.trace.hops") == 1
+    assert sim.stats()["net"]["trace_hops"] == 1
+    assert sim.stats()["net"]["delivered"] == 1

@@ -1,0 +1,292 @@
+"""Tests for span tracing (``repro.obs``): unit, end-to-end, exporters."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    autopsy,
+    chrome_trace,
+    format_autopsy,
+    pick_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.obs.trace import SpanTracer, install_tracer, request_trace_id
+from repro.sim import Simulator
+
+
+# -- tracer unit behaviour ---------------------------------------------------
+
+
+def test_begin_end_records_interval():
+    sim = Simulator()
+    tracer = install_tracer(sim)
+    span = tracer.begin("work", "t1", process="p")
+    sim.call_later(0.5, lambda: tracer.end(span, note="done"))
+    sim.run()
+    assert span.start == 0.0
+    assert span.end == 0.5
+    assert span.duration == 0.5
+    assert span.attrs["note"] == "done"
+
+
+def test_first_span_becomes_root_and_parentless_attach_under_it():
+    sim = Simulator()
+    tracer = SpanTracer(sim)
+    root = tracer.begin("request", "t1", process="client")
+    child = tracer.begin("consensus", "t1", process="replica-0")
+    explicit = tracer.begin("sub", "t1", parent=child, process="replica-0")
+    assert tracer.root_of("t1") is root
+    assert child.parent_id == root.span_id
+    assert explicit.parent_id == child.span_id
+
+
+def test_alias_merges_trees():
+    sim = Simulator()
+    tracer = SpanTracer(sim)
+    hmi = tracer.begin("hmi.write", "op:42", process="hmi")
+    tracer.alias("req:c:1", "op:42")
+    bft = tracer.begin("request", "req:c:1", process="client")
+    assert bft.trace_id == "op:42"
+    assert bft.parent_id == hmi.span_id
+    assert tracer.spans_for("req:c:1") == tracer.spans_for("op:42")
+
+
+def test_max_spans_cap_counts_dropped():
+    sim = Simulator()
+    tracer = SpanTracer(sim, max_spans=2)
+    tracer.begin("a", "t1")
+    tracer.begin("b", "t1")
+    detached = tracer.begin("c", "t1")
+    tracer.end(detached)  # harmless on a dropped span
+    assert len(tracer.spans) == 2
+    assert tracer.dropped == 1
+
+
+def test_point_is_zero_duration():
+    sim = Simulator()
+    tracer = SpanTracer(sim)
+    span = tracer.point("wal.append", "t1", process="r0", fsynced=True)
+    assert span.end == span.start
+    assert span.attrs["fsynced"] is True
+
+
+def test_window_selects_overlapping_spans():
+    sim = Simulator()
+    tracer = SpanTracer(sim)
+    early = tracer.begin("early", "t1")
+    tracer.end(early)
+
+    def later():
+        yield sim.timeout(5.0)
+        span = tracer.begin("late", "t2")
+        yield sim.timeout(1.0)
+        tracer.end(span)
+
+    sim.run_process(later())
+    assert [s.name for s in tracer.window(4.0, 7.0)] == ["late"]
+    assert [s.name for s in tracer.window(0.0, 0.1)] == ["early"]
+
+
+def test_request_trace_id_prefers_wire_field():
+    from repro.bftsmart.messages import ClientRequest
+
+    derived = ClientRequest(
+        client_id="c", sequence=3, operation=b"", reply_to="c"
+    )
+    stamped = ClientRequest(
+        client_id="c", sequence=3, operation=b"", reply_to="c", trace_id="op:9"
+    )
+    assert request_trace_id(derived) == "req:c:3"
+    assert request_trace_id(stamped) == "op:9"
+
+
+def test_clear_keeps_aliases():
+    sim = Simulator()
+    tracer = SpanTracer(sim)
+    tracer.alias("a", "b")
+    tracer.begin("x", "a")
+    tracer.clear()
+    assert len(tracer.spans) == 0
+    assert tracer.resolve("a") == "b"
+
+
+# -- exporters ---------------------------------------------------------------
+
+
+def _sample_tracer():
+    sim = Simulator()
+    tracer = SpanTracer(sim)
+    root = tracer.begin("request", "t1", process="client")
+
+    def flow():
+        yield sim.timeout(0.001)
+        inner = tracer.begin("consensus", "t1", process="replica-0")
+        yield sim.timeout(0.002)
+        tracer.end(inner)
+        tracer.end(root)
+
+    sim.run_process(flow())
+    tracer.begin("open", "t2", process="client")  # deliberately unfinished
+    return tracer
+
+
+def test_chrome_trace_valid_and_loadable(tmp_path):
+    tracer = _sample_tracer()
+    path = tmp_path / "trace.json"
+    data = write_chrome_trace(str(path), tracer.spans)
+    assert validate_chrome_trace(data) == []
+    loaded = json.loads(path.read_text())
+    events = loaded["traceEvents"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    complete = [e for e in events if e["ph"] == "X"]
+    assert {m["args"]["name"] for m in metadata} == {"client", "replica-0"}
+    assert len(complete) == 3
+    consensus = next(e for e in complete if e["name"] == "consensus")
+    assert consensus["ts"] == pytest.approx(1000.0)  # µs
+    assert consensus["dur"] == pytest.approx(2000.0)
+    still_open = next(e for e in complete if e["name"] == "open")
+    assert still_open["args"]["open"] is True
+
+
+def test_validate_chrome_trace_flags_bad_shapes():
+    assert validate_chrome_trace([]) == ["top level is not an object"]
+    assert validate_chrome_trace({}) == ["traceEvents is missing or not a list"]
+    errors = validate_chrome_trace(
+        {"traceEvents": [{"ph": "X", "pid": 1, "name": "a", "ts": 0, "dur": -1}]}
+    )
+    assert any("negative dur" in e for e in errors)
+
+
+def test_spans_jsonl_roundtrip(tmp_path):
+    tracer = _sample_tracer()
+    path = tmp_path / "spans.jsonl"
+    count = write_spans_jsonl(str(path), tracer.spans)
+    lines = path.read_text().splitlines()
+    assert count == len(lines) == len(tracer.spans)
+    first = json.loads(lines[0])
+    assert first["name"] == "request" and first["trace_id"] == "t1"
+
+
+# -- end-to-end: one traced SMaRt-SCADA write --------------------------------
+
+
+@pytest.fixture(scope="module")
+def traced_write():
+    from repro.core import build_smartscada, make_network
+    from repro.core.config import SmartScadaConfig
+
+    sim = Simulator(seed=11)
+    tracer = install_tracer(sim)
+    net = make_network(sim)
+    system = build_smartscada(
+        sim, net=net, config=SmartScadaConfig(durability=True)
+    )
+    system.frontend.add_item("plant.valve", initial=0, writable=True)
+    system.start()
+    tracer.clear()
+
+    def op():
+        result = yield system.hmi.write("plant.valve", 1)
+        return result
+
+    result = sim.run_process(op(), until=sim.now + 10)
+    return sim, tracer, result
+
+
+def test_write_produces_causally_linked_span_tree(traced_write):
+    sim, tracer, result = traced_write
+    assert result.success
+
+    roots = tracer.finished_roots("hmi.write")
+    assert len(roots) == 1
+    root = roots[0]
+    trace_id = root.trace_id
+    assert trace_id.startswith("op:")
+
+    spans = tracer.spans_for(trace_id)
+    by_name = {}
+    for span in spans:
+        by_name.setdefault(span.name, []).append(span)
+
+    # The full journey: HMI -> proxy -> BFT client -> replicas -> quorum.
+    for name in (
+        "hmi.write",
+        "proxy.forward",
+        "request",
+        "request.pending",
+        "consensus",
+        "consensus.write",
+        "consensus.accept",
+        "wal.append",
+        "request.execute",
+        "request.reply_quorum",
+    ):
+        assert name in by_name, f"missing span {name!r} in trace"
+
+    n = 4
+    assert len(by_name["consensus"]) == n  # every replica ran the instance
+    assert len(by_name["wal.append"]) == n
+    assert all(s.attrs["fsynced"] for s in by_name["wal.append"])
+    assert len(by_name["request.execute"]) == n
+
+    # Causal links: every span chains up to the root.
+    ids = {span.span_id: span for span in spans}
+    for span in spans:
+        hops = 0
+        cursor = span
+        while cursor.parent_id is not None and hops < 20:
+            cursor = ids[cursor.parent_id]
+            hops += 1
+        assert cursor is root
+
+    # Key parent/child edges of the tree.
+    (request,) = by_name["request"]
+    (proxy,) = by_name["proxy.forward"]
+    assert proxy.parent_id == root.span_id
+    assert request.parent_id == proxy.span_id
+    (quorum,) = by_name["request.reply_quorum"]
+    assert quorum.parent_id == request.span_id
+    for consensus in by_name["consensus"]:
+        writes = [
+            s for s in by_name["consensus.write"]
+            if s.parent_id == consensus.span_id
+        ]
+        assert len(writes) == 1
+
+    # Every span closed, in causally consistent order.
+    for span in spans:
+        assert span.end is not None
+        assert span.end >= span.start
+    assert root.end == max(s.end for s in spans)
+
+
+def test_autopsy_phases_sum_to_end_to_end(traced_write):
+    sim, tracer, _result = traced_write
+    trace_id = pick_trace(tracer, "slowest")
+    assert trace_id is not None
+    report = autopsy(tracer, trace_id)
+    assert report is not None
+    total = sum(phase["duration"] for phase in report["phases"])
+    assert total == pytest.approx(report["end_to_end"], abs=1e-12)
+    assert report["end_to_end"] > 0
+    assert report["leader"] is not None
+    labels = [phase["phase"] for phase in report["phases"]]
+    assert "consensus PROPOSE→WRITE→ACCEPT" in labels
+    assert "reply + f+1 quorum" in labels
+    text = format_autopsy(report)
+    assert "request autopsy" in text and "100.0%" in text
+
+
+def test_e2e_chrome_export_is_valid(traced_write):
+    _sim, tracer, _result = traced_write
+    data = chrome_trace(tracer.spans)
+    assert validate_chrome_trace(data) == []
+    processes = {
+        e["args"]["name"] for e in data["traceEvents"] if e["ph"] == "M"
+    }
+    # HMI, HMI-side proxy client, and all four replicas have tracks.
+    assert any(p.startswith("replica-") for p in processes)
+    assert any("hmi" in p for p in processes)

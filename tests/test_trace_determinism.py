@@ -1,0 +1,91 @@
+"""Tracing must be behaviour-invisible.
+
+Installing a tracer adds observation, never scheduling: the span hooks
+read simulated time and touch tracer-private state only, and the wire
+``trace_id`` field is always encoded (as ``""`` when unstamped) so frame
+sizes — and therefore size-dependent network latency — are identical
+with tracing on or off. A seeded run with a tracer installed must
+dispatch the exact same event stream as the same run without one. The
+CI determinism job runs this guard.
+"""
+
+from repro.bftsmart import CounterService, GroupConfig, build_group, build_proxy
+from repro.crypto import KeyStore
+from repro.net import LanLatency, Network
+from repro.obs.trace import install_tracer
+from repro.sim import Simulator
+from repro.wire import decode, encode
+
+CLIENTS = 2
+REQUESTS_EACH = 25
+
+
+def run_seeded(traced: bool, seed: int = 7):
+    sim = Simulator(seed=seed)
+    tracer = install_tracer(sim) if traced else None
+    # LanLatency is size-dependent: if tracing changed a single frame's
+    # length, delivery times — and the whole schedule — would diverge.
+    net = Network(sim, latency=LanLatency(rng=sim.rng.stream("net")))
+    keystore = KeyStore()
+    config = GroupConfig(n=4, f=1, batch_max=8, batch_wait=0.0005)
+    replicas = build_group(sim, net, config, CounterService, keystore)
+    events = []
+
+    def sender(proxy):
+        for _ in range(REQUESTS_EACH):
+            events.append(proxy.invoke_ordered(encode(("add", 1))))
+            yield sim.timeout(0.002)
+
+    for i in range(CLIENTS):
+        proxy = build_proxy(
+            sim, net, f"client-{i}", config, keystore, invoke_timeout=30.0
+        )
+        sim.process(sender(proxy))
+    sim.run(until=sim.now + 10)
+    assert all(event.ok for event in events)
+    return sim, tracer, replicas
+
+
+def decided_stream(replica):
+    stream = []
+    for _cid, value, _timestamp in replica.decision_log:
+        if value == b"":
+            continue
+        for request in decode(value).requests:
+            stream.append((request.client_id, request.sequence))
+    return stream
+
+
+def test_tracing_on_and_off_dispatch_identical_schedules():
+    sim_off, _none, replicas_off = run_seeded(traced=False)
+    sim_on, tracer, replicas_on = run_seeded(traced=True)
+
+    # Same executed request stream on every replica, across both runs.
+    streams_off = [decided_stream(r) for r in replicas_off]
+    streams_on = [decided_stream(r) for r in replicas_on]
+    assert all(s == streams_off[0] for s in streams_off)
+    assert streams_on == streams_off
+    assert len(streams_off[0]) == CLIENTS * REQUESTS_EACH
+
+    # Same schedule, event for event, ending at the same instant.
+    assert sim_on.dispatched == sim_off.dispatched
+    assert sim_on.now == sim_off.now
+    assert [r.service.value for r in replicas_on] == [
+        r.service.value for r in replicas_off
+    ]
+
+    # And the traced run actually observed the workload.
+    assert tracer is not None
+    assert len(tracer.spans) > 0
+    assert any(s.name == "consensus" for s in tracer.spans)
+
+
+def test_disabled_tracer_is_inert():
+    sim, tracer, _replicas = run_seeded(traced=True, seed=9)
+    before = len(tracer.spans)
+    tracer.enabled = False
+    span = None
+    if sim.tracer is not None and sim.tracer.enabled:  # the hook guard
+        span = sim.tracer.begin("x", "t")
+    assert span is None
+    assert len(tracer.spans) == before

@@ -171,3 +171,88 @@ def test_deeply_nested_roundtrip():
     for _ in range(50):
         value = [value]
     assert codec.decode(codec.encode(value)) == value
+
+
+# -- default-tail backward compatibility -------------------------------------
+#
+# A schema may grow by appending fields with defaults (e.g. ClientRequest
+# gained ``trace_id``); old frames encoded before the addition must still
+# decode, with the defaults filled in.
+
+
+def test_trace_id_roundtrip_on_client_request():
+    from repro.bftsmart.messages import ClientRequest
+
+    plain = ClientRequest(
+        client_id="c1", sequence=7, operation=b"op", reply_to="c1"
+    )
+    stamped = ClientRequest(
+        client_id="c1", sequence=7, operation=b"op", reply_to="c1",
+        trace_id="op:31",
+    )
+    from repro.wire import decode, encode
+
+    assert decode(encode(plain)) == plain
+    assert decode(encode(stamped)) == stamped
+    assert decode(encode(plain)).trace_id == ""
+
+
+def test_old_frame_decodes_with_default_tail():
+    # Simulate a schema upgrade: V1 lacks the trailing defaulted field.
+    old_reg = TypeRegistry()
+    old_codec = Codec(old_reg)
+
+    @old_reg.register(950)
+    @dataclass(frozen=True)
+    class Record:  # noqa: F811 — the name is the wire identity
+        a: int
+        b: str
+
+    OldRecord = old_reg.type_of(950)
+
+    new_reg = TypeRegistry()
+    new_codec = Codec(new_reg)
+
+    @new_reg.register(950)
+    @dataclass(frozen=True)
+    class Record:  # noqa: F811
+        a: int
+        b: str
+        tag: str = "unset"
+
+    decoded = new_codec.decode(old_codec.encode(OldRecord(a=1, b="x")))
+    assert decoded == Record(a=1, b="x", tag="unset")
+
+
+def test_old_frame_without_default_for_missing_field_rejected():
+    old_reg = TypeRegistry()
+    old_codec = Codec(old_reg)
+
+    @old_reg.register(951)
+    @dataclass(frozen=True)
+    class Pair:  # noqa: F811
+        a: int
+
+    OldPair = old_reg.type_of(951)
+
+    new_reg = TypeRegistry()
+    new_codec = Codec(new_reg)
+
+    @new_reg.register(951)
+    @dataclass(frozen=True)
+    class Pair:  # noqa: F811
+        a: int
+        b: int  # no default: an old frame cannot satisfy it
+
+    frame = old_codec.encode(OldPair(a=5))
+    with pytest.raises(DecodeError):
+        new_codec.decode(frame)
+
+
+def test_excess_field_count_still_rejected():
+    # Growing is only allowed via trailing defaults; a frame claiming MORE
+    # fields than the local schema has is still malformed.
+    data = bytearray(codec.encode(Point(1, 2)))
+    data[3] = 5
+    with pytest.raises(DecodeError):
+        codec.decode(bytes(data))

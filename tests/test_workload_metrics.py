@@ -1,0 +1,142 @@
+"""Error-path and interpolation tests for the workload measurement helpers."""
+
+import math
+
+import pytest
+
+from repro.sim import Simulator
+from repro.workloads.metrics import LatencyRecorder, ThroughputMeter
+
+
+# -- ThroughputMeter error paths ---------------------------------------------
+
+
+def _meter(counter=lambda: 0):
+    return ThroughputMeter(Simulator(), counter)
+
+
+def test_close_before_open_raises():
+    meter = _meter()
+    with pytest.raises(RuntimeError, match="close_window\\(\\) before open_window"):
+        meter.close_window()
+
+
+def test_count_before_any_window_raises():
+    meter = _meter()
+    with pytest.raises(RuntimeError, match="not opened/closed"):
+        meter.count
+
+
+def test_duration_before_any_window_raises():
+    meter = _meter()
+    with pytest.raises(RuntimeError, match="not opened/closed"):
+        meter.duration
+
+
+def test_count_after_open_but_before_close_raises():
+    meter = _meter()
+    meter.open_window()
+    with pytest.raises(RuntimeError):
+        meter.count
+
+
+def test_meter_rate_over_window():
+    box = {"n": 0}
+    sim = Simulator()
+    meter = ThroughputMeter(sim, lambda: box["n"])
+
+    def drive():
+        meter.open_window()
+        yield sim.timeout(2.0)
+        box["n"] = 50
+        meter.close_window()
+
+    sim.run_process(drive())
+    assert meter.count == 50
+    assert meter.duration == 2.0
+    assert meter.rate == 25.0
+
+
+def test_meter_zero_duration_rate_is_zero():
+    meter = _meter()
+    meter.open_window()
+    meter.close_window()
+    assert meter.rate == 0.0
+
+
+# -- LatencyRecorder error paths ---------------------------------------------
+
+
+def test_percentile_on_empty_recorder_raises():
+    recorder = LatencyRecorder()
+    with pytest.raises(RuntimeError, match="no latency samples"):
+        recorder.percentile(50)
+
+
+def test_percentile_bounds_checked_before_emptiness():
+    # The argument check fires even on an empty recorder.
+    recorder = LatencyRecorder()
+    with pytest.raises(ValueError, match="within \\[0, 100\\]"):
+        recorder.percentile(-1)
+
+
+def test_p50_stays_nan_on_empty_recorder():
+    recorder = LatencyRecorder()
+    assert math.isnan(recorder.p50)
+    assert math.isnan(recorder.p99)
+    assert math.isnan(recorder.mean)
+
+
+def test_negative_latency_rejected():
+    recorder = LatencyRecorder()
+    with pytest.raises(ValueError):
+        recorder.record(-0.001)
+    assert len(recorder) == 0
+
+
+# -- percentile interpolation ------------------------------------------------
+
+
+def test_percentile_linear_interpolation():
+    recorder = LatencyRecorder()
+    for value in (1.0, 2.0, 3.0, 4.0):
+        recorder.record(value)
+    # rank = p/100 * (n-1); p50 over 4 samples sits halfway between 2 and 3.
+    assert recorder.percentile(0) == 1.0
+    assert recorder.percentile(50) == pytest.approx(2.5)
+    assert recorder.percentile(25) == pytest.approx(1.75)
+    assert recorder.percentile(100) == 4.0
+
+
+def test_percentile_unsorted_input_is_sorted_first():
+    recorder = LatencyRecorder()
+    for value in (4.0, 1.0, 3.0, 2.0):
+        recorder.record(value)
+    assert recorder.percentile(50) == pytest.approx(2.5)
+
+
+def test_percentile_single_sample_is_constant():
+    recorder = LatencyRecorder()
+    recorder.record(0.125)
+    for p in (0, 33, 50, 99, 100):
+        assert recorder.percentile(p) == 0.125
+
+
+def test_p99_interpolates_near_max():
+    recorder = LatencyRecorder()
+    for value in range(1, 101):  # 1..100
+        recorder.record(float(value))
+    # rank = 0.99 * 99 = 98.01 -> between samples 99 and 100.
+    assert recorder.percentile(99) == pytest.approx(99.01)
+    assert recorder.p99 == pytest.approx(99.01)
+
+
+def test_summary_shape():
+    recorder = LatencyRecorder()
+    recorder.record(0.010)
+    recorder.record(0.020)
+    summary = recorder.summary()
+    assert summary["count"] == 2
+    assert summary["mean"] == pytest.approx(0.015)
+    assert summary["p50"] == pytest.approx(0.015)
+    assert summary["max"] == 0.020
