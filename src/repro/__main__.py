@@ -114,10 +114,68 @@ def cmd_demo(args) -> int:
     return 0 if identical else 1
 
 
+def _perf_kernel_bench(args) -> int:
+    from repro.workloads.kernelbench import run_kernel_report, write_kernel_report
+
+    print("kernel benchmark: heap vs ring on identical seeded workloads...")
+    report = run_kernel_report()
+    churn = report["churn_microbench"]
+    rows = []
+    for name in ("heap", "ring"):
+        entry = churn[name]
+        rows.append(
+            [
+                name,
+                f"{entry['events_per_s']:,.0f}",
+                f"{entry['wall_s']:.2f}",
+                entry["dispatched"],
+                entry["cancelled"],
+                entry["tombstones_skipped"],
+                entry["slots_freed"] if entry["slots_freed"] is not None else "-",
+            ]
+        )
+    _print_table(
+        f"churn microbenchmark — ring is {churn['speedup']:.2f}x the heap kernel",
+        ["kernel", "events/s", "wall s", "dispatched", "cancelled",
+         "tombstones", "slots recycled"],
+        rows,
+    )
+    allocs = report.get("allocations")
+    if allocs:
+        _print_table(
+            "allocations during churn (tracemalloc, separate short run)",
+            ["kernel", "ops", "net bytes", "peak bytes", "net bytes/op"],
+            [
+                [
+                    name,
+                    entry["ops"],
+                    entry["net_bytes"],
+                    entry["peak_bytes"],
+                    f"{entry['net_bytes_per_op']:.1f}",
+                ]
+                for name, entry in sorted(allocs.items())
+            ],
+        )
+    e2e = report.get("bft_micro_wall")
+    if e2e:
+        _print_table(
+            f"bft-micro end-to-end wall — ring is {e2e['speedup']:.2f}x",
+            ["kernel", "wall s", "dispatched"],
+            [
+                [name, f"{e2e[name]['wall_s']:.2f}", e2e[name]["dispatched"]]
+                for name in ("heap", "ring")
+            ],
+        )
+    path = write_kernel_report(report, args.output)
+    print(f"\nwrote kernel section of {path}")
+    return 0
+
+
 def cmd_perf(args) -> int:
     import json
     import os
 
+    from repro.perf import PERF
     from repro.workloads.profiler import (
         REPORT_FILE,
         profile_hot_paths,
@@ -125,6 +183,10 @@ def cmd_perf(args) -> int:
         write_report,
     )
 
+    if args.kernel:
+        PERF.kernel = args.kernel
+    if args.mode == "kernel-bench":
+        return _perf_kernel_bench(args)
     path = args.output or REPORT_FILE
     if os.path.exists(path) and not args.rerun:
         with open(path, encoding="utf-8") as fh:
@@ -469,10 +531,18 @@ def main(argv=None) -> int:
     perf = subparsers.add_parser(
         "perf", help="print (or regenerate) the BENCH_PERF.json summary"
     )
+    perf.add_argument(
+        "mode", nargs="?", choices=["report", "kernel-bench"], default="report",
+        help="'report' prints the hot-path pass; 'kernel-bench' measures "
+             "the heap vs ring event kernels side by side",
+    )
     perf.add_argument("--output", default=None,
                       help="report file (default BENCH_PERF.json)")
     perf.add_argument("--rerun", action="store_true",
                       help="remeasure even if the report file exists")
+    perf.add_argument("--kernel", choices=["heap", "ring"], default=None,
+                      help="event kernel for the profiled runs "
+                           "(default: REPRO_KERNEL or heap)")
     perf.set_defaults(func=cmd_perf)
 
     chaos = subparsers.add_parser(

@@ -242,7 +242,7 @@ class ServiceProxy:
         self._pending[sequence] = invocation
         self.stats["invocations"] += 1
         self._transmit(request)
-        invocation.timer = self.sim.call_later(
+        invocation.timer = self.sim.timer(
             self._retransmission_delay(invocation.attempts), self._retransmit, sequence
         )
         return event
@@ -309,7 +309,7 @@ class ServiceProxy:
         # original targets may be stale (leader change, reconfiguration):
         # broadcast to every replica this proxy has ever known.
         self._transmit(invocation.request, broadcast=True)
-        invocation.timer = self.sim.call_later(
+        invocation.timer = self.sim.timer(
             self._retransmission_delay(invocation.attempts), self._retransmit, sequence
         )
 
@@ -354,8 +354,7 @@ class ServiceProxy:
         votes[reply.replica] = reply.result
         if len(votes) >= invocation.quorum:
             self._pending.pop(reply.sequence, None)
-            if invocation.timer is not None:
-                invocation.timer.cancel()
+            self.sim.cancel_timer(invocation.timer)
             self._close_spans(invocation, voters=len(votes))
             if self.on_result is not None:
                 self.on_result(reply.sequence, reply.result, frozenset(votes))
@@ -376,8 +375,7 @@ class ServiceProxy:
             }
             if largest + (self.view.n - len(repliers)) < invocation.quorum:
                 self._pending.pop(reply.sequence, None)
-                if invocation.timer is not None:
-                    invocation.timer.cancel()
+                self.sim.cancel_timer(invocation.timer)
                 self.stats["read_divergences"] += 1
                 self._close_spans(invocation, error="quorum_divergence")
                 invocation.event.fail(

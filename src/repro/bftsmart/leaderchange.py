@@ -168,7 +168,7 @@ class Synchronizer:
         else:
             replica.channel.send(new_leader, stop_data)
         # Escalate if this synchronization stalls.
-        replica.sim.call_later(
+        replica.sim.defer(
             replica.config.sync_timeout, self._escalate_if_stalled, target
         )
 

@@ -383,7 +383,7 @@ class ServiceReplica:
                 self._propose_batch()
                 continue
             self._batch_timer_armed = True
-            self.sim.call_later(self.config.batch_wait, self._batch_timer_fired)
+            self.sim.defer(self.config.batch_wait, self._batch_timer_fired)
             return
 
     def _batch_timer_fired(self) -> None:
@@ -1004,7 +1004,10 @@ class ServiceReplica:
 
     def _apply_reconfiguration(self, operation: bytes) -> bytes:
         try:
-            reconfig = decode(operation[len(RECONFIG_MARKER):])
+            # Decode through a memoryview window past the marker — the
+            # codec reads buffers directly, so the operation tail is
+            # never copied into an intermediate bytes object.
+            reconfig = decode(memoryview(operation)[len(RECONFIG_MARKER):])
         except DecodeError:
             return encode(("error", "malformed reconfiguration"))
         if not isinstance(reconfig, ReconfigRequest):

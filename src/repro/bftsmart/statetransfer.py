@@ -335,7 +335,7 @@ class StateTransfer:
         if self._retry_scheduled:
             return
         self._retry_scheduled = True
-        self.replica.sim.call_later(self.retry_interval, self._retry)
+        self.replica.sim.defer(self.retry_interval, self._retry)
 
     def _retry(self) -> None:
         self._retry_scheduled = False

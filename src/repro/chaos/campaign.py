@@ -353,9 +353,9 @@ def run_campaign(
 
     # -- schedule the faults (action times are absolute sim times) ------
     for action in schedule:
-        sim.call_later(max(action.at - sim.now, 0.0), action.apply, ctx)
+        sim.defer(max(action.at - sim.now, 0.0), action.apply, ctx)
         end = max(action.end(config.horizon), action.at)
-        sim.call_later(max(end - sim.now, 0.0), action.revert, ctx)
+        sim.defer(max(end - sim.now, 0.0), action.revert, ctx)
 
     # -- background traffic --------------------------------------------
     counters = {"updates": 0}

@@ -65,7 +65,7 @@ class LogicalTimeoutManager:
             return
         self._armed[master_op] = item_id
         self.stats["armed"] += 1
-        self.sim.call_later(self.timeout, self._expire, master_op)
+        self.sim.defer(self.timeout, self._expire, master_op)
 
     def disarm(self, master_op: str) -> None:
         """The WriteResult arrived through the total order: cancel."""

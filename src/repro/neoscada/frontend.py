@@ -263,7 +263,7 @@ class Frontend:
             self._write_failed(message, "RTU did not answer")
 
         self.modbus.write(rtu, register, message.value, on_reply)
-        self.sim.call_later(self.write_timeout, on_timeout)
+        self.sim.defer(self.write_timeout, on_timeout)
 
     def _write_via_iec104(self, message: WriteValue, mapping: tuple) -> None:
         rtu, ioa = mapping
@@ -296,7 +296,7 @@ class Frontend:
             self._write_failed(message, "substation did not confirm the command")
 
         self.iec104.command(rtu, ioa, message.value, on_confirm)
-        self.sim.call_later(self.write_timeout, on_timeout)
+        self.sim.defer(self.write_timeout, on_timeout)
 
     def _write_failed(self, message: WriteValue, reason: str) -> None:
         self.stats["write_failures"] += 1

@@ -465,7 +465,7 @@ class ScadaMaster:
             ),
         )
         if self.write_timeout is not None and self.workers > 0:
-            self.sim.call_later(self.write_timeout, self._local_write_timeout, master_op)
+            self.sim.defer(self.write_timeout, self._local_write_timeout, master_op)
         return ExecutionOutcome(
             kind="write",
             events=events,

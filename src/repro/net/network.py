@@ -140,7 +140,7 @@ class Network:
             if deliver_at < previous:
                 deliver_at = previous
             self._link_clock[link] = deliver_at
-            sim.call_later(deliver_at - now, self._deliver_fast, target, payload, src)
+            sim.defer(deliver_at - now, self._deliver_fast, target, payload, src)
             return
         if kind is None:
             kind = type(payload).__name__
@@ -162,7 +162,7 @@ class Network:
             deliver_at = max(deliver_at, self._link_clock.get(link, 0.0))
             self._link_clock[link] = deliver_at
             deliver_at += delivery.extra_delay
-            self.sim.call_later(
+            self.sim.defer(
                 deliver_at - self.sim.now,
                 self._deliver,
                 target,

@@ -15,6 +15,7 @@ report how effective every cache was during a measured run.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 
 
@@ -58,6 +59,8 @@ class PerfSwitches:
         "decode_share",
         "signing_cache",
         "fast_delivery",
+        "codec_scratch",
+        "kernel",
         "stats",
     )
 
@@ -71,6 +74,17 @@ class PerfSwitches:
         self.decode_share = True
         self.signing_cache = True
         self.fast_delivery = True
+        self.codec_scratch = True
+        #: Which event-kernel implementation ``Simulator(...)`` builds:
+        #: ``"heap"`` (the reference binary-heap kernel) or ``"ring"``
+        #: (the flat-array timer-wheel kernel, ``repro.sim.fastkernel``).
+        #: Seeded from ``REPRO_KERNEL`` so a whole test run can be
+        #: switched from the environment (the CI kernel-parity job).
+        #: Deliberately *not* part of ``set_all``/``enabled_map``: it
+        #: selects an implementation, it is not an on/off cache, and the
+        #: baseline-vs-optimised profiler toggling must not swap kernels
+        #: mid-comparison.
+        self.kernel = os.environ.get("REPRO_KERNEL", "heap")
         self.stats: dict[str, CacheStats] = {
             "codec_encode": CacheStats(),
             "digest": CacheStats(),
@@ -89,6 +103,7 @@ class PerfSwitches:
         self.decode_share = enabled
         self.signing_cache = enabled
         self.fast_delivery = enabled
+        self.codec_scratch = enabled
 
     def enabled_map(self) -> dict:
         return {
@@ -101,6 +116,7 @@ class PerfSwitches:
             "decode_share": self.decode_share,
             "signing_cache": self.signing_cache,
             "fast_delivery": self.fast_delivery,
+            "codec_scratch": self.codec_scratch,
         }
 
     def reset_stats(self) -> None:

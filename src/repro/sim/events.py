@@ -112,12 +112,30 @@ class Event:
 
         If the event was already processed the callback is scheduled to run
         at the current simulated time (never synchronously), keeping
-        callback ordering deterministic.
+        callback ordering deterministic. Attaching late to a *failed*
+        event follows the same contract as :meth:`_dispatch`: after the
+        callback observes the failure, the exception surfaces unless the
+        event has been defused (the callback may defuse it).
         """
         if self.callbacks is None:
-            self.sim.call_soon(fn, self)
+            if self._exception is not None:
+                self.sim.call_soon(self._deliver_late, fn)
+            else:
+                self.sim.call_soon(fn, self)
         else:
             self.callbacks.append(fn)
+
+    def _deliver_late(self, fn) -> None:
+        """Deliver a late-attached callback to this failed event.
+
+        Mirrors the unobserved-failure rule in :meth:`_dispatch`: a
+        failure handed to a late callback must be handled (the callback
+        — like ``Process._resume`` or the combinators — defuses what it
+        handles) or it propagates instead of vanishing silently.
+        """
+        fn(self)
+        if self._exception is not None and not self.defused:
+            raise self._exception
 
     # -- kernel interface --------------------------------------------------
 
@@ -149,8 +167,8 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value=None) -> None:
-        if delay < 0:
-            raise ValueError(f"negative timeout delay: {delay}")
+        # Delay validation (negative/non-finite) lives in the kernel's
+        # _enqueue — one shared check, one exception type.
         super().__init__(sim, name=f"Timeout({delay})")
         self.delay = delay
         self._value = value
@@ -245,6 +263,9 @@ class AnyOf(Event):
             if event.ok:
                 self.succeed((index, event.value))
             else:
+                # The race observes (and therefore handles) the winner's
+                # failure; the AnyOf event now carries it onward.
+                event.defused = True
                 self.fail(event.exception)
 
         return on_done

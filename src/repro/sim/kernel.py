@@ -39,6 +39,20 @@ class SimulationError(RuntimeError):
     """Raised for kernel misuse (e.g. scheduling into the past)."""
 
 
+def _reject_delay(delay) -> None:
+    """Raise the canonical error for a delay that failed the range check.
+
+    Both kernels guard their scheduling paths with the same one chained
+    comparison (``not 0.0 <= delay < _INF`` rejects negatives, +inf and
+    nan alike — nan compares false against everything, which would
+    silently corrupt event ordering if it ever got in) and call this
+    shared classifier, so the two error messages cannot drift apart.
+    """
+    if isinstance(delay, (int, float)) and delay < 0:
+        raise SimulationError(f"cannot schedule {delay}s into the past")
+    raise SimulationError(f"cannot schedule a non-finite delay: {delay}")
+
+
 class _HeapEntry:
     """One scheduled occurrence on the simulator heap.
 
@@ -72,9 +86,32 @@ class Simulator:
     ----------
     seed:
         Root seed for all named RNG streams (see :class:`RngRegistry`).
+    kernel:
+        Which kernel implementation backs this simulator: ``"heap"``
+        (this class — the reference implementation) or ``"ring"``
+        (:class:`repro.sim.fastkernel.RingSimulator`, the flat-array
+        timer-wheel kernel). ``None`` defers to ``repro.perf.PERF.kernel``,
+        which itself defaults to the ``REPRO_KERNEL`` environment
+        variable, so a whole test run can be switched without touching
+        any construction site.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __new__(cls, seed: int = 0, kernel: str | None = None):
+        if cls is Simulator:
+            if kernel is None:
+                from repro.perf import PERF
+
+                kernel = PERF.kernel
+            if kernel == "ring":
+                # Imported lazily: fastkernel imports this module.
+                from repro.sim.fastkernel import RingSimulator
+
+                return object.__new__(RingSimulator)
+            if kernel != "heap":
+                raise ValueError(f"unknown kernel {kernel!r} (use 'heap' or 'ring')")
+        return object.__new__(cls)
+
+    def __init__(self, seed: int = 0, kernel: str | None = None) -> None:
         self._now = 0.0
         self._heap: list[_HeapEntry] = []
         self._seq = 0
@@ -98,6 +135,11 @@ class Simulator:
         #: The installed :class:`repro.obs.trace.SpanTracer`, or ``None``
         #: (the default — every tracing hook is then a no-op guard check).
         self.tracer = None
+        #: Debug hook: set to a list *before* calling :meth:`run` and the
+        #: kernel appends one ``(when, priority, seq)`` triple per
+        #: dispatch. Both kernels implement it, which is how the
+        #: dual-kernel determinism test asserts schedule equality.
+        self._schedule_log = None
 
     @property
     def now(self) -> float:
@@ -110,12 +152,7 @@ class Simulator:
         self, delay: float, event: Event, priority: int = NORMAL
     ) -> _HeapEntry:
         if not 0.0 <= delay < _INF:
-            # One chained comparison rejects negatives, +inf and nan alike
-            # (nan compares false against everything, which would silently
-            # corrupt heap ordering if it ever got in).
-            if isinstance(delay, (int, float)) and delay < 0:
-                raise SimulationError(f"cannot schedule {delay}s into the past")
-            raise SimulationError(f"cannot schedule a non-finite delay: {delay}")
+            _reject_delay(delay)
         seq = self._seq = self._seq + 1
         when = self._now + delay
         entry = _HeapEntry(when, priority, seq, event)
@@ -156,9 +193,7 @@ class Simulator:
         # Body of _enqueue inlined: this is called once per network
         # delivery and per timer, the hottest scheduling path there is.
         if not 0.0 <= delay < _INF:
-            if isinstance(delay, (int, float)) and delay < 0:
-                raise SimulationError(f"cannot schedule {delay}s into the past")
-            raise SimulationError(f"cannot schedule a non-finite delay: {delay}")
+            _reject_delay(delay)
         event = ScheduledCall(self, fn, args)
         seq = self._seq = self._seq + 1
         when = self._now + delay
@@ -169,6 +204,33 @@ class Simulator:
         if len(heap) > self._peak_heap:
             self._peak_heap = len(heap)
         return event
+
+    def defer(self, delay: float, fn: Callable, *args) -> None:
+        """Fire-and-forget ``call_later``: no handle, nothing returned.
+
+        This is the portable spelling of the hottest scheduling pattern
+        (network deliveries, periodic ticks) — callers that never cancel
+        should use it so the ring kernel can skip slot/handle bookkeeping
+        entirely. On this kernel it is ``call_later`` minus the returned
+        reference; the event order and seq consumption are identical.
+        """
+        self.call_later(delay, fn, *args)
+
+    def timer(self, delay: float, fn: Callable, *args):
+        """Schedule a cancellable ``fn(*args)`` and return an opaque handle.
+
+        The handle is only meaningful to :meth:`cancel_timer` of the same
+        simulator. On this kernel it is the :class:`ScheduledCall` itself;
+        the ring kernel returns a packed integer instead — callers must
+        treat it as opaque (truthy, not-None) either way.
+        """
+        return self.call_later(delay, fn, *args)
+
+    def cancel_timer(self, handle) -> bool:
+        """Cancel a :meth:`timer` handle. Idempotent; False when dead."""
+        if handle is None:
+            return False
+        return handle.cancel()
 
     def process(self, generator: Generator, name: str | None = None) -> Process:
         """Start a new process driving ``generator``.
@@ -205,6 +267,7 @@ class Simulator:
         self._running = True
         heap = self._heap
         heappop = heapq.heappop
+        sched_log = self._schedule_log
         try:
             while heap:
                 if stop_on is not None and stop_on.processed:
@@ -221,6 +284,8 @@ class Simulator:
                 heappop(heap)
                 self._now = when
                 self.dispatched += 1
+                if sched_log is not None:
+                    sched_log.append((when, entry.priority, entry.seq))
                 entry.event._dispatch()
             else:
                 if until is not None and until > self._now:

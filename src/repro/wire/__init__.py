@@ -5,6 +5,7 @@ from repro.wire.codec import (
     Codec,
     EncodedMessage,
     decode,
+    decode_from,
     encode,
     encode_cached,
     uvarint_size,
@@ -22,6 +23,7 @@ __all__ = [
     "TypeRegistry",
     "WireError",
     "decode",
+    "decode_from",
     "encode",
     "encode_cached",
     "uvarint_size",

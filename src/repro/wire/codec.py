@@ -75,7 +75,7 @@ _STR_ENC_CACHE: dict[str, bytes] = {}
 _STR_ENC_CACHE_LIMIT = 4096
 
 
-def _read_uvarint(data: bytes, pos: int) -> tuple[int, int]:
+def _read_uvarint(data, pos: int) -> tuple[int, int]:
     result = 0
     shift = 0
     while True:
@@ -98,6 +98,9 @@ class Codec:
 
     def __init__(self, registry: TypeRegistry | None = None) -> None:
         self.registry = registry if registry is not None else GLOBAL_REGISTRY
+        # Reusable encode buffers (see encode()). Bounded so a one-off
+        # giant message cannot pin memory: oversized buffers are dropped.
+        self._scratch: list[bytearray] = []
         # Exact-type encoder dispatch. Scalar/container entries are
         # installed eagerly; dataclass and enum encoders are built on
         # first use (and on-the-fly for late registrations).
@@ -120,6 +123,19 @@ class Codec:
     # -- public API ---------------------------------------------------------
 
     def encode(self, value) -> bytes:
+        # Steady-state encoding reuses a pooled bytearray (already grown
+        # to working-set size) instead of allocating and growing a fresh
+        # one per message; only the final immutable bytes() is new.
+        if PERF.codec_scratch:
+            scratch = self._scratch
+            out = scratch.pop() if scratch else bytearray()
+            try:
+                self._encode(out, value)
+                return bytes(out)
+            finally:
+                if len(scratch) < 8 and len(out) <= 65536:
+                    del out[:]
+                    scratch.append(out)
         out = bytearray()
         self._encode(out, value)
         return bytes(out)
@@ -132,11 +148,33 @@ class Codec:
         """
         self._encode(out, value)
 
-    def decode(self, data: bytes):
+    def decode(self, data):
+        """Decode one complete value from ``data``.
+
+        Accepts ``bytes``, ``bytearray`` or ``memoryview``: mutable
+        buffers are read through a ``memoryview`` window, so a frame
+        sitting inside a larger receive buffer decodes without being
+        copied out first (string/bytes payloads are materialized from
+        the buffer directly).
+        """
+        if data.__class__ is not bytes:
+            data = memoryview(data)
         value, pos = self._decode(data, 0)
         if pos != len(data):
             raise DecodeError(f"{len(data) - pos} trailing bytes after value")
         return value
+
+    def decode_from(self, data, pos: int = 0) -> tuple:
+        """Decode one value starting at ``pos``; returns ``(value, end)``.
+
+        The cursor API for consuming concatenated values from one buffer
+        (batch payloads, framed streams) with no per-value slicing:
+        ``end`` is the offset one past the value just decoded. Trailing
+        bytes are the caller's business, unlike :meth:`decode`.
+        """
+        if data.__class__ is not bytes:
+            data = memoryview(data)
+        return self._decode(data, pos)
 
     # -- encoding -----------------------------------------------------------
 
@@ -315,11 +353,15 @@ class Codec:
 
     # -- decoding -----------------------------------------------------------
 
-    def _decode(self, data: bytes, pos: int):
+    def _decode(self, data, pos: int):
         # The branch order is by decoded-value frequency in protocol
         # traffic (strings/ints/bytes inside dataclass messages), and the
         # common one-byte varint is inlined — this function runs several
         # times per field of every message a simulation delivers.
+        # ``data`` is bytes or a memoryview; every read below (indexing,
+        # str()/bytes() construction, unpack_from) is buffer-polymorphic,
+        # so a memoryview input is never copied into an intermediate
+        # bytes object on the way to the decoded values.
         n = len(data)
         if pos >= n:
             raise DecodeError("truncated input")
@@ -336,7 +378,9 @@ class Codec:
             if pos + length > n:
                 raise DecodeError("truncated string")
             try:
-                return data[pos : pos + length].decode("utf-8"), pos + length
+                # str(buffer, "utf-8") decodes straight from the buffer —
+                # no intermediate bytes slice.
+                return str(data[pos : pos + length], "utf-8"), pos + length
             except UnicodeDecodeError as exc:
                 raise DecodeError(f"invalid utf-8: {exc}")
         if tag == _INT:
@@ -359,7 +403,9 @@ class Codec:
                 length, pos = _read_uvarint(data, pos)
             if pos + length > n:
                 raise DecodeError("truncated bytes")
-            return data[pos : pos + length], pos + length
+            # bytes(x) is a no-op for a bytes slice and materializes a
+            # memoryview slice; decoded values are always real bytes.
+            return bytes(data[pos : pos + length]), pos + length
         if tag == _DATACLASS:
             type_id, pos = _read_uvarint(data, pos)
             cls = self.registry.type_of(type_id)
@@ -493,9 +539,14 @@ def encode(value) -> bytes:
     return DEFAULT_CODEC.encode(value)
 
 
-def decode(data: bytes):
+def decode(data):
     """Decode ``data`` with the default (global-registry) codec."""
     return DEFAULT_CODEC.decode(data)
+
+
+def decode_from(data, pos: int = 0) -> tuple:
+    """Cursor decode with the default codec; returns ``(value, end)``."""
+    return DEFAULT_CODEC.decode_from(data, pos)
 
 
 # -- memoized whole-message encoding ----------------------------------------

@@ -1,0 +1,89 @@
+"""Property test: the ring kernel is observationally equal to the heap kernel.
+
+Random scheduling scripts — mixes of ``defer``/``timer``/``call_later``,
+cancellations (including double-cancels and cancels issued *during* the
+run), nested re-scheduling from inside callbacks, and delays sampled to
+hit the ring kernel's interesting regimes (zero, sub-tick, exact bucket
+boundaries, and beyond the 8.192 s wheel horizon) — must produce the
+identical fired sequence and the identical ``(time, priority, seq)``
+dispatch schedule on both kernels.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import RingSimulator, Simulator
+
+TICK = RingSimulator.TICK
+HORIZON = TICK * RingSimulator.NSLOTS
+
+# Delays chosen to exercise every wheel regime: same-bucket ties, exact
+# k*TICK bucket edges, float dust around the edges, far-heap deadlines.
+delays = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=0.0, max_value=TICK, allow_nan=False),
+    st.integers(min_value=1, max_value=40).map(lambda k: k * TICK),
+    st.integers(min_value=1, max_value=40).map(lambda k: k * TICK + 1e-7),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    st.floats(min_value=HORIZON, max_value=HORIZON * 3, allow_nan=False),
+)
+
+# A script step: (op, delay, extra). ``extra`` indexes into previously
+# created cancellable timers (for "cancel") or picks a nested-op shape.
+steps = st.lists(
+    st.tuples(
+        st.sampled_from(["defer", "timer", "call_later", "cancel", "nested"]),
+        delays,
+        st.integers(min_value=0, max_value=7),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def run_script(kernel, script, stop_at):
+    sim = Simulator(seed=3, kernel=kernel)
+    log = sim._schedule_log = []
+    fired = []
+    handles = []
+
+    def apply(step, tag):
+        op, delay, extra = step
+        if op == "defer":
+            sim.defer(delay, fired.append, tag)
+        elif op == "timer":
+            handles.append(sim.timer(delay, fired.append, tag))
+        elif op == "call_later":
+            handles.append(sim.call_later(delay, fired.append, tag))
+        elif op == "cancel":
+            if handles:
+                handle = handles[extra % len(handles)]
+                fired.append(("cancel", tag, sim.cancel_timer(handle)))
+            else:
+                sim.defer(delay, fired.append, tag)
+        else:  # nested: schedule more work (and a cancel) from a callback
+            def nested(tag=tag, delay=delay, extra=extra):
+                fired.append(("nested", tag))
+                sim.defer(delay, fired.append, (tag, "inner"))
+                if handles:
+                    handle = handles[extra % len(handles)]
+                    fired.append(("nested-cancel", tag, sim.cancel_timer(handle)))
+
+            sim.defer(delay, nested)
+
+    for i, step in enumerate(script):
+        apply(step, i)
+    sim.run(until=stop_at)
+    sim.run()  # drain the remainder, covering the stop/resume path
+    return fired, log, sim.dispatched, sim.now
+
+
+@settings(max_examples=60, deadline=None)
+@given(steps, st.floats(min_value=0.0, max_value=2.0, allow_nan=False))
+def test_random_scripts_fire_identically(script, stop_at):
+    fired_h, log_h, dispatched_h, now_h = run_script("heap", script, stop_at)
+    fired_r, log_r, dispatched_r, now_r = run_script("ring", script, stop_at)
+    assert fired_r == fired_h
+    assert log_r == log_h
+    assert dispatched_r == dispatched_h
+    assert now_r == now_h

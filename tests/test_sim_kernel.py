@@ -82,8 +82,10 @@ def test_timeout_event_value():
 
 
 def test_negative_timeout_rejected():
+    # One shared check in the kernel, one exception type (the Timeout
+    # constructor used to pre-empt it with a ValueError).
     sim = Simulator()
-    with pytest.raises(ValueError):
+    with pytest.raises(SimulationError):
         sim.timeout(-0.1)
 
 
@@ -136,6 +138,50 @@ def test_callback_added_after_processing_still_runs():
     event.add_callback(lambda ev: seen.append(ev.value))
     sim.run()
     assert seen == ["v"]
+
+
+def test_callback_added_after_failure_propagates_exception():
+    # A late observer of an already-failed, undefused event must not
+    # silently swallow the failure: the callback runs, then the
+    # exception propagates exactly as it would have at _dispatch.
+    sim = Simulator()
+    event = sim.event()
+    event.defused = True  # survive the original dispatch
+    event.fail(ValueError("boom"))
+    sim.run()
+    event.defused = False  # late observer arrives with nobody handling it
+    seen = []
+    event.add_callback(lambda ev: seen.append(ev.exception))
+    with pytest.raises(ValueError, match="boom"):
+        sim.run()
+    assert len(seen) == 1 and isinstance(seen[0], ValueError)
+
+
+def test_late_callback_can_defuse_failed_event():
+    sim = Simulator()
+    event = sim.event()
+    event.defused = True
+    event.fail(ValueError("boom"))
+    sim.run()
+    event.defused = False
+
+    def handler(ev):
+        ev.defused = True  # late observer takes responsibility
+
+    event.add_callback(handler)
+    sim.run()  # no raise
+
+
+def test_late_callback_on_defused_failure_runs_quietly():
+    sim = Simulator()
+    event = sim.event()
+    event.defused = True
+    event.fail(ValueError("boom"))
+    sim.run()
+    seen = []
+    event.add_callback(lambda ev: seen.append(ev))
+    sim.run()  # stays defused: callback runs, no raise
+    assert seen == [event]
 
 
 def test_any_of_returns_first_winner():
