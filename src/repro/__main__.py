@@ -22,7 +22,15 @@ chaos
     ``--seeds N`` sweeps N seeds; ``--shrink`` minimizes a failing
     schedule and prints a replayable snippet; ``--json`` emits
     machine-readable verdicts for CI and tooling; ``--trace-dump PATH``
-    dumps the span window around the first invariant violation.
+    dumps the span window around the first invariant violation;
+    ``--ids`` runs the trace-driven intrusion detector alongside the
+    monitors and reports its detections.
+ids
+    Evaluate the intrusion detector (``repro.ids``): per-behaviour
+    attack campaigns report detection latency, precision, recall and F1
+    against planted ground truth, plus a benign fault suite that must
+    stay detection-free. ``--bench`` writes ``BENCH_IDS.json`` including
+    the IDS-on vs tracing-only overhead ratio.
 trace
     Trace a seeded workload end to end (``repro.obs``): writes a
     Perfetto-loadable Chrome trace-event file and prints phase-by-phase
@@ -408,13 +416,18 @@ def cmd_chaos(args) -> int:
         def config_for(seed):
             return scenario.config(seed=seed)
 
-    if args.trace_dump is not None:
+    if args.trace_dump is not None or args.ids:
         from dataclasses import replace as dc_replace
 
         base_config_for = config_for
+        extra = {}
+        if args.trace_dump is not None:
+            extra["trace_dump"] = args.trace_dump
+        if args.ids:
+            extra["ids"] = True
 
         def config_for(seed):
-            return dc_replace(base_config_for(seed), trace_dump=args.trace_dump)
+            return dc_replace(base_config_for(seed), **extra)
 
     seeds = range(args.seed, args.seed + args.seeds)
     rows = []
@@ -450,12 +463,30 @@ def cmd_chaos(args) -> int:
             },
             "faults_fired": report.fault_stats.get("total_fired", 0),
             "violations": [
-                {"time": v.time, "invariant": v.invariant, "detail": v.detail}
+                {
+                    "time": v.time,
+                    "invariant": v.invariant,
+                    "detail": v.detail,
+                    "span_id": v.span_id,
+                }
                 for v in report.violations
             ],
             "restarts": report.restarts,
             "recoveries": report.recoveries,
             "rejuvenations": report.rejuvenations,
+            "trace_dump": report.trace_dump,
+            "trigger_fires": report.trigger_fires,
+            "detections": [
+                {
+                    "time": d.time,
+                    "kind": d.kind,
+                    "entity": d.entity,
+                    "score": d.score,
+                    "detector": d.detector,
+                }
+                for d in report.detections
+            ],
+            "ids_score": report.ids_score,
             "fingerprint": report.fingerprint(),
         })
 
@@ -489,6 +520,18 @@ def cmd_chaos(args) -> int:
         ["seed", "verdict", "actions", "writes", "faults fired", "violations"],
         rows,
     )
+    if args.ids:
+        detected = [
+            (c["seed"], d) for c in campaigns for d in c["detections"]
+        ]
+        if detected:
+            print("\nintrusion detections:")
+            for seed, d in detected:
+                print(f"  seed={seed} t={d['time']:6.2f}s {d['kind']:24s} "
+                      f"{d['entity']:12s} score={d['score']:.2f} "
+                      f"({d['detector']})")
+        else:
+            print("\nintrusion detections: none")
     if failing is not None:
         _schedule, _config, report = failing
         print("\nfirst failing campaign:")
@@ -505,6 +548,194 @@ def cmd_chaos(args) -> int:
     print(f"\nexpectation: "
           f"{'violation' if expect_violation else 'pass'} — {status}")
     return 0 if as_expected else 1
+
+
+#: The IDS evaluation matrix: per-behaviour Byzantine swap campaigns
+#: (the equivocation drill compromises the initial leader), the two
+#: frontend-side injection attacks, and the benign suite that must stay
+#: detection-free.
+def _ids_attack_schedules():
+    from repro.chaos import (
+        InjectWrites,
+        Schedule,
+        SpoofFrontend,
+        SwapByzantine,
+    )
+
+    drills = []
+    for behaviour in ("silent", "lying", "falsifying", "equivocating",
+                      "stuttering"):
+        index = 0 if behaviour == "equivocating" else 2
+        drills.append((
+            behaviour,
+            Schedule([
+                SwapByzantine(at=1.5, index=index, behaviour=behaviour,
+                              duration=3.0),
+            ]),
+            {},
+        ))
+    drills.append((
+        "write-burst",
+        Schedule([InjectWrites(at=2.0, count=24, interval=0.03)]),
+        {},
+    ))
+    drills.append((
+        "spoof",
+        Schedule([SpoofFrontend(at=2.0, count=30, interval=0.03)]),
+        {},
+    ))
+    return drills
+
+
+def _ids_benign_schedules():
+    from repro.chaos import (
+        CrashReplica,
+        KillLeader,
+        PartitionNet,
+        Rejuvenate,
+        Schedule,
+    )
+    from repro.chaos.schedule import CrashRestart
+
+    return [
+        ("kill-leader", Schedule([KillLeader(at=1.5, duration=1.5)]), {}),
+        ("crash-recover", Schedule([CrashReplica(at=1.2, index=1, duration=2.0)]),
+         {}),
+        ("crash-restart",
+         Schedule([CrashRestart(at=1.5, index=2, duration=1.0)]),
+         {"durability": True}),
+        ("rejuvenation", Schedule([Rejuvenate(at=2.0, index=2)]), {}),
+        ("partition-split",
+         Schedule([PartitionNet(at=1.5, duration=1.0, groups=((0, 1), (2, 3)))]),
+         {}),
+    ]
+
+
+def cmd_ids(args) -> int:
+    import json
+    import time
+    from dataclasses import replace as dc_replace
+
+    from repro.chaos import run_campaign
+    from repro.chaos.campaign import CampaignConfig
+
+    base = CampaignConfig(ids=True)
+    seeds = range(args.seed, args.seed + args.seeds)
+
+    attack_rows = []
+    behaviours_out = {}
+    for label, schedule, overrides in _ids_attack_schedules():
+        recalls, precisions, f1s, latencies = [], [], [], []
+        episodes = detected = false_positives = 0
+        for seed in seeds:
+            report = run_campaign(
+                schedule, dc_replace(base, seed=seed, **overrides)
+            )
+            entry = report.ids_score["behaviours"].get(label)
+            if entry is None:
+                entry = {"episodes": 0, "detected": 0, "recall": 0.0,
+                         "precision": 0.0, "f1": 0.0, "mean_latency": None}
+            episodes += entry["episodes"]
+            detected += entry["detected"]
+            recalls.append(entry["recall"])
+            precisions.append(entry["precision"])
+            f1s.append(entry["f1"])
+            if entry["mean_latency"] is not None:
+                latencies.append(entry["mean_latency"])
+            false_positives += report.ids_score["false_positive_count"]
+        mean = lambda xs: sum(xs) / len(xs) if xs else 0.0  # noqa: E731
+        summary = {
+            "episodes": episodes,
+            "detected": detected,
+            "recall": round(mean(recalls), 4),
+            "precision": round(mean(precisions), 4),
+            "f1": round(mean(f1s), 4),
+            "mean_latency": round(mean(latencies), 4) if latencies else None,
+            "false_positives": false_positives,
+        }
+        behaviours_out[label] = summary
+        attack_rows.append([
+            label, episodes, detected,
+            f"{summary['recall']:.2f}", f"{summary['precision']:.2f}",
+            f"{summary['f1']:.2f}",
+            f"{summary['mean_latency']:.2f}s" if latencies else "-",
+            false_positives,
+        ])
+
+    benign_rows = []
+    benign_out = {}
+    benign_total = 0
+    for label, schedule, overrides in _ids_benign_schedules():
+        detections = 0
+        for seed in seeds:
+            report = run_campaign(
+                schedule, dc_replace(base, seed=seed, **overrides)
+            )
+            detections += len(report.detections)
+        benign_out[label] = detections
+        benign_total += detections
+        benign_rows.append([label, len(seeds), detections,
+                            "clean" if detections == 0 else "FALSE POSITIVES"])
+
+    # Overhead: the same campaign with tracing only vs tracing + IDS
+    # (two timed runs each, best-of to damp scheduler noise).
+    _, overhead_schedule, _ = _ids_attack_schedules()[1]  # lying drill
+
+    def _best_wall(config) -> float:
+        walls = []
+        for _ in range(3):
+            started = time.perf_counter()
+            run_campaign(overhead_schedule, config)
+            walls.append(time.perf_counter() - started)
+        return min(walls)
+
+    trace_wall = _best_wall(dc_replace(base, seed=args.seed, ids=False,
+                                       trace_spans=True))
+    ids_wall = _best_wall(dc_replace(base, seed=args.seed))
+    overhead = ids_wall / trace_wall if trace_wall > 0 else 1.0
+
+    _print_table(
+        "intrusion detection vs planted ground truth "
+        f"({len(seeds)} seeds per drill)",
+        ["drill", "episodes", "detected", "recall", "precision", "f1",
+         "latency", "FPs"],
+        attack_rows,
+    )
+    _print_table(
+        "benign fault suite (must stay detection-free)",
+        ["drill", "runs", "detections", "verdict"],
+        benign_rows,
+    )
+    print(f"\nIDS overhead vs tracing-only baseline: {overhead:.2f}x "
+          f"({ids_wall:.2f}s vs {trace_wall:.2f}s wall)")
+
+    if args.bench:
+        payload = {
+            "seeds": list(seeds),
+            "behaviours": behaviours_out,
+            "benign": {
+                "drills": benign_out,
+                "false_positives": benign_total,
+            },
+            "overhead": {
+                "ids_wall_s": round(ids_wall, 4),
+                "trace_wall_s": round(trace_wall, 4),
+                "ratio": round(overhead, 4),
+            },
+        }
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+
+    core = ("silent", "lying", "falsifying")
+    ok = (
+        all(behaviours_out[b]["f1"] >= 0.9 for b in core)
+        and benign_total == 0
+    )
+    print(f"\nacceptance (F1>=0.9 for {', '.join(core)}; benign clean): "
+          f"{'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
 
 
 def main(argv=None) -> int:
@@ -565,7 +796,23 @@ def main(argv=None) -> int:
                        help="install the span tracer and, on the first "
                             "invariant violation, dump the surrounding "
                             "span window as Chrome trace JSON to PATH")
+    chaos.add_argument("--ids", action="store_true",
+                       help="run the online intrusion detector alongside "
+                            "the campaign and report any detections")
     chaos.set_defaults(func=cmd_chaos)
+
+    ids = subparsers.add_parser(
+        "ids", help="evaluate the trace-driven intrusion detector"
+    )
+    ids.add_argument("--seed", type=int, default=0,
+                     help="first seed of the sweep (default 0)")
+    ids.add_argument("--seeds", type=int, default=2,
+                     help="seeds per drill (default 2)")
+    ids.add_argument("--bench", action="store_true",
+                     help="write the benchmark summary JSON")
+    ids.add_argument("--output", default="BENCH_IDS.json",
+                     help="bench output path (default BENCH_IDS.json)")
+    ids.set_defaults(func=cmd_ids)
 
     trace = subparsers.add_parser(
         "trace", help="trace a seeded workload and print request autopsies"

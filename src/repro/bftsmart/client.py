@@ -80,7 +80,16 @@ class PushVoter:
         self._votes: dict[tuple, set] = {}
         self._payloads: dict[tuple, bytes] = {}
         self._delivered: dict[str, set] = {}
+        #: (stream, order) -> digest of the f+1-voted payload, kept (and
+        #: trimmed) alongside ``_delivered`` so late or competing pushes
+        #: can be compared against what actually won.
+        self._delivered_digest: dict[tuple, bytes] = {}
         self._handlers: dict[str, object] = {}
+        #: Optional observer ``fn(stream, order, replica)`` fired for each
+        #: replica whose push payload disagreed with the voted delivery.
+        #: Purely diagnostic (the intrusion detector's falsified-push
+        #: feature); never affects delivery.
+        self.on_deviant = None
         self.delivered_count = 0
 
     def set_handler(self, stream: str, handler) -> None:
@@ -91,20 +100,35 @@ class PushVoter:
         view: View = self._view_provider()
         if not view.contains(message.replica):
             return
+        payload_digest = digest(message.payload)
         delivered = self._delivered.setdefault(message.stream, set())
         if message.order in delivered:
+            won = self._delivered_digest.get((message.stream, message.order))
+            if won is not None and won != payload_digest:
+                # A straggler copy disagreeing with the voted delivery.
+                self._note_deviant(message.stream, message.order, message.replica)
             return
-        key = (message.stream, message.order, digest(message.payload))
+        key = (message.stream, message.order, payload_digest)
         voters = self._votes.setdefault(key, set())
         voters.add(message.replica)
         self._payloads[key] = message.payload
         if len(voters) >= view.f + 1:
+            self._delivered_digest[(message.stream, message.order)] = payload_digest
             self._deliver(message.stream, message.order, self._payloads[key])
-            # Drop every candidate payload for this order.
+            # Drop every candidate payload for this order; replicas that
+            # voted a competing digest pushed a payload the quorum
+            # contradicts.
             stale = [k for k in self._votes if k[0] == message.stream and k[1] == message.order]
             for k in stale:
+                if k[2] != payload_digest:
+                    for deviant in sorted(self._votes[k]):
+                        self._note_deviant(message.stream, message.order, deviant)
                 self._votes.pop(k, None)
                 self._payloads.pop(k, None)
+
+    def _note_deviant(self, stream: str, order: tuple, replica: str) -> None:
+        if self.on_deviant is not None:
+            self.on_deviant(stream, order, replica)
 
     def _deliver(self, stream: str, order: tuple, payload: bytes) -> None:
         delivered = self._delivered.setdefault(stream, set())
@@ -113,6 +137,7 @@ class PushVoter:
             # Forget the oldest half; retransmissions that old are gone.
             for old in sorted(delivered)[: self.DEDUP_LIMIT // 2]:
                 delivered.discard(old)
+                self._delivered_digest.pop((stream, old), None)
         self.delivered_count += 1
         handler = self._handlers.get(stream)
         if handler is not None:
@@ -161,6 +186,12 @@ class ServiceProxy:
         self.channel = SecureChannel(self.endpoint, keystore)
         self.signer = Signer(client_id, keystore)
         self.pushes = PushVoter(lambda: self.view)
+        self.pushes.on_deviant = self._on_push_deviant
+        #: Winning digest of recently completed *ordered* requests, so a
+        #: straggler reply from a lying replica — arriving after the f+1
+        #: quorum popped the invocation — is still compared against the
+        #: agreed result. Insertion-ordered and trimmed, like push dedup.
+        self._recent_results: dict[int, bytes] = {}
 
         # A restarted client instance (proactive recovery) must begin
         # above every sequence its predecessor used, or the replicas'
@@ -332,13 +363,73 @@ class ServiceProxy:
         elif isinstance(message, PushMessage):
             self.pushes.on_push(message)
 
+    #: Retain winning digests for at most this many completed requests.
+    RESULT_MEMORY = 4096
+
+    def _record_result(self, reply: Reply, invocation, won: bytes) -> None:
+        """Remember the agreed digest; flag minority voters as deviant."""
+        self._recent_results[reply.sequence] = won
+        if len(self._recent_results) > self.RESULT_MEMORY:
+            for old in list(self._recent_results)[: self.RESULT_MEMORY // 2]:
+                self._recent_results.pop(old, None)
+        tracer = self.sim.tracer
+        if tracer is None or not tracer.enabled:
+            return
+        for other_digest, group in invocation.votes.items():
+            if other_digest == won:
+                continue
+            for deviant in sorted(group):
+                tracer.point(
+                    "reply.mismatch",
+                    f"req:{self.client_id}:{reply.sequence}",
+                    process=self.client_id,
+                    replica=deviant,
+                    sequence=reply.sequence,
+                )
+
+    def _on_push_deviant(self, stream: str, order: tuple, replica: str) -> None:
+        tracer = self.sim.tracer
+        if tracer is None or not tracer.enabled:
+            return
+        tracer.point(
+            "push.mismatch",
+            f"push:{self.client_id}:{stream}",
+            process=self.client_id,
+            replica=replica,
+            stream=stream,
+            order=str(order),
+        )
+
+    def _reply_point(self, name: str, reply: Reply, **attrs) -> None:
+        """Zero-duration marker on the request's derived trace id."""
+        tracer = self.sim.tracer
+        if tracer is None or not tracer.enabled:
+            return
+        tracer.point(
+            name,
+            f"req:{self.client_id}:{reply.sequence}",
+            process=self.client_id,
+            replica=reply.replica,
+            sequence=reply.sequence,
+            **attrs,
+        )
+
     def _on_reply(self, reply: Reply) -> None:
         if reply.view_id > self.view.view_id:
             self.view_stale = True
-        invocation = self._pending.get(reply.sequence)
-        if invocation is None or reply.client_id != self.client_id:
+        if reply.client_id != self.client_id or not self.view.contains(
+            reply.replica
+        ):
             return
-        if not self.view.contains(reply.replica):
+        self._reply_point("reply.recv", reply)
+        invocation = self._pending.get(reply.sequence)
+        if invocation is None:
+            # Straggler for a completed request: ordered replies must
+            # match the agreed result, so a deviant digest here is the
+            # lying-replica signature (honest stragglers agree).
+            won = self._recent_results.get(reply.sequence)
+            if won is not None and won != digest(reply.result):
+                self._reply_point("reply.mismatch", reply, late=True)
             return
         if invocation.span is not None and invocation.quorum_span is None:
             tracer = self.sim.tracer
@@ -356,6 +447,8 @@ class ServiceProxy:
             self._pending.pop(reply.sequence, None)
             self.sim.cancel_timer(invocation.timer)
             self._close_spans(invocation, voters=len(votes))
+            if not invocation.unordered:
+                self._record_result(reply, invocation, digest(reply.result))
             if self.on_result is not None:
                 self.on_result(reply.sequence, reply.result, frozenset(votes))
             invocation.event.succeed(reply.result)

@@ -91,6 +91,19 @@ class Synchronizer:
             return
         self._highest_vote = target
         replica = self.replica
+        tracer = replica.sim.tracer
+        if tracer is not None and tracer.enabled:
+            # A bump-in-the-wire observer sees each first STOP vote; the
+            # intrusion detector counts distinct suspecters per leader
+            # (a suspicion burst against a live leader is the
+            # equivocation signature).
+            tracer.point(
+                "sync.suspect",
+                f"regency:{target}@{replica.address}",
+                process=replica.address,
+                regency=target,
+                leader=replica.leader,
+            )
         stop = Stop(sender=replica.address, regency=target)
         replica.channel.broadcast(replica.other_replicas(), stop)
         self._record_stop(replica.address, target)

@@ -218,6 +218,7 @@ class ServiceReplica:
             "pipeline_occupancy_samples": 0,
         }
         sim.register_stats_source(f"pipeline.{address}", self._pipeline_stats)
+        sim.register_stats_source(f"replica.{address}", self._service_stats)
 
         sim.process(self._executor(), name=f"executor:{address}")
         sim.process(self._watchdog(), name=f"watchdog:{address}")
@@ -358,6 +359,23 @@ class ServiceReplica:
         """Has the leader exhausted its window of open consensus slots?"""
         head = max(self.next_propose_cid, self.next_cid)
         return head >= self.next_cid + self.config.pipeline_depth
+
+    def _service_stats(self) -> dict:
+        """Per-replica service counters for the metrics registry.
+
+        ``rejected_envelopes`` is the secure channel's bad-MAC drop count
+        — forged traffic never reaches the request path, so this (not
+        ``rejected_requests``) is where frontend spoofing shows up.
+        """
+        return {
+            "proposals": self.stats["proposals"],
+            "decided": self.stats["decided"],
+            "executed": self.stats["executed"],
+            "replies": self.stats["replies"],
+            "pushes": self.stats["pushes"],
+            "rejected_requests": self.stats["rejected_requests"],
+            "rejected_envelopes": self.channel.rejected,
+        }
 
     def _pipeline_stats(self) -> dict:
         samples = self.stats["pipeline_occupancy_samples"]

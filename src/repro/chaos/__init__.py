@@ -15,6 +15,11 @@ window. This package turns that claim into a machine-checkable property:
   seed-sweep driver;
 - :mod:`repro.chaos.scenarios` — a library of named scenarios
   reproducing the paper's attack discussion;
+- :mod:`repro.chaos.adaptive` — adaptive adversaries: any action wrapped
+  in a :class:`~repro.chaos.adaptive.TriggeredAction` fires on an
+  *observed* predicate (pipeline full, state transfer active, IDS
+  warm-up elapsed) instead of a wall time, still inside the fault
+  budget;
 - :mod:`repro.chaos.shrink` — minimizes a failing schedule to the
   smallest one still violating an invariant and emits a replayable
   Python snippet.
@@ -23,6 +28,7 @@ Every campaign is bit-deterministic: the same seed and schedule produce
 the identical event trace and the identical invariant verdicts.
 """
 
+from repro.chaos.adaptive import PREDICATES, TriggeredAction
 from repro.chaos.campaign import (
     CampaignConfig,
     CampaignReport,
@@ -38,11 +44,13 @@ from repro.chaos.schedule import (
     DelayKind,
     DropKind,
     FieldOffline,
+    InjectWrites,
     IsolateReplicas,
     KillLeader,
     PartitionNet,
     Rejuvenate,
     Schedule,
+    SpoofFrontend,
     SwapByzantine,
     sample_schedule,
     swap_replica_behaviour,
@@ -66,15 +74,19 @@ __all__ = [
     "DelayKind",
     "DropKind",
     "FieldOffline",
+    "InjectWrites",
     "IsolateReplicas",
     "KillLeader",
+    "PREDICATES",
     "PartitionNet",
     "Rejuvenate",
     "SCENARIOS",
     "Scenario",
     "Schedule",
     "ShrinkResult",
+    "SpoofFrontend",
     "SwapByzantine",
+    "TriggeredAction",
     "Violation",
     "get_scenario",
     "list_scenarios",

@@ -24,10 +24,18 @@ import hashlib
 from dataclasses import dataclass, field, replace
 
 from repro.bftsmart.config import replica_address
+from repro.chaos.adaptive import TriggeredAction, active_replica_faults
 from repro.chaos.monitors import Violation, default_monitors
 from repro.chaos.schedule import Schedule
 from repro.core.config import SmartScadaConfig
 from repro.core.system import build_smartscada, make_network
+from repro.ids import (
+    FeatureExtractor,
+    GroundTruthEpisode,
+    IdsConfig,
+    IntrusionDetector,
+    score_detections,
+)
 from repro.neoscada import HandlerChain, Monitor
 from repro.obs.export import write_chrome_trace
 from repro.obs.trace import install_tracer
@@ -88,6 +96,19 @@ class CampaignConfig:
     max_trace_spans: int = 200_000
     #: Hop-trace ring-buffer cap (``None`` = keep every hop).
     trace_max_hops: int | None = None
+    #: Run the trace-driven intrusion detector alongside the monitors
+    #: (implies span tracing). Detections are reported and scored against
+    #: ground truth but stay outside the fingerprint: a campaign's
+    #: behaviour is bit-identical with the IDS on or off.
+    ids: bool = False
+    #: Detector tuning; ``None`` = :class:`repro.ids.IdsConfig` defaults.
+    #: The IDS warm-up end is derived from this (or the default) even
+    #: when ``ids`` is off, so ``ids-warmup-done`` triggers fire at the
+    #: same instant either way.
+    ids_config: IdsConfig | None = None
+    #: Simulation kernel override (``"heap"``/``"ring"``; ``None`` =
+    #: the process default), for kernel-parity campaigns.
+    kernel: str | None = None
 
     def scada_config(self) -> SmartScadaConfig:
         return SmartScadaConfig(
@@ -142,6 +163,16 @@ class CampaignContext:
     #: Instant the last fault healed (liveness clock zero).
     last_heal: float = 0.0
     _seen_violations: set = field(default_factory=set)
+    #: Planted-intrusion episodes (dicts; ``end=None`` while ongoing).
+    ground_truth: list = field(default_factory=list)
+    #: One dict per adaptive-trigger firing (action, predicate, times).
+    trigger_fires: list = field(default_factory=list)
+    #: When the IDS warm-up window ends — derived from the campaign's
+    #: (possibly default) IDS config whether or not the detector runs,
+    #: so the ``ids-warmup-done`` predicate is deterministic either way.
+    ids_warmup_end: float = 1.0
+    #: The running :class:`repro.ids.IntrusionDetector`, or ``None``.
+    detector: object = None
 
     def __post_init__(self) -> None:
         if self.injector is None:
@@ -154,7 +185,51 @@ class CampaignContext:
         if key in self._seen_violations:
             return
         self._seen_violations.add(key)
-        self.violations.append(Violation(self.sim.now, invariant, detail))
+        span_id = None
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.spans:
+            # Anchor forensics at the most recent span: "what was the
+            # system doing when the invariant broke".
+            span_id = tracer.spans[-1].span_id
+        self.violations.append(
+            Violation(self.sim.now, invariant, detail, span_id=span_id)
+        )
+
+    def record_ground_truth(
+        self, kind: str, entity: str, behaviour: str = "", end: float | None = None
+    ) -> None:
+        """Register a planted intrusion (called by attack actions)."""
+        self.ground_truth.append(
+            {
+                "kind": kind,
+                "entity": entity,
+                "behaviour": behaviour,
+                "start": self.sim.now,
+                "end": end,
+            }
+        )
+
+    def close_ground_truth(self, entity: str, kind: str | None = None) -> None:
+        """End the open episode(s) for ``entity`` at the current time."""
+        for episode in self.ground_truth:
+            if episode["entity"] != entity or episode["end"] is not None:
+                continue
+            if kind is not None and episode["kind"] != kind:
+                continue
+            episode["end"] = self.sim.now
+
+    def ground_truth_episodes(self) -> list:
+        """The episodes as frozen records, open ones closed at ``now``."""
+        return [
+            GroundTruthEpisode(
+                kind=episode["kind"],
+                entity=episode["entity"],
+                start=episode["start"],
+                end=episode["end"] if episode["end"] is not None else self.sim.now,
+                behaviour=episode["behaviour"],
+            )
+            for episode in self.ground_truth
+        ]
 
     # -- topology helpers ----------------------------------------------
 
@@ -233,6 +308,15 @@ class CampaignReport:
     #: behaviour-defining trace and verdicts.
     recoveries: list = field(default_factory=list)
     restarts: int = 0
+    #: IDS output: typed :class:`repro.ids.Detection` events, the planted
+    #: ground-truth episodes, and the precision/recall/latency score.
+    #: Diagnostics only — deliberately outside :meth:`fingerprint`, which
+    #: is the IDS-on/off invariance contract.
+    detections: list = field(default_factory=list)
+    ground_truth: list = field(default_factory=list)
+    ids_score: dict | None = None
+    #: Adaptive-adversary firings: ``{action, when, time, revert_at}``.
+    trigger_fires: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -299,9 +383,9 @@ def run_campaign(
     schedule.validate_budget(config.f, config.horizon, config.allow_overload)
     monitors = monitors if monitors is not None else default_monitors()
 
-    sim = Simulator(seed=config.seed)
+    sim = Simulator(seed=config.seed, kernel=config.kernel)
     tracer = None
-    if config.trace_spans or config.trace_dump is not None:
+    if config.trace_spans or config.trace_dump is not None or config.ids:
         tracer = install_tracer(sim, max_spans=config.max_trace_spans)
     net = make_network(sim, trace=config.trace, max_hops=config.trace_max_hops)
     system = build_smartscada(sim, net=net, config=config.scada_config())
@@ -333,6 +417,19 @@ def run_campaign(
     )
     ctx.legal_values = {sensor: {0} for sensor in sensors}
     ctx.legal_values["plant.actuator"] = {0}
+    ids_config = config.ids_config if config.ids_config is not None else IdsConfig()
+    ctx.ids_warmup_end = ids_config.warmup
+    if config.ids:
+        features = FeatureExtractor(window=ids_config.window)
+        tracer.subscribe(features.on_span)
+        ctx.detector = IntrusionDetector(
+            sim,
+            net,
+            features,
+            ids_config,
+            n=config.n,
+            f=config.f,
+        )
     heal_times = []
     for action in schedule:
         interval = action.fault_interval(config.horizon)
@@ -352,10 +449,54 @@ def run_campaign(
         monitor.start(ctx)
 
     # -- schedule the faults (action times are absolute sim times) ------
+    triggered = [a for a in schedule if isinstance(a, TriggeredAction)]
     for action in schedule:
+        if isinstance(action, TriggeredAction):
+            continue
         sim.defer(max(action.at - sim.now, 0.0), action.apply, ctx)
         end = max(action.end(config.horizon), action.at)
         sim.defer(max(end - sim.now, 0.0), action.revert, ctx)
+
+    # -- adaptive adversaries: evaluate armed triggers on the poll grid -
+    for action in triggered:
+        # The shrinker replays the same Action objects run after run.
+        action.reset_runtime()
+
+    def trigger_evaluator():
+        while sim.now < config.horizon:
+            if all(action.exhausted for action in triggered):
+                return
+            yield sim.timeout(config.poll_interval)
+            if sim.now > config.horizon:
+                return
+            for action in triggered:
+                if not action.armed(sim.now, config.horizon):
+                    continue
+                if not action.should_fire(ctx):
+                    continue
+                if (
+                    action.action.replica_fault
+                    and not config.allow_overload
+                    and active_replica_faults(ctx) >= config.f
+                ):
+                    # Runtime budget guard: the predicate holds but f
+                    # replicas are already faulty — hold fire until one
+                    # heals (the static check already charged the worst
+                    # case; this keeps lucky timing honest too).
+                    continue
+                revert_at = action.fire(ctx)
+                ctx.trigger_fires.append(
+                    {
+                        "action": type(action.action).__name__,
+                        "when": action.when,
+                        "time": sim.now,
+                        "revert_at": revert_at,
+                    }
+                )
+                sim.defer(max(revert_at - sim.now, 0.0), action.action.revert, ctx)
+
+    if triggered:
+        sim.process(trigger_evaluator(), name="chaos-triggers")
 
     # -- background traffic --------------------------------------------
     counters = {"updates": 0}
@@ -400,6 +541,8 @@ def run_campaign(
             yield sim.timeout(config.poll_interval)
             for monitor in monitors:
                 monitor.poll(ctx)
+            if ctx.detector is not None:
+                ctx.detector.poll()
 
     sim.process(update_traffic(), name="chaos-updates")
     sim.process(write_traffic(), name="chaos-writes")
@@ -415,6 +558,15 @@ def run_campaign(
 
     for monitor in monitors:
         monitor.finish(ctx)
+
+    detections: list = []
+    ids_score = None
+    if ctx.detector is not None:
+        # One last look at the final window, then score against the
+        # planted episodes (open ones close at the final clock).
+        ctx.detector.poll()
+        detections = list(ctx.detector.detections)
+        ids_score = score_detections(detections, ctx.ground_truth_episodes())
 
     succeeded = sum(1 for r in ctx.writes if r.success)
     failed_cleanly = sum(
@@ -451,6 +603,10 @@ def run_campaign(
             for event in ctx.restart_events
         ],
         restarts=ctx.restarts,
+        detections=detections,
+        ground_truth=[dict(episode) for episode in ctx.ground_truth],
+        ids_score=ids_score,
+        trigger_fires=list(ctx.trigger_fires),
     )
 
 

@@ -55,6 +55,13 @@ class Violation:
     time: float
     invariant: str
     detail: str
+    #: Span id of the most recent trace span at violation time (``None``
+    #: when tracing is off) — the anchor the ``chaos --json`` dump and
+    #: trace forensics jump to. ``time`` is already simulated time.
+    #: Outside the report fingerprint's hashed fields by construction
+    #: (the fingerprint hashes time/invariant/detail only), so tracing
+    #: on/off stays fingerprint-identical.
+    span_id: str | None = None
 
 
 class InvariantMonitor:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.chaos.adaptive import TriggeredAction
 from repro.chaos.campaign import CampaignConfig, CampaignReport, run_campaign
 from repro.chaos.schedule import (
     CrashReplica,
@@ -22,11 +23,13 @@ from repro.chaos.schedule import (
     DelayKind,
     DropKind,
     FieldOffline,
+    InjectWrites,
     IsolateReplicas,
     KillLeader,
     PartitionNet,
     Rejuvenate,
     Schedule,
+    SpoofFrontend,
     SwapByzantine,
 )
 
@@ -163,6 +166,89 @@ def _crash_restart(disk: str) -> Schedule:
     ])
 
 
+def _write_injection() -> Schedule:
+    # Command injection from a hijacked HMI session: a flood of operator
+    # writes over the legitimate replicated path. Safety holds (the
+    # values are legal) — only the write *pattern* is anomalous, so this
+    # drill exists for the IDS's write-burst detector.
+    return Schedule([
+        InjectWrites(at=2.0, count=24, interval=0.03),
+    ])
+
+
+def _frontend_spoof() -> Schedule:
+    # A rogue endpoint floods forged requests under a real client's
+    # identity; every secure channel rejects them, and the per-replica
+    # rejection counters climbing in lockstep is the IDS signature.
+    return Schedule([
+        SpoofFrontend(at=2.0, count=30, interval=0.03),
+    ])
+
+
+def _adaptive_window_partition() -> Schedule:
+    # Adaptive adversary: wait until the consensus pipeline window has
+    # filled (an instance in flight), then split the group 2/2 so the
+    # in-flight window straddles a quorumless partition.
+    return Schedule([
+        TriggeredAction(
+            at=0.3,
+            when="pipeline-full",
+            action=PartitionNet(duration=1.5, groups=((0, 1), (2, 3))),
+        ),
+    ])
+
+
+def _adaptive_transfer_leader_kill() -> Schedule:
+    # Adaptive adversary: provoke a state transfer (isolate a replica,
+    # then heal it), and the moment the transfer is observed running,
+    # kill the leader — the recovering replica loses its catch-up source
+    # mid-stream and must survive the concurrent leader change.
+    return Schedule([
+        IsolateReplicas(at=0.8, duration=1.0, indices=(3,)),
+        TriggeredAction(
+            at=1.5,
+            duration=3.0,
+            when="state-transfer-active",
+            action=KillLeader(duration=1.5),
+        ),
+    ])
+
+
+def _adaptive_warmup_swap() -> Schedule:
+    # IDS-aware adversary: hold the compromise until the intrusion
+    # detector's warm-up window has just elapsed, then swap a replica to
+    # falsifying — no free learning period, the detector must flag it
+    # from live windows alone.
+    return Schedule([
+        TriggeredAction(
+            at=0.5,
+            when="ids-warmup-done",
+            action=SwapByzantine(index=2, behaviour="falsifying", duration=3.0),
+        ),
+    ])
+
+
+def _adaptive_overbudget_swap() -> Schedule:
+    # DELIBERATELY over budget, adaptively: two armed triggers each
+    # holding a long falsifying swap. The static budget check charges
+    # each trigger from its arm time to the horizon, so this schedule is
+    # rejected without allow_overload — predicate timing cannot sneak
+    # past ``n >= 3f+1``. Forced through, the colluding forgeries reach
+    # the f+1 push vote and the hmi-truth monitor must catch it.
+    return Schedule([
+        TriggeredAction(
+            at=0.5,
+            when="always",
+            action=SwapByzantine(index=1, behaviour="falsifying", duration=4.5),
+        ),
+        TriggeredAction(
+            at=0.7,
+            when="always",
+            action=SwapByzantine(index=2, behaviour="falsifying", duration=4.3),
+        ),
+    ])
+
+
 def _overbudget_falsify() -> Schedule:
     # DELIBERATELY over budget: two simultaneous falsifying replicas
     # (f=1) collude — their byte-identical forgeries reach the f+1 push
@@ -276,6 +362,45 @@ SCENARIOS: dict[str, Scenario] = {
             " pipeline is open; WAL replay must restore execution order",
             build=lambda: _crash_restart("intact"),
             overrides={**_DURABLE_INTACT, **_PIPELINED},
+        ),
+        Scenario(
+            name="write-injection",
+            description="command-injection write burst over the legitimate"
+            " path; safety holds, the IDS write-burst detector must flag it",
+            build=_write_injection,
+        ),
+        Scenario(
+            name="frontend-spoof",
+            description="rogue endpoint floods forged client requests; the"
+            " secure channels reject them and the IDS flags the ingress",
+            build=_frontend_spoof,
+        ),
+        Scenario(
+            name="adaptive-window-partition",
+            description="ADAPTIVE: partition 2/2 the moment the consensus"
+            " pipeline window fills; the in-flight instance must survive",
+            build=_adaptive_window_partition,
+        ),
+        Scenario(
+            name="adaptive-transfer-leader-kill",
+            description="ADAPTIVE: kill the leader the instant a state"
+            " transfer is observed running",
+            build=_adaptive_transfer_leader_kill,
+        ),
+        Scenario(
+            name="adaptive-warmup-swap",
+            description="ADAPTIVE, IDS-aware: swap a replica to falsifying"
+            " right after the detector's warm-up window elapses",
+            build=_adaptive_warmup_swap,
+        ),
+        Scenario(
+            name="adaptive-overbudget-swap",
+            description="ATTACK DRILL (expected safety violation): two armed"
+            " triggers exceed the fault budget; rejected without"
+            " allow_overload, caught by the monitors when forced",
+            build=_adaptive_overbudget_swap,
+            expect_violation=True,
+            overrides={"allow_overload": True},
         ),
         Scenario(
             name="overbudget-falsify",

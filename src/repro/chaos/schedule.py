@@ -248,12 +248,19 @@ class SwapByzantine(Action):
             ctx.system, self.index, self.behaviour, handler_config=ctx.handler_config
         )
         ctx.compromised.add(self.index)
+        if self.behaviour != "honest":
+            ctx.record_ground_truth(
+                "byzantine",
+                replica_address(self.index),
+                behaviour=self.behaviour,
+            )
 
     def _revert(self, ctx) -> None:
         swap_replica_behaviour(
             ctx.system, self.index, "honest", handler_config=ctx.handler_config
         )
         ctx.compromised.discard(self.index)
+        ctx.close_ground_truth(replica_address(self.index))
 
     def fault_interval(self, horizon: float):
         # A permanent swap stays charged until the end of the campaign.
@@ -328,6 +335,82 @@ class FieldOffline(Action):
         rule = getattr(self, "_rule", None)
         if rule is not None and rule in ctx.injector.rules:
             ctx.injector.remove(rule)
+
+
+@dataclass
+class InjectWrites(Action):
+    """A command-injection-style write burst from the operator station.
+
+    Models an attacker who has taken over (or replayed) the HMI session
+    and floods operator writes far above the learned duty cycle — the
+    injected-command scenario of the bump-in-the-wire IDS literature.
+    The writes travel the legitimate replicated path, so no safety
+    invariant trips (their values are entered into the campaign's legal
+    ledger); only their *pattern* is anomalous, which is exactly what
+    the ``write-burst`` detector keys on.
+    """
+
+    count: int = 24
+    interval: float = 0.03
+    item: str = "plant.actuator"
+
+    def _apply(self, ctx) -> None:
+        ctx.record_ground_truth(
+            "write-burst",
+            ctx.system.hmi.address,
+            end=ctx.sim.now + self.count * self.interval,
+        )
+
+        def burst():
+            for i in range(self.count):
+                value = 800 + (i * 7) % 120
+                ctx.legal_values.setdefault(self.item, set()).add(value)
+                ctx.system.hmi.write(self.item, value)
+                yield ctx.sim.timeout(self.interval)
+
+        ctx.sim.process(burst(), name=f"inject-writes@{self.at:.2f}")
+
+
+@dataclass
+class SpoofFrontend(Action):
+    """Inject forged client requests from a rogue network endpoint.
+
+    The spoofer claims an existing client identity but holds no keys, so
+    every replica's secure channel rejects the envelopes (and counts
+    them). The flood is invisible to the protocol — spoofed traffic is
+    dropped before dispatch — but the per-replica rejection counters
+    climb in lockstep, the signature the ``spoofed-frontend`` detector
+    watches through the metrics registry.
+    """
+
+    target: str = "proxy-hmi"
+    count: int = 30
+    interval: float = 0.03
+
+    def _apply(self, ctx) -> None:
+        from repro.bftsmart.messages import Sealed
+        from repro.crypto.mac import MAC_SIZE
+
+        ctx.record_ground_truth(
+            "spoof",
+            "*",
+            end=ctx.sim.now + self.count * self.interval,
+        )
+        rogue = ctx.net.endpoint(f"spoofer-{self.target}")
+        replicas = [replica_address(i) for i in range(ctx.config.n)]
+
+        def flood():
+            for i in range(self.count):
+                forged = Sealed(
+                    sender=self.target,
+                    payload=b"forged-client-request-%d" % i,
+                    tags={dst: b"\x00" * MAC_SIZE for dst in replicas},
+                )
+                for dst in replicas:
+                    rogue.send(dst, forged, kind="ClientRequest")
+                yield ctx.sim.timeout(self.interval)
+
+        ctx.sim.process(flood(), name=f"spoof-frontend@{self.at:.2f}")
 
 
 @dataclass

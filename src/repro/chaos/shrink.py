@@ -9,7 +9,14 @@ is deterministic) with candidate reductions:
    removal whenever the reduced schedule still violates, repeated to a
    fixed point (like delta-debugging's 1-minimal pass);
 2. **duration shortening** — halve each surviving action's fault window
-   while the violation persists.
+   while the violation persists;
+3. **de-adapting triggers** — each surviving
+   :class:`~repro.chaos.adaptive.TriggeredAction` is replaced, when the
+   violation allows it, by its inner action pinned at the time the
+   trigger actually fired (recorded by the failing run), falling back to
+   simplifying its predicate to ``always`` and halving the inner fault
+   window. A minimal adaptive failure thus shrinks to a plain fixed-time
+   schedule whenever the adaptivity wasn't essential.
 
 The result carries the minimal schedule, the report proving it still
 violates, and a replayable Python snippet (built from the actions'
@@ -19,7 +26,9 @@ constructor-valid reprs) that reproduces the failure standalone.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from dataclasses import replace as dc_replace
 
+from repro.chaos.adaptive import TriggeredAction
 from repro.chaos.campaign import CampaignConfig, CampaignReport, run_campaign
 from repro.chaos.schedule import Schedule
 
@@ -43,6 +52,7 @@ def replay_snippet(schedule: Schedule, config: CampaignConfig) -> str:
     lines = [
         "from repro.chaos import *",
         "from repro.chaos.campaign import CampaignConfig",
+        "from repro.ids import IdsConfig",
         "",
         "schedule = Schedule([",
     ]
@@ -110,8 +120,6 @@ def shrink_schedule(
             and action.duration is not None
             and action.duration / 2 >= MIN_DURATION
         ):
-            from dataclasses import replace as dc_replace
-
             shorter = dc_replace(action, duration=round(action.duration / 2, 3))
             candidate = list(current)
             candidate[i] = shorter
@@ -121,6 +129,51 @@ def shrink_schedule(
             action = shorter
             current = candidate
             best_report = report
+
+    # Pass 3: de-adapt surviving triggers. A trigger that fired at time t
+    # in the failing run is first tried as its inner action pinned at t
+    # (adaptivity gone entirely); failing that, its predicate is
+    # simplified to "always" and the inner fault window halved.
+    for i, action in enumerate(list(current)):
+        if not isinstance(action, TriggeredAction) or counter[0] >= max_runs:
+            continue
+        fired = list(getattr(action, "fired_times", ()))
+        if fired:
+            pinned = dc_replace(action.action, at=round(fired[0], 3))
+            candidate = list(current)
+            candidate[i] = pinned
+            report = _fails(Schedule(candidate), config, counter)
+            if report is not None:
+                current = candidate
+                best_report = report
+                continue
+        if action.when != "always" and counter[0] < max_runs:
+            simpler = dc_replace(action, when="always", param=None)
+            candidate = list(current)
+            candidate[i] = simpler
+            report = _fails(Schedule(candidate), config, counter)
+            if report is not None:
+                action = simpler
+                current = candidate
+                best_report = report
+        inner = current[i].action if isinstance(current[i], TriggeredAction) else None
+        while (
+            inner is not None
+            and counter[0] < max_runs
+            and inner.duration is not None
+            and inner.duration / 2 >= MIN_DURATION
+        ):
+            shorter = dc_replace(
+                current[i], action=dc_replace(inner, duration=round(inner.duration / 2, 3))
+            )
+            candidate = list(current)
+            candidate[i] = shorter
+            report = _fails(Schedule(candidate), config, counter)
+            if report is None:
+                break
+            current = candidate
+            best_report = report
+            inner = shorter.action
 
     minimal = Schedule(list(current))
     return ShrinkResult(

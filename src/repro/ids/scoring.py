@@ -1,0 +1,157 @@
+"""Score a detection stream against campaign ground truth.
+
+Chaos actions that plant an intrusion (``SwapByzantine``,
+``InjectWrites``, ``SpoofFrontend``) record :class:`GroundTruthEpisode`
+records on the campaign context; :func:`score_detections` joins the
+detector's output against those episodes and reports, per behaviour:
+
+- **recall** — fraction of planted episodes flagged with the exact kind;
+- **precision** — fraction of that kind's detections that land inside a
+  matching episode (a ``byzantine-*`` detection inside *any* Byzantine
+  episode on the same replica counts as attributed — flagging a silent
+  replica as stuttering is a mislabel, not a false alarm);
+- **mean detection latency** — first exact-kind alert minus episode
+  start;
+- global **false positives** — detections matching no episode at all,
+  which the benign false-positive suite requires to be empty.
+
+An episode's match window extends ``grace`` seconds past its end: the
+detector's rolling window legitimately reports a burst that just
+stopped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GroundTruthEpisode:
+    """One planted intrusion: what, who, and when."""
+
+    #: ``byzantine`` / ``write-burst`` / ``spoof``.
+    kind: str
+    #: Replica address, HMI client, or ``*`` for any entity.
+    entity: str
+    start: float
+    end: float
+    #: For ``byzantine`` episodes: the planted behaviour name.
+    behaviour: str = ""
+
+    @property
+    def label(self) -> str:
+        """Reporting bucket: behaviour name for Byzantine, kind otherwise."""
+        if self.kind == "byzantine":
+            return self.behaviour or "byzantine"
+        return self.kind
+
+    def expected_detection(self) -> str:
+        """The exact detection kind a correct detector should emit."""
+        if self.kind == "byzantine":
+            return f"byzantine-{self.behaviour}"
+        if self.kind == "spoof":
+            return "spoofed-frontend"
+        return self.kind
+
+    def admits(self, detection, grace: float) -> bool:
+        """Whether ``detection`` is attributable to this episode at all."""
+        if not (self.start <= detection.time <= self.end + grace):
+            return False
+        if self.entity not in ("*", detection.entity):
+            return False
+        if self.kind == "byzantine":
+            return detection.kind.startswith("byzantine")
+        return detection.kind == self.expected_detection()
+
+    def matches_exactly(self, detection, grace: float) -> bool:
+        """Attributable *and* labelled with the exact expected kind."""
+        return (
+            self.admits(detection, grace)
+            and detection.kind == self.expected_detection()
+        )
+
+
+def _detection_dict(detection) -> dict:
+    return {
+        "time": detection.time,
+        "kind": detection.kind,
+        "entity": detection.entity,
+        "score": detection.score,
+        "detector": detection.detector,
+        "evidence": detection.evidence,
+    }
+
+
+def score_detections(detections, episodes, grace: float = 1.0) -> dict:
+    """Join detections against ground truth; see the module docstring.
+
+    Returns a plain-dict report (JSON-ready)::
+
+        {
+          "behaviours": {label: {episodes, detected, recall, detections,
+                                 attributed, precision, f1,
+                                 mean_latency}},
+          "false_positives": [...], "false_positive_count": int,
+          "misattributed": int, "episodes": int, "detections": int,
+        }
+    """
+    detections = list(detections)
+    episodes = list(episodes)
+    labels = sorted({ep.label for ep in episodes})
+    behaviours: dict[str, dict] = {}
+
+    attributed_ids: set[int] = set()
+    exact_ids: set[int] = set()
+    for ep in episodes:
+        for detection in detections:
+            if ep.admits(detection, grace):
+                attributed_ids.add(id(detection))
+                if detection.kind == ep.expected_detection():
+                    exact_ids.add(id(detection))
+
+    for label in labels:
+        members = [ep for ep in episodes if ep.label == label]
+        expected_kinds = {ep.expected_detection() for ep in members}
+        of_kind = [d for d in detections if d.kind in expected_kinds]
+        detected = 0
+        latencies = []
+        for ep in members:
+            hits = sorted(
+                (d for d in of_kind if ep.matches_exactly(d, grace)),
+                key=lambda d: d.time,
+            )
+            if hits:
+                detected += 1
+                latencies.append(hits[0].time - ep.start)
+        attributed = [d for d in of_kind if id(d) in attributed_ids]
+        recall = detected / len(members) if members else 1.0
+        precision = len(attributed) / len(of_kind) if of_kind else 1.0
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall > 0
+            else 0.0
+        )
+        behaviours[label] = {
+            "episodes": len(members),
+            "detected": detected,
+            "recall": round(recall, 4),
+            "detections": len(of_kind),
+            "attributed": len(attributed),
+            "precision": round(precision, 4),
+            "f1": round(f1, 4),
+            "mean_latency": (
+                round(sum(latencies) / len(latencies), 4) if latencies else None
+            ),
+        }
+
+    false_positives = [
+        d for d in detections if id(d) not in attributed_ids
+    ]
+    return {
+        "behaviours": behaviours,
+        "false_positives": [_detection_dict(d) for d in false_positives],
+        "false_positive_count": len(false_positives),
+        "misattributed": len(attributed_ids) - len(exact_ids),
+        "episodes": len(episodes),
+        "detections": len(detections),
+    }

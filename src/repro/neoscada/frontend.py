@@ -149,6 +149,16 @@ class Frontend:
         while True:
             yield self.sim.timeout(self.poll_interval)
             self.stats["polls"] += 1
+            tracer = self.sim.tracer
+            if tracer is not None and tracer.enabled:
+                # One marker per poll round: the intrusion detector
+                # learns the frontend's cadence from these.
+                tracer.point(
+                    "rtu.poll",
+                    f"poll:{self.address}",
+                    process=self.address,
+                    round=self.stats["polls"],
+                )
             for rtu, runs in self._register_runs().items():
                 for start, count in runs:
                     self.modbus.read(

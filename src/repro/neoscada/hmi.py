@@ -108,6 +108,7 @@ class HMI:
                 process=self.address,
                 item=item_id,
                 operator=self.operator,
+                value=value,
             )
         return done
 

@@ -207,6 +207,18 @@ class MetricsRegistry:
             raise KeyError(name)
         return self._read(entry)
 
+    def read(self, name: str, default=None):
+        """Like :meth:`value_of`, but returns ``default`` when absent.
+
+        Passive consumers (the intrusion detector) poll metrics that may
+        not be registered yet — e.g. a replica group during a restart
+        gap — and must not raise from inside the monitor loop.
+        """
+        entry = self._entries.get(name)
+        if entry is None:
+            return default
+        return self._read(entry)
+
     @staticmethod
     def _read(entry: tuple):
         kind, metric = entry

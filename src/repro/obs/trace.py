@@ -131,6 +131,32 @@ class SpanTracer:
         self._index: dict[str, list] = {}
         #: canonical trace id -> first span recorded for it (the root).
         self._roots: dict[str, Span] = {}
+        #: listeners notified with every span as it *closes*.
+        self._subscribers: list = []
+
+    # -- subscription ---------------------------------------------------
+
+    def subscribe(self, fn) -> None:
+        """Call ``fn(span)`` whenever a span closes.
+
+        Subscribers see every span — including ones dropped by the
+        ``max_spans`` cap — so a streaming consumer (the IDS) is not
+        limited by the retention bound. Subscribers must be passive:
+        they run inline from :meth:`end`/:meth:`point` and must not
+        schedule events or mutate protocol state.
+        """
+        self._subscribers.append(fn)
+
+    def unsubscribe(self, fn) -> None:
+        """Remove a subscriber added with :meth:`subscribe`."""
+        try:
+            self._subscribers.remove(fn)
+        except ValueError:
+            pass
+
+    def _notify(self, span: Span) -> None:
+        for fn in self._subscribers:
+            fn(span)
 
     # -- identity -------------------------------------------------------
 
@@ -206,10 +232,13 @@ class SpanTracer:
 
     def end(self, span: Span, **attrs) -> Span:
         """Close ``span`` at ``sim.now``; extra attrs are merged in."""
-        if span.end is None:
+        first_close = span.end is None
+        if first_close:
             span.end = self.sim.now
         if attrs:
             span.attrs.update(attrs)
+        if first_close and self._subscribers:
+            self._notify(span)
         return span
 
     def point(
@@ -226,6 +255,8 @@ class SpanTracer:
             name, trace_id, parent=parent, process=process, trace_ids=trace_ids, **attrs
         )
         span.end = span.start
+        if self._subscribers:
+            self._notify(span)
         return span
 
     # -- queries --------------------------------------------------------

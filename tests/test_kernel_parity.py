@@ -116,3 +116,30 @@ def test_scada_workload_identical_schedule_and_state():
     assert digests_r == digests_h
     assert len(set(digests_h)) == 1  # replicas agree within each run too
     assert writes_r == writes_h == (True,)
+
+
+def run_ids_campaign(kernel: str, seed: int = 3):
+    from repro.chaos import Schedule, SwapByzantine, run_campaign
+    from repro.chaos.campaign import CampaignConfig
+
+    schedule = Schedule([
+        SwapByzantine(at=1.5, index=2, behaviour="falsifying", duration=3.0),
+    ])
+    return run_campaign(schedule, CampaignConfig(seed=seed, ids=True,
+                                                 kernel=kernel))
+
+
+def test_ids_campaign_identical_detection_stream():
+    """Intrusion detection is part of the determinism contract: the same
+    seeded compromise produces byte-identical detection streams (times,
+    kinds, scores, evidence) under both kernels."""
+    report_h = run_ids_campaign("heap")
+    report_r = run_ids_campaign("ring")
+
+    assert report_h.fingerprint() == report_r.fingerprint()
+    assert report_h.detections == report_r.detections
+    assert report_h.detections  # the planted compromise was caught ...
+    assert all(d.kind == "byzantine-falsifying" and d.entity == "replica-2"
+               for d in report_h.detections)
+    assert report_h.ids_score == report_r.ids_score
+    assert report_h.ids_score["false_positive_count"] == 0  # ... cleanly
