@@ -1,0 +1,137 @@
+"""Mean-time-to-recovery of the closed-loop self-healing subsystem.
+
+For each of the five Byzantine replica behaviours, a seeded chaos
+campaign plants the compromise at t=1.2s with healing enabled
+(zero-trust policy: confirmed Byzantine replicas are evicted). The
+:class:`~repro.chaos.monitors.MttrMonitor` correlates the planted
+ground truth with the first detection and the completed recovery
+action; the :class:`~repro.chaos.monitors.AvailabilityMonitor` samples
+operator-write throughput so the pre-attack, under-attack and
+post-heal rates can be compared.
+
+Acceptance (the ISSUE's bar): every behaviour is evicted and replaced
+with all safety/liveness monitors green, post-heal throughput recovers
+to >= 90% of the pre-attack rate, and no unsafe action is ever taken
+(every completed action passed the 2f+1 quorum guard). Results land in
+``BENCH_MTTR.json``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import replace as dc_replace
+
+from conftest import once, print_table
+
+from repro.chaos import (
+    AvailabilityMonitor,
+    MttrMonitor,
+    Schedule,
+    SwapByzantine,
+    run_campaign,
+)
+from repro.chaos.campaign import CampaignConfig
+from repro.chaos.monitors import default_monitors
+from repro.heal import HealConfig
+from repro.workloads.profiler import write_report
+
+REPORT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_MTTR.json"
+
+SEED = 3
+ATTACK_AT = 1.2
+BEHAVIOURS = ("silent", "stuttering", "lying", "falsifying", "equivocating")
+
+#: Dense operator writes: the availability series needs enough samples
+#: inside each phase to yield a meaningful rate.
+BASE = CampaignConfig(
+    seed=SEED,
+    heal=True,
+    heal_config=HealConfig.zero_trust(),
+    write_interval=0.25,
+)
+
+
+def run_drill(behaviour: str) -> dict:
+    index = 0 if behaviour == "equivocating" else 2
+    schedule = Schedule([
+        SwapByzantine(at=ATTACK_AT, index=index, behaviour=behaviour),
+    ])
+    mttr = MttrMonitor()
+    avail = AvailabilityMonitor()
+    report = run_campaign(
+        schedule, BASE, monitors=default_monitors() + [mttr, avail]
+    )
+    assert report.ok, report.violations
+    assert report.evictions == 1
+
+    measurement = next(
+        m for m in mttr.measurements if m["behaviour"] == behaviour
+    )
+    healed_at = measurement["healed_at"]
+    assert healed_at is not None
+
+    end = avail.samples[-1][0]
+    pre = avail.rate(0.2, ATTACK_AT)
+    during = avail.rate(ATTACK_AT, healed_at)
+    post = avail.rate(healed_at + 0.3, end)
+    recovered = post / pre if pre > 0 else 0.0
+
+    #: "Unsafe" = an action that went ahead despite guard blockers, or
+    #: any completed action beyond the single planned eviction.
+    completed = [
+        a for a in report.heal_actions if a["outcome"] == "completed"
+    ]
+    assert [a["kind"] for a in completed] == ["evict"]
+
+    return {
+        "behaviour": behaviour,
+        "detect_latency_s": round(measurement["detect_latency"], 4),
+        "heal_latency_s": round(measurement["heal_latency"], 4),
+        "ops_pre": round(pre, 3),
+        "ops_during": round(during, 3),
+        "ops_post": round(post, 3),
+        "recovered": round(recovered, 4),
+        "evictions": report.evictions,
+        "blocked": sum(
+            1 for a in report.heal_actions if a["outcome"] == "blocked"
+        ),
+    }
+
+
+def test_heal_mttr(benchmark):
+    results = once(benchmark, lambda: [run_drill(b) for b in BEHAVIOURS])
+
+    print_table(
+        "closed-loop recovery: time-to-detect / time-to-heal "
+        f"(seed {SEED}, attack at t={ATTACK_AT}s)",
+        ["behaviour", "detect", "heal", "ops/s pre", "ops/s during",
+         "ops/s post", "recovered"],
+        [
+            [
+                r["behaviour"],
+                f"{r['detect_latency_s']:.2f}s",
+                f"{r['heal_latency_s']:.2f}s",
+                f"{r['ops_pre']:.2f}",
+                f"{r['ops_during']:.2f}",
+                f"{r['ops_post']:.2f}",
+                f"{r['recovered'] * 100:.0f}%",
+            ]
+            for r in results
+        ],
+    )
+
+    for r in results:
+        assert r["evictions"] == 1, r
+        assert r["recovered"] >= 0.9, r
+        assert r["detect_latency_s"] <= r["heal_latency_s"], r
+
+    write_report(
+        {
+            "mttr": {
+                "seed": SEED,
+                "attack_at_s": ATTACK_AT,
+                "behaviours": {r["behaviour"]: r for r in results},
+            }
+        },
+        str(REPORT_PATH),
+    )

@@ -378,7 +378,15 @@ def cmd_chaos(args) -> int:
                     "name": s.name,
                     "expectation": "violation" if s.expect_violation else "pass",
                     "description": s.description,
-                    "overrides": dict(s.overrides),
+                    # Config-object overrides (IdsConfig, HealConfig)
+                    # serialize as their constructor-valid reprs.
+                    "overrides": {
+                        key: value
+                        if isinstance(value, (bool, int, float, str,
+                                              type(None)))
+                        else repr(value)
+                        for key, value in s.overrides.items()
+                    },
                 }
                 for s in list_scenarios()
             ], indent=2))
@@ -416,7 +424,7 @@ def cmd_chaos(args) -> int:
         def config_for(seed):
             return scenario.config(seed=seed)
 
-    if args.trace_dump is not None or args.ids:
+    if args.trace_dump is not None or args.ids or args.heal:
         from dataclasses import replace as dc_replace
 
         base_config_for = config_for
@@ -425,6 +433,8 @@ def cmd_chaos(args) -> int:
             extra["trace_dump"] = args.trace_dump
         if args.ids:
             extra["ids"] = True
+        if args.heal:
+            extra["heal"] = True
 
         def config_for(seed):
             return dc_replace(base_config_for(seed), **extra)
@@ -487,6 +497,8 @@ def cmd_chaos(args) -> int:
                 for d in report.detections
             ],
             "ids_score": report.ids_score,
+            "heal_actions": report.heal_actions,
+            "evictions": report.evictions,
             "fingerprint": report.fingerprint(),
         })
 
@@ -495,7 +507,7 @@ def cmd_chaos(args) -> int:
         _schedule, _config, _report = failing
         if not args.json:
             print("shrinking the failing schedule...")
-        result = shrink_schedule(_schedule, _config)
+        result = shrink_schedule(_schedule, _config, pin_heal=args.heal)
         shrunk = result
 
     if args.json:
@@ -532,6 +544,17 @@ def cmd_chaos(args) -> int:
                       f"({d['detector']})")
         else:
             print("\nintrusion detections: none")
+    if args.heal:
+        acted = [
+            (c["seed"], a) for c in campaigns for a in c["heal_actions"]
+        ]
+        if acted:
+            print("\nrecovery orchestrator actions:")
+            for seed, a in acted:
+                print(f"  seed={seed} t={a['time']:6.2f}s {a['kind']:10s} "
+                      f"{a['target']:12s} {a['outcome']:12s} {a['detail']}")
+        else:
+            print("\nrecovery orchestrator actions: none")
     if failing is not None:
         _schedule, _config, report = failing
         print("\nfirst failing campaign:")
@@ -738,6 +761,193 @@ def cmd_ids(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_heal(args) -> int:
+    """Closed-loop recovery evaluation: evict drills, benign suite, guard."""
+    import json
+    from dataclasses import replace as dc_replace
+
+    from repro.chaos import (
+        AvailabilityMonitor,
+        MttrMonitor,
+        Schedule,
+        SwapByzantine,
+        run_campaign,
+        run_scenario,
+    )
+    from repro.chaos.campaign import CampaignConfig
+    from repro.chaos.monitors import default_monitors
+    from repro.heal import HealConfig
+
+    seeds = range(args.seed, args.seed + args.seeds)
+    attack_at = 1.2
+    #: Dense operator writes give the availability series enough
+    #: resolution to compare throughput before / during / after healing.
+    base = CampaignConfig(
+        heal=True,
+        heal_config=HealConfig.zero_trust(),
+        write_interval=0.25,
+    )
+
+    attack_rows = []
+    behaviours_out = {}
+    attacks_ok = True
+    for behaviour in ("silent", "stuttering", "lying", "falsifying",
+                      "equivocating"):
+        index = 0 if behaviour == "equivocating" else 2
+        schedule = Schedule([
+            SwapByzantine(at=attack_at, index=index, behaviour=behaviour),
+        ])
+        evictions = 0
+        green = True
+        detect_lat, heal_lat, recovered = [], [], []
+        for seed in seeds:
+            mttr = MttrMonitor()
+            avail = AvailabilityMonitor()
+            report = run_campaign(
+                schedule,
+                dc_replace(base, seed=seed),
+                monitors=default_monitors() + [mttr, avail],
+            )
+            green = green and report.ok
+            evictions += report.evictions
+            for m in mttr.measurements:
+                if m["detect_latency"] is not None:
+                    detect_lat.append(m["detect_latency"])
+                if m["heal_latency"] is not None:
+                    heal_lat.append(m["heal_latency"])
+            healed_at = max(
+                (a["completed_at"] for a in report.heal_actions
+                 if a["outcome"] == "completed"
+                 and a["completed_at"] is not None),
+                default=None,
+            )
+            if healed_at is not None and avail.samples:
+                pre = avail.rate(0.2, attack_at)
+                end = avail.samples[-1][0]
+                post = avail.rate(healed_at + 0.3, end)
+                if pre > 0:
+                    recovered.append(post / pre)
+        mean = lambda xs: sum(xs) / len(xs) if xs else None  # noqa: E731
+        summary = {
+            "runs": len(seeds),
+            "evictions": evictions,
+            "monitors_green": green,
+            "mean_detect_latency": (
+                round(mean(detect_lat), 4) if detect_lat else None
+            ),
+            "mean_heal_latency": (
+                round(mean(heal_lat), 4) if heal_lat else None
+            ),
+            "throughput_recovered": (
+                round(mean(recovered), 4) if recovered else None
+            ),
+        }
+        behaviours_out[behaviour] = summary
+        row_ok = (
+            green
+            and evictions == len(seeds)
+            and (not recovered or mean(recovered) >= 0.9)
+        )
+        attacks_ok = attacks_ok and row_ok
+        attack_rows.append([
+            behaviour,
+            evictions,
+            "green" if green else "VIOLATED",
+            f"{summary['mean_detect_latency']:.2f}s"
+            if detect_lat else "-",
+            f"{summary['mean_heal_latency']:.2f}s" if heal_lat else "-",
+            f"{mean(recovered) * 100:.0f}%" if recovered else "-",
+            "PASS" if row_ok else "FAIL",
+        ])
+
+    benign_rows = []
+    benign_out = {}
+    benign_actions = 0
+    benign_base = dc_replace(base, heal_config=HealConfig())
+    for label, schedule, overrides in _ids_benign_schedules():
+        actions = evictions = 0
+        green = True
+        for seed in seeds:
+            report = run_campaign(
+                schedule, dc_replace(benign_base, seed=seed, **overrides)
+            )
+            green = green and report.ok
+            actions += len(report.heal_actions)
+            evictions += report.evictions
+        benign_out[label] = {"heal_actions": actions, "evictions": evictions}
+        benign_actions += actions
+        benign_rows.append([
+            label, len(seeds), actions, evictions,
+            "clean" if actions == 0 and green else "UNEXPECTED ACTIONS",
+        ])
+
+    # The quorum-guard drill: a double fault where every action must be
+    # refused and the orchestrator must escalate to an operator alarm
+    # without ever eroding the quorum.
+    guard = run_scenario("heal-quorum-guard", seed=args.seed)
+    guard_blocked = sum(
+        1 for a in guard.heal_actions if a["outcome"] == "blocked"
+    )
+    guard_alarms = sum(
+        1 for a in guard.heal_actions if a["outcome"] == "raised"
+    )
+    guard_ok = (
+        guard.ok
+        and guard.evictions == 0
+        and guard_blocked > 0
+        and guard_alarms > 0
+    )
+    guard_out = {
+        "ok": guard.ok,
+        "evictions": guard.evictions,
+        "blocked": guard_blocked,
+        "alarms": guard_alarms,
+    }
+
+    _print_table(
+        f"closed-loop recovery under attack ({len(seeds)} seeds per drill)",
+        ["behaviour", "evicted", "monitors", "detect", "heal",
+         "ops recovered", "verdict"],
+        attack_rows,
+    )
+    _print_table(
+        "benign fault suite (orchestrator must stay idle)",
+        ["drill", "runs", "heal actions", "evictions", "verdict"],
+        benign_rows,
+    )
+    print(f"\nquorum guard drill: blocked={guard_blocked} "
+          f"alarms={guard_alarms} evictions={guard.evictions} "
+          f"monitors={'green' if guard.ok else 'VIOLATED'} "
+          f"-> {'PASS' if guard_ok else 'FAIL'}")
+
+    if args.bench:
+        payload = {
+            "seeds": list(seeds),
+            "behaviours": behaviours_out,
+            "benign": {
+                "drills": benign_out,
+                "heal_actions": benign_actions,
+            },
+            "quorum_guard": guard_out,
+        }
+        try:
+            with open(args.output, "r", encoding="utf-8") as fh:
+                merged = json.load(fh)
+        except (OSError, ValueError):
+            merged = {}
+        merged.update(payload)
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(merged, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+
+    ok = attacks_ok and benign_actions == 0 and guard_ok
+    print(f"\nacceptance (all five behaviours evicted with monitors green "
+          f"and ops recovered; benign idle; guard safe): "
+          f"{'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -799,6 +1009,10 @@ def main(argv=None) -> int:
     chaos.add_argument("--ids", action="store_true",
                        help="run the online intrusion detector alongside "
                             "the campaign and report any detections")
+    chaos.add_argument("--heal", action="store_true",
+                       help="close the loop: run the recovery orchestrator "
+                            "on the detector's verdicts and report its "
+                            "action log")
     chaos.set_defaults(func=cmd_chaos)
 
     ids = subparsers.add_parser(
@@ -813,6 +1027,19 @@ def main(argv=None) -> int:
     ids.add_argument("--output", default="BENCH_IDS.json",
                      help="bench output path (default BENCH_IDS.json)")
     ids.set_defaults(func=cmd_ids)
+
+    heal = subparsers.add_parser(
+        "heal", help="evaluate closed-loop self-healing (IDS -> recovery)"
+    )
+    heal.add_argument("--seed", type=int, default=0,
+                      help="first seed of the sweep (default 0)")
+    heal.add_argument("--seeds", type=int, default=1,
+                      help="seeds per drill (default 1)")
+    heal.add_argument("--bench", action="store_true",
+                      help="write the benchmark summary JSON")
+    heal.add_argument("--output", default="BENCH_MTTR.json",
+                      help="bench output path (default BENCH_MTTR.json)")
+    heal.set_defaults(func=cmd_heal)
 
     trace = subparsers.add_parser(
         "trace", help="trace a seeded workload and print request autopsies"

@@ -35,7 +35,7 @@ from repro.bftsmart.messages import (
     Sync,
     WriteMsg,
 )
-from repro.bftsmart.reconfiguration import Administrator
+from repro.bftsmart.reconfiguration import Administrator, ReconfigResult
 from repro.bftsmart.replica import RECONFIG_MARKER, ServiceReplica
 from repro.bftsmart.service import (
     CounterService,
@@ -49,6 +49,7 @@ from repro.bftsmart.view import View
 __all__ = [
     "AcceptMsg",
     "Administrator",
+    "ReconfigResult",
     "ClientRequest",
     "CounterService",
     "EchoService",

@@ -35,7 +35,7 @@ from repro.chaos.campaign import (
     run_campaign,
     sweep_seeds,
 )
-from repro.chaos.monitors import Violation
+from repro.chaos.monitors import AvailabilityMonitor, MttrMonitor, Violation
 from repro.chaos.schedule import (
     BEHAVIOURS,
     Action,
@@ -66,8 +66,10 @@ from repro.chaos.shrink import ShrinkResult, replay_snippet, shrink_schedule
 
 __all__ = [
     "Action",
+    "AvailabilityMonitor",
     "BEHAVIOURS",
     "CampaignConfig",
+    "MttrMonitor",
     "CampaignReport",
     "ChaosBudgetError",
     "CrashReplica",

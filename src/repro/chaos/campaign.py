@@ -29,6 +29,7 @@ from repro.chaos.monitors import Violation, default_monitors
 from repro.chaos.schedule import Schedule
 from repro.core.config import SmartScadaConfig
 from repro.core.system import build_smartscada, make_network
+from repro.heal import HealConfig, RecoveryOrchestrator
 from repro.ids import (
     FeatureExtractor,
     GroundTruthEpisode,
@@ -106,6 +107,15 @@ class CampaignConfig:
     #: when ``ids`` is off, so ``ids-warmup-done`` triggers fire at the
     #: same instant either way.
     ids_config: IdsConfig | None = None
+    #: Close the loop: run the :class:`repro.heal.RecoveryOrchestrator`
+    #: on the detector's verdicts (implies the IDS and span tracing).
+    #: Unlike the passive IDS, healing *acts* — reconfigurations,
+    #: restarts — so a heal campaign's fingerprint legitimately differs
+    #: from the same campaign without it.
+    heal: bool = False
+    #: Orchestrator tuning; ``None`` = :class:`repro.heal.HealConfig`
+    #: defaults (the proportionate-escalation policy table).
+    heal_config: HealConfig | None = None
     #: Simulation kernel override (``"heap"``/``"ring"``; ``None`` =
     #: the process default), for kernel-parity campaigns.
     kernel: str | None = None
@@ -173,6 +183,12 @@ class CampaignContext:
     ids_warmup_end: float = 1.0
     #: The running :class:`repro.ids.IntrusionDetector`, or ``None``.
     detector: object = None
+    #: The running :class:`repro.heal.RecoveryOrchestrator`, or ``None``.
+    orchestrator: object = None
+    #: Replica indices evicted from the membership by the orchestrator —
+    #: retired for the rest of the campaign: fault reverts must not
+    #: resurrect a machine the group formally removed.
+    evicted: set = field(default_factory=set)
 
     def __post_init__(self) -> None:
         if self.injector is None:
@@ -256,6 +272,7 @@ class CampaignContext:
             if pm.replica.active
             and pm.index not in self.compromised
             and pm.index not in self.crashed
+            and pm.index not in self.evicted
         ]
 
     def client_proxies(self) -> list:
@@ -317,6 +334,13 @@ class CampaignReport:
     ids_score: dict | None = None
     #: Adaptive-adversary firings: ``{action, when, time, revert_at}``.
     trigger_fires: list = field(default_factory=list)
+    #: Recovery-orchestrator audit trail (dicts from
+    #: :meth:`repro.heal.HealAction.as_dict`, blocked attempts included)
+    #: and the evicted-and-replaced count. Like the IDS output these
+    #: stay outside :meth:`fingerprint` — but note healing *does* change
+    #: the fingerprint itself, through the actions it takes.
+    heal_actions: list = field(default_factory=list)
+    evictions: int = 0
 
     @property
     def ok(self) -> bool:
@@ -384,8 +408,10 @@ def run_campaign(
     monitors = monitors if monitors is not None else default_monitors()
 
     sim = Simulator(seed=config.seed, kernel=config.kernel)
+    # Healing needs the detector, which needs the span stream.
+    ids_active = config.ids or config.heal
     tracer = None
-    if config.trace_spans or config.trace_dump is not None or config.ids:
+    if config.trace_spans or config.trace_dump is not None or ids_active:
         tracer = install_tracer(sim, max_spans=config.max_trace_spans)
     net = make_network(sim, trace=config.trace, max_hops=config.trace_max_hops)
     system = build_smartscada(sim, net=net, config=config.scada_config())
@@ -419,7 +445,7 @@ def run_campaign(
     ctx.legal_values["plant.actuator"] = {0}
     ids_config = config.ids_config if config.ids_config is not None else IdsConfig()
     ctx.ids_warmup_end = ids_config.warmup
-    if config.ids:
+    if ids_active:
         features = FeatureExtractor(window=ids_config.window)
         tracer.subscribe(features.on_span)
         ctx.detector = IntrusionDetector(
@@ -429,6 +455,20 @@ def run_campaign(
             ids_config,
             n=config.n,
             f=config.f,
+        )
+    if config.heal:
+        ctx.orchestrator = RecoveryOrchestrator(
+            sim,
+            net,
+            system,
+            detector=ctx.detector,
+            config=(
+                config.heal_config
+                if config.heal_config is not None
+                else HealConfig()
+            ),
+            handler_config=handler_config,
+            on_evict=lambda index, address: ctx.evicted.add(index),
         )
     heal_times = []
     for action in schedule:
@@ -444,6 +484,10 @@ def run_campaign(
         proxy.max_attempts = CAMPAIGN_MAX_ATTEMPTS
     for proxy_master in system.proxy_masters:
         proxy_master.vote_client.max_attempts = CAMPAIGN_MAX_ATTEMPTS
+    if ctx.orchestrator is not None:
+        # The orchestrator's admin client reconfigures mid-fault; give it
+        # the same keep-probing budget as every other campaign client.
+        ctx.orchestrator.admin.proxy.max_attempts = CAMPAIGN_MAX_ATTEMPTS
 
     for monitor in monitors:
         monitor.start(ctx)
@@ -543,6 +587,11 @@ def run_campaign(
                 monitor.poll(ctx)
             if ctx.detector is not None:
                 ctx.detector.poll()
+            if ctx.orchestrator is not None:
+                # Decisions ride the same grid, right after the detector
+                # refreshed its verdicts: detect -> corroborate -> act is
+                # one deterministic pipeline per tick.
+                ctx.orchestrator.poll()
 
     sim.process(update_traffic(), name="chaos-updates")
     sim.process(write_traffic(), name="chaos-writes")
@@ -607,6 +656,12 @@ def run_campaign(
         ground_truth=[dict(episode) for episode in ctx.ground_truth],
         ids_score=ids_score,
         trigger_fires=list(ctx.trigger_fires),
+        heal_actions=(
+            ctx.orchestrator.action_log() if ctx.orchestrator is not None else []
+        ),
+        evictions=(
+            ctx.orchestrator.evictions if ctx.orchestrator is not None else 0
+        ),
     )
 
 

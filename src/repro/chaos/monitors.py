@@ -303,6 +303,114 @@ class DurableRecoveryMonitor(InvariantMonitor):
                 )
 
 
+class MttrMonitor(InvariantMonitor):
+    """Time-to-detect / time-to-heal per planted intrusion (diagnostics).
+
+    Records no violations: it correlates each ground-truth episode with
+    the first matching detection and the first completed orchestrator
+    action on the same entity, yielding the mean-time-to-recovery
+    measurements the ``heal`` benchmark reports. Not part of
+    :func:`default_monitors` — heal drills install it explicitly.
+    """
+
+    name = "mttr"
+
+    def __init__(self) -> None:
+        #: One dict per episode: entity, kind, start, detected_at,
+        #: detect_latency, healed_at, heal_latency, action (or Nones).
+        self.measurements: list = []
+
+    def finish(self, ctx) -> None:
+        detections = (
+            list(ctx.detector.detections) if ctx.detector is not None else []
+        )
+        actions = (
+            list(ctx.orchestrator.actions)
+            if ctx.orchestrator is not None
+            else []
+        )
+        self.measurements = []
+        for episode in ctx.ground_truth:
+            entity = episode["entity"]
+            start = episode["start"]
+            detected_at = next(
+                (
+                    d.time
+                    for d in detections
+                    if d.entity == entity and d.time >= start
+                ),
+                None,
+            )
+            healed = next(
+                (
+                    a
+                    for a in actions
+                    if a.target == entity
+                    and a.outcome in ("completed", "raised")
+                    and a.time >= start
+                ),
+                None,
+            )
+            healed_at = (
+                healed.completed_at
+                if healed is not None and healed.completed_at is not None
+                else (healed.time if healed is not None else None)
+            )
+            self.measurements.append(
+                {
+                    "entity": entity,
+                    "kind": episode["kind"],
+                    "behaviour": episode.get("behaviour", ""),
+                    "start": start,
+                    "detected_at": detected_at,
+                    "detect_latency": (
+                        detected_at - start if detected_at is not None else None
+                    ),
+                    "healed_at": healed_at,
+                    "heal_latency": (
+                        healed_at - start if healed_at is not None else None
+                    ),
+                    "action": healed.kind if healed is not None else None,
+                }
+            )
+
+
+class AvailabilityMonitor(InvariantMonitor):
+    """Samples write throughput over time (diagnostics).
+
+    Keeps a ``(time, completed_successful_writes)`` series on the poll
+    grid so the heal benchmark can compare operator-write throughput
+    before the attack, during it, and after the orchestrator healed the
+    group. Not part of :func:`default_monitors`.
+    """
+
+    name = "availability"
+
+    def __init__(self) -> None:
+        self.samples: list = []
+
+    def poll(self, ctx) -> None:
+        done = sum(1 for record in ctx.writes if record.success)
+        self.samples.append((ctx.sim.now, done))
+
+    def finish(self, ctx) -> None:
+        self.poll(ctx)
+
+    def _count_at(self, t: float) -> int:
+        best = 0
+        for sample_time, count in self.samples:
+            if sample_time > t:
+                break
+            best = count
+        return best
+
+    def rate(self, t0: float, t1: float) -> float:
+        """Successful writes per second completed in ``[t0, t1]``."""
+        if t1 <= t0:
+            return 0.0
+        return (self._count_at(t1) - self._count_at(t0)) / (t1 - t0)
+
+
 def default_monitors() -> list:
     """The full invariant suite, in evaluation order."""
     return [

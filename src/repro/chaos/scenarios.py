@@ -32,6 +32,7 @@ from repro.chaos.schedule import (
     SpoofFrontend,
     SwapByzantine,
 )
+from repro.heal import HealConfig
 
 #: Overrides for the intact crash-restart drill. The checkpoint interval
 #: is deliberately *longer* than the decisions the horizon produces: the
@@ -55,6 +56,13 @@ _DURABLE_DAMAGED = {"durability": True, "checkpoint_interval": 5}
 #: leader keeps several instances in flight, so crashes and restarts hit
 #: a window of undecided cids instead of at most one.
 _PIPELINED = {"pipeline_depth": 4}
+
+#: Overrides for the ``heal-evict-*`` drills: the closed self-healing
+#: loop under the hardened zero-trust profile — every confirmed
+#: Byzantine replica is evicted and replaced, not reimaged (reimaging a
+#: swapped compromise would *cure* it, so these drills could never
+#: exercise the reconfiguration path).
+_HEAL_ZERO_TRUST = {"heal": True, "heal_config": HealConfig.zero_trust()}
 
 
 @dataclass(frozen=True)
@@ -264,6 +272,75 @@ def _overbudget_falsify() -> Schedule:
     ])
 
 
+def _heal_attack(behaviour: str, index: int) -> Schedule:
+    # An *unbounded* compromise (no duration): nothing in the schedule
+    # ever heals it — only the recovery orchestrator can, by evicting
+    # the suspect through a consensus reconfiguration. Equivocation is a
+    # leader behaviour, so that drill compromises the initial leader.
+    return Schedule([
+        SwapByzantine(at=1.2, index=index, behaviour=behaviour),
+    ])
+
+
+def _heal_quorum_guard() -> Schedule:
+    # One replica machine is already down when a second goes silent
+    # Byzantine: evicting (or reimaging) the suspect would drop the live
+    # group to 2 < 2f+1. The orchestrator must refuse — every action on
+    # the suspect logged as blocked, escalating to an operator alarm —
+    # and the group must recover on its own once the faults heal.
+    return Schedule([
+        CrashReplica(at=0.8, duration=4.0, index=3),
+        SwapByzantine(at=1.2, duration=4.0, index=2, behaviour="silent"),
+    ])
+
+
+def _heal_scenarios() -> tuple:
+    drills = []
+    for behaviour, index in (
+        ("silent", 2),
+        ("stuttering", 2),
+        ("lying", 2),
+        ("falsifying", 2),
+        ("equivocating", 0),
+    ):
+        drills.append(
+            Scenario(
+                name=f"heal-evict-{behaviour}",
+                description=f"SELF-HEAL: permanent {behaviour} compromise; the"
+                " orchestrator must evict-and-replace it via reconfiguration",
+                build=(lambda b=behaviour, i=index: _heal_attack(b, i)),
+                overrides=dict(_HEAL_ZERO_TRUST),
+            )
+        )
+    drills.append(
+        Scenario(
+            name="heal-benign-leader-kill",
+            description="SELF-HEAL negative drill: a benign leader crash and"
+            " recovery; the orchestrator must take zero actions",
+            build=_leader_crash,
+            overrides={"heal": True},
+        )
+    )
+    drills.append(
+        Scenario(
+            name="heal-quorum-guard",
+            description="SELF-HEAL guard drill: a suspect appears while"
+            " another replica is down; every action must be refused"
+            " (blocked -> alarm), never eroding the 2f+1 quorum",
+            build=_heal_quorum_guard,
+            # The double fault stalls consensus, which eventually clears
+            # the (progress-relative) silence verdict — escalate to the
+            # alarm within the window the detector can still corroborate.
+            overrides={
+                "heal": True,
+                "allow_overload": True,
+                "heal_config": HealConfig(blocked_alarm_after=3),
+            },
+        )
+    )
+    return tuple(drills)
+
+
 SCENARIOS: dict[str, Scenario] = {
     scenario.name: scenario
     for scenario in (
@@ -410,6 +487,7 @@ SCENARIOS: dict[str, Scenario] = {
             expect_violation=True,
             overrides={"allow_overload": True},
         ),
+        *_heal_scenarios(),
     )
 }
 

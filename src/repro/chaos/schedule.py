@@ -244,6 +244,10 @@ class SwapByzantine(Action):
     replica_fault = True
 
     def _apply(self, ctx) -> None:
+        if self.index in ctx.evicted:
+            # The group already voted this machine out; there is no
+            # replica left at the address to compromise.
+            return
         swap_replica_behaviour(
             ctx.system, self.index, self.behaviour, handler_config=ctx.handler_config
         )
@@ -256,6 +260,14 @@ class SwapByzantine(Action):
             )
 
     def _revert(self, ctx) -> None:
+        if self.index in ctx.evicted:
+            # Evicted mid-episode: the attacker's machine was removed
+            # from the membership, so healing the fault must not boot an
+            # honest replica at a retired address. The episode still
+            # closes (the compromise ended when the group cut it off).
+            ctx.compromised.discard(self.index)
+            ctx.close_ground_truth(replica_address(self.index))
+            return
         swap_replica_behaviour(
             ctx.system, self.index, "honest", handler_config=ctx.handler_config
         )
@@ -423,6 +435,8 @@ class Rejuvenate(Action):
     def _apply(self, ctx) -> None:
         from repro.core.recovery import rejuvenate_replica
 
+        if self.index in ctx.evicted:
+            return
         rejuvenate_replica(ctx.system, self.index, handler_config=ctx.handler_config)
         ctx.rejuvenations += 1
 
@@ -466,6 +480,10 @@ class CrashRestart(Action):
         from repro.core.recovery import restart_replica
 
         _recover_machine(ctx, self.index, getattr(self, "_rules", []))
+        if self.index in ctx.evicted:
+            # Rebooting hardware the group evicted brings the machine
+            # back online but must not rejoin it to the replica group.
+            return
         replacement = restart_replica(
             ctx.system,
             self.index,

@@ -52,6 +52,7 @@ def replay_snippet(schedule: Schedule, config: CampaignConfig) -> str:
     lines = [
         "from repro.chaos import *",
         "from repro.chaos.campaign import CampaignConfig",
+        "from repro.heal import HealConfig",
         "from repro.ids import IdsConfig",
         "",
         "schedule = Schedule([",
@@ -68,19 +69,49 @@ def replay_snippet(schedule: Schedule, config: CampaignConfig) -> str:
     return "\n".join(lines) + "\n"
 
 
-def _fails(schedule: Schedule, config: CampaignConfig, counter: list) -> "CampaignReport | None":
-    """Run the campaign; return the report iff it still violates."""
+def _heal_signature(report: CampaignReport) -> tuple:
+    """The orchestrator's story, shrink-stable: (kind, target, outcome)s."""
+    return tuple(
+        (action["kind"], action["target"], action["outcome"])
+        for action in report.heal_actions
+    )
+
+
+def _fails(
+    schedule: Schedule,
+    config: CampaignConfig,
+    counter: list,
+    heal_signature: tuple | None = None,
+) -> "CampaignReport | None":
+    """Run the campaign; return the report iff it still violates.
+
+    With ``heal_signature`` set (pinned-heal shrinking), a candidate
+    only counts when the recovery orchestrator also took the *same*
+    actions with the same outcomes — a reduction that makes the failure
+    survive by silencing or rerouting the self-healing response is a
+    different bug, not a smaller reproduction of this one.
+    """
     counter[0] += 1
     report = run_campaign(schedule, config)
-    return report if not report.ok else None
+    if report.ok:
+        return None
+    if heal_signature is not None and _heal_signature(report) != heal_signature:
+        return None
+    return report
 
 
 def shrink_schedule(
     schedule: Schedule,
     config: CampaignConfig | None = None,
     max_runs: int = 60,
+    pin_heal: bool = False,
 ) -> ShrinkResult:
     """Minimize ``schedule`` while it keeps violating an invariant.
+
+    ``pin_heal`` additionally requires every reduction to preserve the
+    failing run's recovery-orchestrator action log (kinds, targets and
+    outcomes) — see :func:`_fails`. Only meaningful for campaigns with
+    ``config.heal``.
 
     Raises ``ValueError`` if the input schedule doesn't fail in the
     first place (nothing to shrink).
@@ -93,6 +124,7 @@ def shrink_schedule(
             "schedule does not violate any invariant under this config; "
             "nothing to shrink"
         )
+    sig = _heal_signature(baseline) if pin_heal else None
 
     current = list(schedule.actions)
     best_report = baseline
@@ -106,7 +138,7 @@ def shrink_schedule(
             if counter[0] >= max_runs or len(current) <= 1:
                 break
             candidate = current[:i] + current[i + 1:]
-            report = _fails(Schedule(list(candidate)), config, counter)
+            report = _fails(Schedule(list(candidate)), config, counter, sig)
             if report is not None:
                 current = candidate
                 best_report = report
@@ -123,7 +155,7 @@ def shrink_schedule(
             shorter = dc_replace(action, duration=round(action.duration / 2, 3))
             candidate = list(current)
             candidate[i] = shorter
-            report = _fails(Schedule(candidate), config, counter)
+            report = _fails(Schedule(candidate), config, counter, sig)
             if report is None:
                 break
             action = shorter
@@ -142,7 +174,7 @@ def shrink_schedule(
             pinned = dc_replace(action.action, at=round(fired[0], 3))
             candidate = list(current)
             candidate[i] = pinned
-            report = _fails(Schedule(candidate), config, counter)
+            report = _fails(Schedule(candidate), config, counter, sig)
             if report is not None:
                 current = candidate
                 best_report = report
@@ -151,7 +183,7 @@ def shrink_schedule(
             simpler = dc_replace(action, when="always", param=None)
             candidate = list(current)
             candidate[i] = simpler
-            report = _fails(Schedule(candidate), config, counter)
+            report = _fails(Schedule(candidate), config, counter, sig)
             if report is not None:
                 action = simpler
                 current = candidate
@@ -168,7 +200,7 @@ def shrink_schedule(
             )
             candidate = list(current)
             candidate[i] = shorter
-            report = _fails(Schedule(candidate), config, counter)
+            report = _fails(Schedule(candidate), config, counter, sig)
             if report is None:
                 break
             current = candidate

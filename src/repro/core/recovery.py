@@ -150,6 +150,16 @@ class RejuvenationScheduler:
     settle_time:
         How long after a rejuvenation the scheduler verifies the replica
         caught up before moving on (diagnostics only).
+    guard:
+        Optional zero-arg callable returning a veto reason (string) or
+        ``None``. A recovery orchestrator plugs in here so a scheduled
+        rejuvenation never overlaps one of its own healing actions.
+
+    A scheduled rejuvenation is *skipped* (logged in :attr:`skip_log`,
+    retried next period) whenever another replica is already down,
+    unreachable, or mid-state-transfer: rejuvenation deliberately takes
+    one replica out, and doing so while the group is already degraded
+    would erode the live quorum below 2f+1.
     """
 
     def __init__(
@@ -158,6 +168,7 @@ class RejuvenationScheduler:
         period: float,
         handler_config=None,
         settle_time: float = 2.0,
+        guard=None,
     ) -> None:
         if period <= 0:
             raise ValueError("rejuvenation period must be positive")
@@ -165,9 +176,29 @@ class RejuvenationScheduler:
         self.period = period
         self.handler_config = handler_config
         self.settle_time = settle_time
+        self.guard = guard
         self.rejuvenations = 0
         self.recovered_in_time = 0
+        self.skipped = 0
+        #: One ``{"time", "target", "reason"}`` dict per skipped slot.
+        self.skip_log: list = []
         self._process = None
+
+    def erosion_reason(self, target: int) -> str | None:
+        """Why rejuvenating ``target`` now would erode the quorum."""
+        net = self.system.net
+        for pm in self.system.proxy_masters:
+            if pm.index == target:
+                continue
+            if not pm.replica.active:
+                return f"{pm.address} is down"
+            if net.endpoint(pm.address).down:
+                return f"{pm.address} machine is unreachable"
+            if pm.replica.state_transfer.in_progress:
+                return f"{pm.address} has a state transfer in flight"
+        if self.guard is not None:
+            return self.guard()
+        return None
 
     def start(self) -> None:
         if self._process is not None:
@@ -190,6 +221,13 @@ class RejuvenationScheduler:
                 yield sim.timeout(self.period)
                 count = len(self.system.proxy_masters)
                 target = index % count
+                reason = self.erosion_reason(target)
+                if reason is not None:
+                    self.skipped += 1
+                    self.skip_log.append(
+                        {"time": sim.now, "target": target, "reason": reason}
+                    )
+                    continue
                 index += 1
                 replacement = rejuvenate_replica(
                     self.system, target, handler_config=self.handler_config

@@ -1,0 +1,606 @@
+"""The recovery orchestrator: detections in, safe recovery actions out.
+
+:class:`RecoveryOrchestrator` closes the loop the IDS opened. It is
+polled on the campaign's monitor grid (no events of its own while idle),
+reads the detector's corroborated :class:`~repro.ids.detectors.Verdict`
+stream plus a liveness probe over the replica group, consults the
+response policy (:mod:`repro.heal.policy`) and the quorum guard, and
+drives at most one recovery action at a time:
+
+``restart``
+    A replica whose process is dead while its machine answers the
+    liveness probe is rebooted — from its durable disk when the
+    deployment has one, as a pristine state-transferring instance
+    otherwise. (A *crashed machine* fails the probe and is left alone:
+    rebooting hardware is the infrastructure's job, not ours.)
+``rejuvenate``
+    Proactive recovery of the suspect in place (see
+    :func:`repro.core.recovery.rejuvenate_replica`).
+``evict``
+    Join a fresh spare replica through a signed consensus
+    reconfiguration, wait for its state transfer to complete, then leave
+    the suspect — and force-halt it, since a Byzantine instance cannot
+    be trusted to honour its own removal.
+``alarm``
+    Raise an operator alarm and stop acting on that entity.
+
+Every decision is recorded as a :class:`HealAction` (including refused
+ones, with ``outcome="blocked"``), so a campaign's action log is a
+complete audit trail. The orchestrator adds no randomness: the same
+seed and schedule produce the identical log on both simulation kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bftsmart.client import ServiceProxy
+from repro.bftsmart.config import replica_address
+from repro.bftsmart.reconfiguration import Administrator
+from repro.bftsmart.view import View
+from repro.core.proxy_master import ProxyMaster
+from repro.core.recovery import rejuvenate_replica, restart_replica
+from repro.heal.policy import HealConfig, quorum_blockers, transfer_blockers
+
+_NEVER = -1.0e9
+
+
+@dataclass
+class HealAction:
+    """One orchestrator decision, attempted or refused."""
+
+    time: float
+    #: ``restart`` / ``rejuvenate`` / ``evict`` / ``alarm``.
+    kind: str
+    #: The entity acted on (replica address, client id, or ``ingress``).
+    target: str
+    #: ``uid`` of the triggering detection (``"probe"`` for restarts).
+    trigger: str
+    #: Detection kind (``"crash"`` for restarts).
+    trigger_kind: str
+    #: ``started`` -> ``completed`` / ``blocked`` / ``raised`` /
+    #: ``join-rejected`` / ``join-timed-out`` / ``leave-rejected`` /
+    #: ``leave-timed-out`` / ``transfer-timed-out`` / ``failed``.
+    outcome: str = "started"
+    detail: str = ""
+    completed_at: float | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "time": round(self.time, 6),
+            "kind": self.kind,
+            "target": self.target,
+            "trigger": self.trigger,
+            "trigger_kind": self.trigger_kind,
+            "outcome": self.outcome,
+            "detail": self.detail,
+            "completed_at": (
+                round(self.completed_at, 6)
+                if self.completed_at is not None
+                else None
+            ),
+        }
+
+
+class RecoveryOrchestrator:
+    """Drives automated recovery from IDS verdicts and liveness probes.
+
+    Parameters
+    ----------
+    sim, net, system:
+        The running deployment (a :class:`repro.core.system.SmartScadaSystem`).
+    detector:
+        The :class:`repro.ids.IntrusionDetector` whose ``verdicts()``
+        feed the policy engine, or ``None`` for a probe-only
+        orchestrator (restarts still work; nothing else triggers).
+    config:
+        A :class:`repro.heal.policy.HealConfig`.
+    handler_config:
+        ``fn(proxy_master)`` re-applying deployment configuration to
+        replicas the orchestrator boots (spares, restarts).
+    on_evict:
+        ``fn(index, address)`` called after a successful eviction — the
+        chaos campaign uses it to mark the index retired so fault
+        reverts stop resurrecting it.
+    """
+
+    def __init__(
+        self,
+        sim,
+        net,
+        system,
+        detector=None,
+        config: HealConfig | None = None,
+        handler_config=None,
+        on_evict=None,
+    ) -> None:
+        self.sim = sim
+        self.net = net
+        self.system = system
+        self.detector = detector
+        self.config = config if config is not None else HealConfig()
+        self.handler_config = handler_config
+        self.on_evict = on_evict
+        group = system.config.group_config()
+        proxy = ServiceProxy(
+            sim=sim,
+            net=net,
+            client_id="heal-admin",
+            keystore=system.keystore,
+            view=View(0, group.addresses, group.f),
+            invoke_timeout=system.config.invoke_timeout,
+        )
+        proxy.max_attempts = self.config.admin_max_attempts
+        self.admin = Administrator(proxy, system.keystore)
+        #: Complete audit trail of decisions (:class:`HealAction`).
+        self.actions: list = []
+        #: Addresses removed from the membership by this orchestrator.
+        self.evicted: set = set()
+        self.evictions = 0
+        self.rejuvenations = 0
+        self.restarts = 0
+        self.alarms = 0
+        self.blocked = 0
+        self.polls = 0
+        #: One action in flight at a time: recovery actions perturb the
+        #: very signals that trigger them, so they are strictly serial.
+        self.busy = False
+        #: entity -> {"rung", "cooldown_until", "blocked_streak", "done"}.
+        self._targets: dict[str, dict] = {}
+        #: Consecutive guard-refused attempts across *all* targets since
+        #: the last completed action. When a systemic condition (total
+        #: consensus stall) spreads verdicts over every replica, each
+        #: per-entity streak stays at 1 — this counter still sees that
+        #: automation is out of moves.
+        self._blocked_run = 0
+        self._group_alarmed = False
+        #: replica address -> instant its process was first seen dead
+        #: while the machine stayed reachable.
+        self._down_since: dict[str, float] = {}
+        self._spare_base = max(pm.index for pm in system.proxy_masters) + 1
+        self._spares_used = 0
+        sim.register_stats_source("heal", self._stats)
+
+    # -- reads -----------------------------------------------------------
+
+    def _stats(self) -> dict:
+        return {
+            "polls": self.polls,
+            "actions": len(self.actions),
+            "evictions": self.evictions,
+            "rejuvenations": self.rejuvenations,
+            "restarts": self.restarts,
+            "alarms": self.alarms,
+            "blocked": self.blocked,
+        }
+
+    def action_log(self) -> list:
+        """The decisions as plain dicts (report/CLI serialization)."""
+        return [action.as_dict() for action in self.actions]
+
+    # -- the poll --------------------------------------------------------
+
+    def poll(self) -> None:
+        """One decision step; called on the campaign's monitor grid."""
+        self.polls += 1
+        self._probe_crashed()
+        if self.busy:
+            return
+        if self._maybe_restart():
+            return
+        if self.detector is None:
+            return
+        cfg = self.config
+        for verdict in self.detector.verdicts(
+            min_streak=cfg.corroboration_polls
+        ):
+            if verdict.peak_score < cfg.min_score:
+                continue
+            if self._consider(verdict):
+                return
+
+    def _consider(self, verdict) -> bool:
+        """Try to act on one corroborated verdict; True when something ran."""
+        cfg = self.config
+        now = self.sim.now
+        ladder = cfg.rungs_for(verdict.kind)
+        if not ladder:
+            return False
+        entity = verdict.entity
+        if entity in self.evicted:
+            return False
+        st = self._state(entity)
+        if st["done"] or now < st["cooldown_until"]:
+            return False
+        rung = ladder[min(st["rung"], len(ladder) - 1)]
+        target_pm = self._member(entity)
+        if rung in ("rejuvenate", "evict") and target_pm is None:
+            # The suspect is not a current group member (already removed,
+            # or a client-side entity): nothing left to act on but alert.
+            rung = "alarm"
+        if rung == "alarm":
+            self._raise_alarm(
+                entity,
+                verdict.detection.uid,
+                verdict.kind,
+                detail=verdict.detection.evidence,
+            )
+            st["done"] = True
+            return True
+        blockers = quorum_blockers(
+            self.system, self.admin.proxy.view, taking_down=entity
+        )
+        if blockers:
+            self._record_blocked(st, rung, verdict, blockers)
+            return True
+        action = HealAction(
+            time=now,
+            kind=rung,
+            target=entity,
+            trigger=verdict.detection.uid,
+            trigger_kind=verdict.kind,
+        )
+        self.actions.append(action)
+        flow = (
+            self._evict_flow(action, target_pm)
+            if rung == "evict"
+            else self._rejuvenate_flow(action, target_pm)
+        )
+        self._launch(flow, action, st)
+        return True
+
+    def _record_blocked(self, st, rung, verdict, blockers) -> None:
+        cfg = self.config
+        now = self.sim.now
+        self.blocked += 1
+        st["blocked_streak"] += 1
+        st["cooldown_until"] = now + cfg.blocked_retry
+        self.actions.append(
+            HealAction(
+                time=now,
+                kind=rung,
+                target=verdict.entity,
+                trigger=verdict.detection.uid,
+                trigger_kind=verdict.kind,
+                outcome="blocked",
+                detail="; ".join(blockers),
+            )
+        )
+        self._point("heal.blocked", verdict.entity, rung=rung)
+        self._blocked_run += 1
+        if st["blocked_streak"] >= cfg.blocked_alarm_after:
+            # The condition persists but every safe action is refused:
+            # automation is out of moves, tell the operators.
+            self._raise_alarm(
+                verdict.entity,
+                verdict.detection.uid,
+                verdict.kind,
+                detail=f"quorum guard refused {st['blocked_streak']} "
+                f"consecutive {rung} attempts: {'; '.join(blockers)}",
+            )
+            st["done"] = True
+        elif (
+            self._blocked_run >= cfg.blocked_alarm_after
+            and not self._group_alarmed
+        ):
+            # A systemic condition (e.g. a total consensus stall) spreads
+            # verdicts across targets, so no single entity's streak grows
+            # — but the guard keeps refusing everything. Raise one
+            # group-level alarm; it rearms after the next completed action.
+            self._group_alarmed = True
+            self._raise_alarm(
+                "group",
+                verdict.detection.uid,
+                verdict.kind,
+                detail=f"quorum guard refused {self._blocked_run} "
+                f"consecutive recovery attempts across the group; "
+                f"latest: {'; '.join(blockers)}",
+            )
+
+    def _raise_alarm(self, entity, trigger, trigger_kind, detail="") -> None:
+        action = HealAction(
+            time=self.sim.now,
+            kind="alarm",
+            target=entity,
+            trigger=trigger,
+            trigger_kind=trigger_kind,
+            outcome="raised",
+            detail=detail,
+            completed_at=self.sim.now,
+        )
+        self.actions.append(action)
+        self.alarms += 1
+        self._point("heal.alarm", entity, trigger_kind=trigger_kind)
+
+    # -- crash healing (liveness probe) ----------------------------------
+
+    def _probe_crashed(self) -> None:
+        now = self.sim.now
+        for pm in self.system.proxy_masters:
+            if pm.address in self.evicted:
+                continue
+            if not pm.replica.active and not self.net.endpoint(pm.address).down:
+                self._down_since.setdefault(pm.address, now)
+            else:
+                self._down_since.pop(pm.address, None)
+
+    def _maybe_restart(self) -> bool:
+        cfg = self.config
+        now = self.sim.now
+        for address in sorted(self._down_since):
+            if now - self._down_since[address] < cfg.restart_down_after:
+                continue
+            pm = self._member(address)
+            if pm is None:
+                continue
+            blockers = transfer_blockers(self.system, self.admin.proxy.view)
+            if blockers:
+                # Restarting helps the quorum, so only transfer overlap
+                # blocks it — and silently: the probe retries next poll.
+                return False
+            action = HealAction(
+                time=now,
+                kind="restart",
+                target=address,
+                trigger="probe",
+                trigger_kind="crash",
+            )
+            self.actions.append(action)
+            self._launch(self._restart_flow(action, pm), action, None)
+            return True
+        return False
+
+    # -- action flows (simulation processes) -----------------------------
+
+    def _launch(self, flow, action: HealAction, st: dict | None) -> None:
+        cfg = self.config
+        sim = self.sim
+        self.busy = True
+        span = self._begin_span(f"heal.{action.kind}", action)
+
+        def run():
+            yield from flow
+            if action.completed_at is None:
+                action.completed_at = sim.now
+            self._end_span(span, outcome=action.outcome)
+            self.busy = False
+            if action.outcome == "completed":
+                self._blocked_run = 0
+                self._group_alarmed = False
+            if st is not None:
+                st["cooldown_until"] = sim.now + cfg.cooldown
+                if action.outcome == "completed":
+                    st["rung"] += 1
+                    st["blocked_streak"] = 0
+
+        sim.process(run(), name=f"heal-{action.kind}-{action.target}")
+
+    def _rejuvenate_flow(self, action: HealAction, pm):
+        cfg = self.config
+        replacement = rejuvenate_replica(
+            self.system, pm.index, handler_config=self.handler_config
+        )
+        self.rejuvenations += 1
+        caught_up = yield from self._wait_caught_up(
+            replacement, cfg.transfer_deadline
+        )
+        if caught_up:
+            action.outcome = "completed"
+            action.detail = "suspect reimaged and caught up"
+        else:
+            action.outcome = "transfer-timed-out"
+            action.detail = "reimaged replica did not catch up in time"
+
+    def _restart_flow(self, action: HealAction, pm):
+        cfg = self.config
+        storage = (
+            self.system.durable_storage.get(pm.index)
+            if self.system.durable_storage is not None
+            else None
+        )
+        if storage is not None:
+            replacement = restart_replica(
+                self.system,
+                pm.index,
+                disk_fault=None,
+                handler_config=self.handler_config,
+            )
+            action.detail = "rebooted from durable disk"
+        else:
+            replacement = rejuvenate_replica(
+                self.system, pm.index, handler_config=self.handler_config
+            )
+            action.detail = "no durable disk; booted a pristine instance"
+        self.restarts += 1
+        caught_up = yield from self._wait_caught_up(
+            replacement, cfg.transfer_deadline
+        )
+        action.outcome = "completed" if caught_up else "transfer-timed-out"
+
+    def _evict_flow(self, action: HealAction, suspect_pm):
+        cfg = self.config
+        sim = self.sim
+        suspect = suspect_pm.address
+        if self._spares_used >= cfg.max_spares:
+            action.outcome = "failed"
+            action.detail = f"spare budget ({cfg.max_spares}) exhausted"
+            return
+        spare_pm = self._provision_spare(self._spare_base + self._spares_used)
+        self._spares_used += 1
+        # Phase 1 — join the spare, so the membership never shrinks first.
+        result = yield from self._await(
+            self.admin.reconfigure_checked(
+                join=(spare_pm.address,),
+                timeout=cfg.action_timeout,
+                attempts=cfg.reconfig_attempts,
+                backoff=cfg.reconfig_backoff,
+            )
+        )
+        if not result.applied:
+            action.outcome = f"join-{result.status}"
+            action.detail = result.detail
+            return
+        self.system.update_views(result.view)
+        # Phase 2 — wait for the joiner to state-transfer the full state.
+        spare_pm.replica.state_transfer.bootstrap()
+        caught_up = yield from self._wait_caught_up(
+            spare_pm, cfg.transfer_deadline
+        )
+        if not caught_up:
+            action.outcome = "transfer-timed-out"
+            action.detail = (
+                f"joined {spare_pm.address} but it did not catch up in time; "
+                f"suspect left in place"
+            )
+            return
+        # Phase 3 — re-check the guard (the world moved during the
+        # transfer), then leave the suspect.
+        blockers = quorum_blockers(
+            self.system, self.admin.proxy.view, taking_down=suspect
+        )
+        if blockers:
+            action.outcome = "blocked"
+            action.detail = "; ".join(blockers)
+            self.blocked += 1
+            return
+        result = yield from self._await(
+            self.admin.reconfigure_checked(
+                leave=(suspect,),
+                timeout=cfg.action_timeout,
+                attempts=cfg.reconfig_attempts,
+                backoff=cfg.reconfig_backoff,
+            )
+        )
+        if not result.applied:
+            action.outcome = f"leave-{result.status}"
+            action.detail = result.detail
+            return
+        self.system.update_views(result.view)
+        # A Byzantine instance cannot be trusted to honour its removal —
+        # honest replicas already ignore it, but halting it stops the
+        # noise and releases its machine.
+        suspect_pm.replica.halt()
+        self.evicted.add(suspect)
+        self.evictions += 1
+        if self.on_evict is not None:
+            self.on_evict(suspect_pm.index, suspect)
+        action.outcome = "completed"
+        action.detail = (
+            f"replaced by {spare_pm.address} "
+            f"(view {result.view_id}, t={sim.now:.3f})"
+        )
+
+    def _provision_spare(self, index: int) -> ProxyMaster:
+        """Boot a fresh replica at the next spare address.
+
+        The spare anticipates the post-join view (the admin is the only
+        view-changing principal here, so the id is exact) and starts
+        listening before the reconfiguration decides — the moment the
+        members install the new view, the joiner is already there.
+        """
+        system = self.system
+        view = self.admin.proxy.view
+        address = replica_address(index)
+        anticipated = View(
+            view.view_id + 1, view.addresses + (address,), view.f
+        )
+        storage = None
+        if system.durable_storage is not None:
+            from repro.storage import ReplicaStorage
+
+            storage = ReplicaStorage(
+                address,
+                fsync_policy=system.config.fsync_policy,
+                fsync_interval=system.config.fsync_interval,
+                checkpoint_retention=system.config.checkpoint_retention,
+            )
+            system.durable_storage[index] = storage
+        pm = ProxyMaster(
+            self.sim,
+            self.net,
+            index,
+            system.config,
+            system.keystore,
+            view=anticipated,
+            storage=storage,
+        )
+        if self.handler_config is not None:
+            self.handler_config(pm)
+        system.proxy_masters.append(pm)
+        return pm
+
+    # -- helpers ---------------------------------------------------------
+
+    def _state(self, entity: str) -> dict:
+        return self._targets.setdefault(
+            entity,
+            {
+                "rung": 0,
+                "cooldown_until": _NEVER,
+                "blocked_streak": 0,
+                "done": False,
+            },
+        )
+
+    def _member(self, address: str):
+        for pm in self.system.proxy_masters:
+            if pm.address == address and pm.address not in self.evicted:
+                return pm
+        return None
+
+    def _await(self, event):
+        """Wait for ``event`` from inside a flow generator; returns its value."""
+        box: list = []
+        event.add_callback(lambda ev: box.append(ev))
+        while not box:
+            yield self.sim.timeout(self.config.grid)
+        return box[0].value
+
+    def _wait_caught_up(self, pm, deadline: float):
+        """Poll until ``pm`` finished its transfer and reached the frontier."""
+        sim = self.sim
+        limit = sim.now + deadline
+        while sim.now < limit:
+            peers = [
+                other.replica.last_decided
+                for other in self.system.proxy_masters
+                if other is not pm
+                and other.replica.active
+                and other.address not in self.evicted
+            ]
+            if (
+                peers
+                and not pm.replica.state_transfer.in_progress
+                and pm.replica.last_decided >= max(peers) - 1
+            ):
+                return True
+            yield sim.timeout(self.config.grid)
+        return False
+
+    def _begin_span(self, name: str, action: HealAction):
+        tracer = self.sim.tracer
+        if tracer is None:
+            return None
+        return tracer.begin(
+            name,
+            f"heal-{len(self.actions)}",
+            process="heal",
+            target=action.target,
+            trigger=action.trigger,
+            trigger_kind=action.trigger_kind,
+        )
+
+    def _end_span(self, span, **attrs) -> None:
+        if span is not None:
+            self.sim.tracer.end(span, **attrs)
+
+    def _point(self, name: str, target: str, **attrs) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.point(
+                name,
+                f"heal-{len(self.actions)}",
+                process="heal",
+                target=target,
+                **attrs,
+            )

@@ -27,7 +27,7 @@ legacy SCADA (host-liveness probes distinguish a crashed machine from a
 live-but-protocol-silent compromise).
 """
 
-from repro.ids.detectors import Detection, IdsConfig, IntrusionDetector
+from repro.ids.detectors import Detection, IdsConfig, IntrusionDetector, Verdict
 from repro.ids.features import FeatureExtractor
 from repro.ids.scoring import GroundTruthEpisode, score_detections
 
@@ -37,5 +37,6 @@ __all__ = [
     "GroundTruthEpisode",
     "IdsConfig",
     "IntrusionDetector",
+    "Verdict",
     "score_detections",
 ]

@@ -102,6 +102,36 @@ class Detection:
     #: Which detector fired.
     detector: str
     evidence: str = ""
+    #: Stable per-run identity (``"d1"``, ``"d2"``, ...) so downstream
+    #: consumers — the recovery orchestrator's action log above all —
+    #: can cite the exact detection that triggered an action.
+    uid: str = ""
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """An *actionable* detector state: a detection plus its persistence.
+
+    A raw :class:`Detection` is a threshold crossing — one noisy window
+    can produce it. A verdict is what response policy should consume:
+    the condition is still asserted now, has held for ``streak``
+    consecutive polls, and ``peak_score`` is the worst score seen while
+    asserted. The orchestrator's corroboration threshold is a minimum
+    streak, so an adversary cannot weaponize one low-confidence blip
+    into a self-inflicted recovery action.
+    """
+
+    detection: Detection
+    streak: int
+    peak_score: float
+
+    @property
+    def kind(self) -> str:
+        return self.detection.kind
+
+    @property
+    def entity(self) -> str:
+        return self.detection.entity
 
 
 @dataclass
@@ -152,6 +182,12 @@ class IntrusionDetector:
         self.risk: dict[str, dict] = {}
         #: (kind, entity) pairs currently asserted (hysteresis).
         self._asserted: set = set()
+        #: (kind, entity) -> consecutive polls at/above threshold.
+        self._streak: dict[tuple, int] = {}
+        #: (kind, entity) -> worst score seen during the current assertion.
+        self._peak: dict[tuple, float] = {}
+        #: (kind, entity) -> the Detection that opened the assertion.
+        self._latest: dict[tuple, Detection] = {}
         self._hosts = {addr: _HostState() for addr in self.replicas}
         #: Learned per-client write rates (frozen at warm-up end).
         self._write_baseline: dict[str, float] = {}
@@ -177,20 +213,25 @@ class IntrusionDetector:
         self._score(entity, kind, score)
         key = (kind, entity)
         if score >= self.config.alert_threshold:
+            self._streak[key] = self._streak.get(key, 0) + 1
+            self._peak[key] = max(self._peak.get(key, 0.0), round(score, 4))
             if key not in self._asserted:
                 self._asserted.add(key)
-                self.detections.append(
-                    Detection(
-                        time=self.sim.now,
-                        kind=kind,
-                        entity=entity,
-                        score=round(score, 4),
-                        detector=detector,
-                        evidence=evidence,
-                    )
+                detection = Detection(
+                    time=self.sim.now,
+                    kind=kind,
+                    entity=entity,
+                    score=round(score, 4),
+                    detector=detector,
+                    evidence=evidence,
+                    uid=f"d{len(self.detections) + 1}",
                 )
+                self.detections.append(detection)
+                self._latest[key] = detection
         else:
             self._asserted.discard(key)
+            self._streak.pop(key, None)
+            self._peak.pop(key, None)
 
     def _probe_hosts(self, now: float) -> None:
         for addr, host in self._hosts.items():
@@ -422,3 +463,33 @@ class IntrusionDetector:
 
     def alerts_above(self, threshold: float) -> list:
         return [d for d in self.detections if d.score >= threshold]
+
+    def verdicts(self, min_streak: int = 1, kinds: tuple | None = None) -> list:
+        """Currently-asserted conditions corroborated for ``min_streak`` polls.
+
+        The actionable read for response automation: each
+        :class:`Verdict` carries the opening :class:`Detection` (with
+        its ``uid``), the consecutive-poll streak and the peak score.
+        Returned in detection order, so consumers iterate
+        deterministically.
+        """
+        out = []
+        for key in sorted(
+            self._asserted, key=lambda k: self._latest[k].uid if k in self._latest else ""
+        ):
+            if key not in self._latest:
+                continue
+            streak = self._streak.get(key, 0)
+            if streak < min_streak:
+                continue
+            if kinds is not None and key[0] not in kinds:
+                continue
+            out.append(
+                Verdict(
+                    detection=self._latest[key],
+                    streak=streak,
+                    peak_score=self._peak.get(key, 0.0),
+                )
+            )
+        out.sort(key=lambda v: int(v.detection.uid[1:]))
+        return out

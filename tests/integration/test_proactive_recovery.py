@@ -158,6 +158,47 @@ def test_rejuvenation_under_fire():
     assert len(set(system.state_digests())) == 1
 
 
+def test_scheduler_skips_slot_when_group_degraded():
+    """Rejuvenation takes a replica out on purpose; with another replica
+    already down the scheduler must skip the slot, not erode the quorum."""
+    sim, system, reconfigure = build(seed=41)
+    feed(sim, system, 3)
+    system.proxy_masters[3].replica.halt()
+    scheduler = RejuvenationScheduler(
+        system, period=2.0, handler_config=reconfigure, settle_time=1.0
+    )
+    scheduler.start()
+    sim.run(until=sim.now + 7)
+    scheduler.stop()
+    assert scheduler.rejuvenations == 0
+    assert scheduler.skipped >= 2
+    assert all("down" in entry["reason"] for entry in scheduler.skip_log)
+
+
+def test_scheduler_defers_to_external_guard():
+    """An orchestrator-supplied veto (mid-eviction, say) must win over
+    the timer: every slot is skipped and logged while the guard holds."""
+    sim, system, reconfigure = build(seed=42)
+    feed(sim, system, 3)
+    scheduler = RejuvenationScheduler(
+        system,
+        period=2.0,
+        handler_config=reconfigure,
+        settle_time=1.0,
+        guard=lambda: "recovery action in flight",
+    )
+    scheduler.start()
+    sim.run(until=sim.now + 7)
+    scheduler.stop()
+    assert scheduler.rejuvenations == 0
+    assert scheduler.skipped >= 2
+    assert all(
+        entry["reason"] == "recovery action in flight"
+        for entry in scheduler.skip_log
+    )
+    assert converge(sim, system)
+
+
 def test_scheduler_validation():
     sim, system, _ = build()
     with pytest.raises(ValueError):
