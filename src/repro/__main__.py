@@ -12,6 +12,10 @@ demo
 steps
     Replay one item update and one write through both systems and print
     the communication-step flows (Figures 3/4 vs 6/7).
+shards
+    Run the sharded deployment demo: N independent BFT groups behind
+    one item namespace, hash-partitioned shard map, deterministic
+    global AE order. ``--split`` exercises a live shard split.
 perf
     Print the hot-path performance report (``BENCH_PERF.json``),
     measuring it first if the file does not exist (``--rerun`` forces a
@@ -120,6 +124,84 @@ def cmd_demo(args) -> int:
     identical = len(set(system.state_digests())) == 1
     print(f"replica states identical across n={len(system.proxy_masters)}: {identical}")
     return 0 if identical else 1
+
+
+def cmd_shards(args) -> int:
+    from repro.shard import ShardSplitter, ShardedScadaConfig, build_sharded_scada
+    from repro.neoscada import HandlerChain, Monitor
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=args.seed, kernel=args.kernel)
+    config = ShardedScadaConfig(shards=args.shards)
+    system = build_sharded_scada(sim, config=config)
+    items = [f"plant.sensor-{i}" for i in range(8)]
+    for item in items:
+        system.frontend.add_item(item, initial=20)
+        system.attach_handlers(item, lambda: HandlerChain([Monitor(high=80.0)]))
+    system.frontend.add_item("plant.valve", initial=0, writable=True)
+    system.start()
+
+    _print_table(
+        f"shard map (hash-partitioned, {args.shards} groups)",
+        ["item", "shard", "group addresses"],
+        [
+            [item, system.shard_of(item),
+             ", ".join(system.config.group_config(system.shard_of(item)).addresses)]
+            for item in items + ["plant.valve"]
+        ],
+    )
+
+    def scenario():
+        for i, item in enumerate(items):
+            system.frontend.inject_update(item, 90 if i % 2 == 0 else 30)
+            yield sim.timeout(0.02)
+        result = yield system.hmi.write("plant.valve", 1)
+        print(f"\nvalve write     : success={result.success}")
+        yield sim.timeout(0.5)
+        if args.split:
+            splitter = ShardSplitter(system)
+            target = args.shards - 1
+            moved = [it for it in items if system.shard_of(it) != target][:2]
+            print(f"splitting {moved} out to shard {target} "
+                  f"(growing the target group)...")
+            report = yield from splitter.split(moved, target, grow_target=True)
+            print(f"split           : status={report.status} "
+                  f"moved_items={report.moved_items} "
+                  f"moved_events={report.moved_events} epoch={report.epoch}")
+            # Give the freshly joined spare time to finish state transfer.
+            yield sim.timeout(2.0)
+        return True
+
+    sim.run_process(scenario(), until=60)
+    system.flush_events()
+
+    alarms = system.hmi.alarms()
+    print(f"alarms delivered: {len(alarms)} (globally ordered)")
+    for alarm in alarms[:4]:
+        print(f"  {alarm.item_id}: {alarm.message}")
+    routers = [pf.router for pf in system.proxy_frontends] + [system.proxy_hmi.router]
+    routers = [r for r in routers if r is not None]
+    if routers:
+        totals = {"hits": 0, "misses": 0, "invalidations": 0}
+        for r in routers:
+            for key in totals:
+                totals[key] += r.stats[key]
+        print(f"router caches   : hits={totals['hits']} "
+              f"misses={totals['misses']} "
+              f"invalidations={totals['invalidations']}")
+    if system.proxy_hmi.merger is not None:
+        stats = system.proxy_hmi.merger.stats
+        print(f"global AE merge : offered={stats['offered']} "
+              f"released={stats['released']} late={stats['late']}")
+    ok = True
+    for shard in range(args.shards):
+        digests = set(system.state_digests(shard))
+        members = len(system.group(shard))
+        converged = len(digests) == 1
+        ok = ok and converged
+        print(f"shard {shard}         : n={members} "
+              f"states identical: {converged}")
+    return 0 if ok else 1
 
 
 def _perf_kernel_bench(args) -> int:
@@ -968,6 +1050,20 @@ def main(argv=None) -> int:
         "steps", help="print the message-flow steps (Figures 3/4/6/7)"
     )
     steps.set_defaults(func=cmd_steps)
+
+    shards = subparsers.add_parser(
+        "shards", help="run the sharded deployment demo (N BFT groups, "
+                       "one namespace, global AE order)"
+    )
+    shards.add_argument("--shards", type=int, default=2,
+                        help="number of independent replica groups (default 2)")
+    shards.add_argument("--seed", type=int, default=42)
+    shards.add_argument("--kernel", choices=["heap", "ring"], default="heap",
+                        help="event kernel (default heap)")
+    shards.add_argument("--split", action="store_true",
+                        help="also perform a live shard split mid-run "
+                             "(moves two items, grows the target group)")
+    shards.set_defaults(func=cmd_shards)
 
     perf = subparsers.add_parser(
         "perf", help="print (or regenerate) the BENCH_PERF.json summary"

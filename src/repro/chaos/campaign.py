@@ -23,7 +23,6 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field, replace
 
-from repro.bftsmart.config import replica_address
 from repro.chaos.adaptive import TriggeredAction, active_replica_faults
 from repro.chaos.monitors import Violation, default_monitors
 from repro.chaos.schedule import Schedule
@@ -66,6 +65,9 @@ class CampaignConfig:
     #: Group shape.
     n: int = 4
     f: int = 1
+    #: Independent BFT groups behind the one namespace (1 = classic).
+    #: Each group carries its *own* ``f`` replica-fault budget.
+    shards: int = 1
     #: Permit schedules that exceed the replica-fault budget (attack drills).
     allow_overload: bool = False
     #: Safety-monitor polling period.
@@ -133,6 +135,11 @@ class CampaignConfig:
             fsync_policy=self.fsync_policy,
             checkpoint_interval=self.checkpoint_interval,
         )
+
+    def sharded_config(self):
+        from repro.shard.config import ShardedScadaConfig
+
+        return ShardedScadaConfig(shards=self.shards, base=self.scada_config())
 
 
 @dataclass
@@ -260,7 +267,11 @@ class CampaignContext:
         ]
 
     def honest_addresses(self) -> set:
-        return {replica_address(i) for i in self.honest_indices()}
+        return {
+            pm.address
+            for pm in self.system.proxy_masters
+            if pm.index not in self.compromised
+        }
 
     def honest_live_replicas(self) -> list:
         return [pm.replica for pm in self.honest_live_proxy_masters()]
@@ -276,26 +287,35 @@ class CampaignContext:
         ]
 
     def client_proxies(self) -> list:
-        """Every external BFT client (HMI side + field side)."""
-        return [self.system.proxy_hmi.bft] + [
-            pf.bft for pf in self.system.proxy_frontends
-        ]
+        """Every external BFT client (HMI side + field side, all groups)."""
+        clients = list(self.system.proxy_hmi.bft_clients)
+        for pf in self.system.proxy_frontends:
+            clients.extend(pf.bft_clients)
+        return clients
 
-    def current_leader_index(self) -> int:
-        """The replica index honest replicas currently follow."""
+    def current_leader_index(self, shard: int = 0) -> int:
+        """The *global* index honest replicas of ``shard`` follow."""
         for pm in self.honest_live_proxy_masters():
-            leader = pm.replica.leader  # "replica-<k>"
-            return int(leader.rsplit("-", 1)[1])
-        return 0
+            if getattr(pm, "shard", 0) != shard:
+                continue
+            leader = pm.replica.leader  # "replica-<k>" / "s<j>-replica-<k>"
+            local = int(leader.rsplit("-", 1)[1])
+            return shard * self.config.n + local
+        return shard * self.config.n
 
     def converged(self) -> bool:
-        replicas = self.honest_live_replicas()
-        if not replicas:
+        """Every group's honest live replicas agree on their frontier."""
+        by_shard: dict = {}
+        for pm in self.honest_live_proxy_masters():
+            by_shard.setdefault(getattr(pm, "shard", 0), []).append(pm.replica)
+        if not by_shard:
             return False
-        return (
-            len({r.last_decided for r in replicas}) == 1
-            and len({r.executed_cid for r in replicas}) == 1
-        )
+        for replicas in by_shard.values():
+            if len({r.last_decided for r in replicas}) != 1:
+                return False
+            if len({r.executed_cid for r in replicas}) != 1:
+                return False
+        return True
 
 
 @dataclass
@@ -404,7 +424,19 @@ def run_campaign(
 ) -> CampaignReport:
     """Run one deterministic fault campaign and report the verdicts."""
     config = config if config is not None else CampaignConfig()
-    schedule.validate_budget(config.f, config.horizon, config.allow_overload)
+    schedule.validate_budget(
+        config.f,
+        config.horizon,
+        config.allow_overload,
+        n=config.n,
+        shards=config.shards,
+    )
+    if config.shards > 1 and (config.ids or config.heal):
+        raise ValueError(
+            "IDS/heal campaigns watch one replica group; run them with "
+            "shards=1 (per-group detection on sharded topologies is future "
+            "work)"
+        )
     monitors = monitors if monitors is not None else default_monitors()
 
     sim = Simulator(seed=config.seed, kernel=config.kernel)
@@ -414,7 +446,12 @@ def run_campaign(
     if config.trace_spans or config.trace_dump is not None or ids_active:
         tracer = install_tracer(sim, max_spans=config.max_trace_spans)
     net = make_network(sim, trace=config.trace, max_hops=config.trace_max_hops)
-    system = build_smartscada(sim, net=net, config=config.scada_config())
+    if config.shards > 1:
+        from repro.shard.deployment import build_sharded_scada
+
+        system = build_sharded_scada(sim, net=net, config=config.sharded_config())
+    else:
+        system = build_smartscada(sim, net=net, config=config.scada_config())
 
     sensors = [f"plant.s{i}" for i in range(config.sensors)]
     for sensor in sensors:

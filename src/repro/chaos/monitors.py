@@ -83,20 +83,25 @@ class OrderedPrefixMonitor(InvariantMonitor):
     name = "ordered-prefix"
 
     def __init__(self) -> None:
-        self._decided: dict[int, bytes] = {}
+        #: ``(shard, cid) -> digest``: each group has its own total order,
+        #: so slot numbers only collide *within* a group.
+        self._decided: dict[tuple, bytes] = {}
 
     def poll(self, ctx) -> None:
-        for replica in ctx.honest_live_replicas():
-            for cid, value, _timestamp in replica.decision_log:
+        for pm in ctx.honest_live_proxy_masters():
+            shard = getattr(pm, "shard", 0)
+            for cid, value, _timestamp in pm.replica.decision_log:
                 fingerprint = digest(value)
-                seen = self._decided.get(cid)
+                key = (shard, cid)
+                seen = self._decided.get(key)
                 if seen is None:
-                    self._decided[cid] = fingerprint
+                    self._decided[key] = fingerprint
                 elif seen != fingerprint:
                     ctx.record_violation(
                         self.name,
-                        f"replica {replica.address} decided a different "
-                        f"value for cid={cid} than an earlier honest replica",
+                        f"replica {pm.replica.address} decided a different "
+                        f"value for cid={cid} than an earlier honest replica "
+                        f"of shard {shard}",
                     )
 
 
@@ -187,47 +192,54 @@ class LeaderConvergenceMonitor(InvariantMonitor):
     name = "leader-convergence"
 
     def finish(self, ctx) -> None:
-        replicas = ctx.honest_live_replicas()
-        if not replicas:
+        by_shard: dict[int, list] = {}
+        for pm in ctx.honest_live_proxy_masters():
+            by_shard.setdefault(getattr(pm, "shard", 0), []).append(pm.replica)
+        if not by_shard:
             ctx.record_violation(self.name, "no honest live replicas at quiesce")
             return
-        regencies = [r.synchronizer.regency for r in replicas]
-        top = max(regencies)
-        agreed = sum(1 for regency in regencies if regency == top)
         needed = ctx.config.n - ctx.config.f
-        if agreed < needed:
-            ctx.record_violation(
-                self.name,
-                f"only {agreed} honest replicas installed regency {top} "
-                f"(need {needed}); regencies={regencies}",
-            )
+        for shard, replicas in sorted(by_shard.items()):
+            regencies = [r.synchronizer.regency for r in replicas]
+            top = max(regencies)
+            agreed = sum(1 for regency in regencies if regency == top)
+            if agreed < needed:
+                ctx.record_violation(
+                    self.name,
+                    f"only {agreed} honest replicas of shard {shard} "
+                    f"installed regency {top} (need {needed}); "
+                    f"regencies={regencies}",
+                )
 
 
 class StateConvergenceMonitor(InvariantMonitor):
     name = "state-convergence"
 
     def finish(self, ctx) -> None:
-        replicas = ctx.honest_live_replicas()
-        if len(replicas) < 2:
-            return
-        decided = {r.last_decided for r in replicas}
-        executed = {r.executed_cid for r in replicas}
-        if len(decided) > 1 or len(executed) > 1:
-            ctx.record_violation(
-                self.name,
-                f"honest replicas did not converge: last_decided={sorted(decided)} "
-                f"executed_cid={sorted(executed)}",
-            )
-            return
-        digests = {
-            digest(pm.service.snapshot()) for pm in ctx.honest_live_proxy_masters()
-        }
-        if len(digests) > 1:
-            ctx.record_violation(
-                self.name,
-                f"honest replicas hold {len(digests)} distinct Master states "
-                f"after quiesce",
-            )
+        by_shard: dict[int, list] = {}
+        for pm in ctx.honest_live_proxy_masters():
+            by_shard.setdefault(getattr(pm, "shard", 0), []).append(pm)
+        for shard, members in sorted(by_shard.items()):
+            replicas = [pm.replica for pm in members]
+            if len(replicas) < 2:
+                continue
+            decided = {r.last_decided for r in replicas}
+            executed = {r.executed_cid for r in replicas}
+            if len(decided) > 1 or len(executed) > 1:
+                ctx.record_violation(
+                    self.name,
+                    f"honest replicas of shard {shard} did not converge: "
+                    f"last_decided={sorted(decided)} "
+                    f"executed_cid={sorted(executed)}",
+                )
+                continue
+            digests = {digest(pm.service.snapshot()) for pm in members}
+            if len(digests) > 1:
+                ctx.record_violation(
+                    self.name,
+                    f"honest replicas of shard {shard} hold {len(digests)} "
+                    f"distinct Master states after quiesce",
+                )
 
 
 class DurableRecoveryMonitor(InvariantMonitor):
@@ -260,13 +272,16 @@ class DurableRecoveryMonitor(InvariantMonitor):
         for event in ctx.restart_events:
             if event["settled_at"] is not None:
                 continue
-            replica = event["proxy_master"].replica
+            pm = event["proxy_master"]
+            replica = pm.replica
             if not replica.active:
                 continue
+            shard = getattr(pm, "shard", 0)
             peers = [
-                r
-                for r in ctx.honest_live_replicas()
-                if r is not replica
+                other.replica
+                for other in ctx.honest_live_proxy_masters()
+                if other.replica is not replica
+                and getattr(other, "shard", 0) == shard
             ]
             if not peers:
                 continue

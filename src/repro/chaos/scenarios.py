@@ -110,6 +110,18 @@ def _leader_crash() -> Schedule:
     ])
 
 
+def _shard_leader_kills() -> Schedule:
+    # Kill the leaders of BOTH groups at the same instant. Each group
+    # carries its own f budget, so this is in budget (one fault per
+    # group) and every invariant must stay green — the sharded
+    # deployment's independence claim, falsified if either group's
+    # outage bleeds into the other.
+    return Schedule([
+        KillLeader(at=1.5, duration=3.0, shard=0),
+        KillLeader(at=1.5, duration=3.0, shard=1),
+    ])
+
+
 def _partition_minority() -> Schedule:
     # One replica isolated from everything: the remaining 3 of 4 form a
     # quorum and keep deciding; the returnee state-transfers back in.
@@ -361,6 +373,13 @@ SCENARIOS: dict[str, Scenario] = {
             description="crash the consensus leader under write load; a"
             " successor must take over",
             build=_leader_crash,
+        ),
+        Scenario(
+            name="shard-leader-kills",
+            description="SHARDED: kill the leaders of two groups at the same"
+            " instant; each group's own f budget absorbs it, monitors green",
+            build=_shard_leader_kills,
+            overrides={"shards": 2},
         ),
         Scenario(
             name="partition-minority",

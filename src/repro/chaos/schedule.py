@@ -128,17 +128,38 @@ class Action:
     def _revert(self, ctx) -> None:
         pass
 
+    def fault_shard(self, n: int) -> int:
+        """Which replica group this action's fault lands on.
 
-def _machine_addresses(index: int) -> list:
-    """Every endpoint hosted on replica machine ``index``."""
-    address = replica_address(index)
+        Indexed actions derive it from the flattened global index
+        (shard ``k`` owns indices ``[k*n, (k+1)*n)``); actions that pick
+        their victim at runtime (leader kills) carry a ``shard`` field.
+        """
+        index = getattr(self, "index", None)
+        if index is not None:
+            return index // n
+        return getattr(self, "shard", 0)
+
+
+def _machine_addresses(ctx, index: int) -> list:
+    """Every endpoint hosted on replica machine ``index``.
+
+    Resolved through the deployment (not recomputed from the index), so
+    the same action works on sharded topologies where machine ``index``
+    answers to a namespaced ``s<k>-replica-<i>`` address.
+    """
+    pms = ctx.system.proxy_masters
+    if index < len(pms):
+        address = pms[index].address
+    else:
+        address = replica_address(index)
     return [address, f"{address}-adapter"]
 
 
 def _crash_machine(ctx, index: int) -> list:
     """Take a replica machine fully down (inbound and outbound)."""
     rules = []
-    for address in _machine_addresses(index):
+    for address in _machine_addresses(ctx, index):
         ctx.net.crash(address)
         # Endpoint ``down`` only swallows inbound traffic; a crashed
         # machine must also stop talking, so outbound is dropped too.
@@ -148,7 +169,7 @@ def _crash_machine(ctx, index: int) -> list:
 
 
 def _recover_machine(ctx, index: int, rules: list) -> None:
-    for address in _machine_addresses(index):
+    for address in _machine_addresses(ctx, index):
         ctx.net.recover(address)
     for rule in rules:
         if rule in ctx.injector.rules:
@@ -172,12 +193,13 @@ class CrashReplica(Action):
 
 @dataclass
 class KillLeader(Action):
-    """Crash whichever replica currently leads the consensus."""
+    """Crash whichever replica currently leads group ``shard``."""
 
+    shard: int = 0
     replica_fault = True
 
     def _apply(self, ctx) -> None:
-        self._index = ctx.current_leader_index()
+        self._index = ctx.current_leader_index(self.shard)
         self._rules = _crash_machine(ctx, self._index)
 
     def _revert(self, ctx) -> None:
@@ -195,7 +217,7 @@ class IsolateReplicas(Action):
     def _apply(self, ctx) -> None:
         isolated = []
         for index in self.indices:
-            isolated.extend(_machine_addresses(index))
+            isolated.extend(_machine_addresses(ctx, index))
         rest = [a for a in ctx.all_addresses() if a not in isolated]
         self._rule = ctx.injector.partition([isolated, rest])
 
@@ -217,7 +239,7 @@ class PartitionNet(Action):
             addresses = []
             for member in group:
                 if isinstance(member, int):
-                    addresses.extend(_machine_addresses(member))
+                    addresses.extend(_machine_addresses(ctx, member))
                 else:
                     addresses.append(member)
             resolved.append(addresses)
@@ -255,24 +277,25 @@ class SwapByzantine(Action):
         if self.behaviour != "honest":
             ctx.record_ground_truth(
                 "byzantine",
-                replica_address(self.index),
+                ctx.system.proxy_masters[self.index].address,
                 behaviour=self.behaviour,
             )
 
     def _revert(self, ctx) -> None:
+        address = ctx.system.proxy_masters[self.index].address
         if self.index in ctx.evicted:
             # Evicted mid-episode: the attacker's machine was removed
             # from the membership, so healing the fault must not boot an
             # honest replica at a retired address. The episode still
             # closes (the compromise ended when the group cut it off).
             ctx.compromised.discard(self.index)
-            ctx.close_ground_truth(replica_address(self.index))
+            ctx.close_ground_truth(address)
             return
         swap_replica_behaviour(
             ctx.system, self.index, "honest", handler_config=ctx.handler_config
         )
         ctx.compromised.discard(self.index)
-        ctx.close_ground_truth(replica_address(self.index))
+        ctx.close_ground_truth(address)
 
     def fault_interval(self, horizon: float):
         # A permanent swap stays charged until the end of the campaign.
@@ -409,7 +432,7 @@ class SpoofFrontend(Action):
             end=ctx.sim.now + self.count * self.interval,
         )
         rogue = ctx.net.endpoint(f"spoofer-{self.target}")
-        replicas = [replica_address(i) for i in range(ctx.config.n)]
+        replicas = [pm.address for pm in ctx.system.proxy_masters]
 
         def flood():
             for i in range(self.count):
@@ -523,12 +546,21 @@ class Schedule:
     def __iter__(self):
         return iter(self.actions)
 
-    def max_simultaneous_replica_faults(self, horizon: float) -> int:
-        """Peak depth of overlapping replica-fault windows."""
+    def max_simultaneous_replica_faults(
+        self, horizon: float, shard: int | None = None, n: int = 4
+    ) -> int:
+        """Peak depth of overlapping replica-fault windows.
+
+        With ``shard`` set, only faults landing on that group count —
+        each group tolerates ``f`` faults *independently*, which is the
+        whole point of sharding the fault budget.
+        """
         edges = []
         for action in self.actions:
             interval = action.fault_interval(horizon)
             if interval is None:
+                continue
+            if shard is not None and action.fault_shard(n) != shard:
                 continue
             start, end, count = interval
             edges.append((start, 1, count))
@@ -543,15 +575,36 @@ class Schedule:
         return peak
 
     def validate_budget(
-        self, f: int, horizon: float, allow_overload: bool = False
+        self,
+        f: int,
+        horizon: float,
+        allow_overload: bool = False,
+        n: int = 4,
+        shards: int = 1,
     ) -> None:
-        peak = self.max_simultaneous_replica_faults(horizon)
-        if peak > f and not allow_overload:
-            raise ChaosBudgetError(
-                f"schedule has up to {peak} simultaneous replica faults, "
-                f"budget is f={f}; pass allow_overload=True to run an "
-                f"over-budget campaign on purpose"
-            )
+        if allow_overload:
+            return
+        if shards <= 1:
+            peak = self.max_simultaneous_replica_faults(horizon)
+            if peak > f:
+                raise ChaosBudgetError(
+                    f"schedule has up to {peak} simultaneous replica faults, "
+                    f"budget is f={f}; pass allow_overload=True to run an "
+                    f"over-budget campaign on purpose"
+                )
+            return
+        # Sharded: each group carries its own f budget. Killing one
+        # leader in every group at the same instant is in budget; two
+        # simultaneous faults inside one group (f=1) is not.
+        for shard in range(shards):
+            peak = self.max_simultaneous_replica_faults(horizon, shard=shard, n=n)
+            if peak > f:
+                raise ChaosBudgetError(
+                    f"schedule has up to {peak} simultaneous replica faults "
+                    f"on shard {shard}, per-group budget is f={f}; pass "
+                    f"allow_overload=True to run an over-budget campaign "
+                    f"on purpose"
+                )
 
     def describe(self) -> str:
         lines = []

@@ -26,6 +26,7 @@ from repro.core.context import ContextInfo
 from repro.core.timeout import LogicalTimeoutManager
 from repro.neoscada.master import ScadaMaster
 from repro.neoscada.messages import EventQuery, ValueQuery
+from repro.shard.messages import ShardExport, ShardImport
 from repro.wire import DecodeError, decode, encode
 
 #: Stream name under which all SCADA pushes travel to the proxies.
@@ -119,6 +120,17 @@ class ScadaService(Service):
             if isinstance(message, TimeoutVote):
                 self._execute_timeout_vote(message, ctx)
                 return encode(("ok", "vote"))
+            if isinstance(message, ShardExport):
+                # Shard migration, source side: every replica exports the
+                # identical bundle at the same point of the total order.
+                bundle = self.master.export_items(
+                    message.item_ids, detach=message.detach
+                )
+                return encode(bundle)
+            if isinstance(message, ShardImport):
+                # Target side: install the bundle in consensus order.
+                self.master.install_items(decode(message.payload))
+                return encode(("ok", "shard-import"))
             kind = self.master.classify(message, ctx.client_id)
             if kind is None:
                 return encode(("ok", "control"))

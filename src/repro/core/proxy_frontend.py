@@ -6,6 +6,12 @@ When the SCADA Master needs to communicate with the Frontend, the
 ProxyFrontend receives messages from the client-side of the library and
 forwards them using the DA client" (§IV-A). It also votes f+1 matching
 pushed WriteValues before handing them to the Frontend (§IV-D-b).
+
+Sharded deployments hand the proxy one BFT client *per group* plus the
+shard map: RTU ingress routes to the owning group by item id (through a
+resolve-once router cache, so steady-state routing is one dict hit) and
+the Frontend never learns that more than one Master exists — the same
+transparency argument the paper makes for replication itself.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from repro.neoscada.messages import (
     WriteValue,
 )
 from repro.net.network import Network
+from repro.shard.map import ShardRouter
 from repro.sim.kernel import Simulator
 from repro.wire import DecodeError, decode, encode
 
@@ -39,6 +46,8 @@ class ProxyFrontend:
         config: GroupConfig,
         keystore: KeyStore,
         invoke_timeout: float = 1.0,
+        groups: list | None = None,
+        shard_map=None,
     ) -> None:
         self.sim = sim
         self.address = address
@@ -46,15 +55,29 @@ class ProxyFrontend:
         self.endpoint = net.endpoint(address)
         self.endpoint.set_handler(self._on_local_message)
 
-        self.bft = ServiceProxy(
-            sim=sim,
-            net=net,
-            client_id=f"{address}-bft",
-            keystore=keystore,
-            view=View(0, config.addresses, config.f),
-            invoke_timeout=invoke_timeout,
-        )
-        self.bft.pushes.set_handler(SCADA_STREAM, self._on_push)
+        group_list = list(groups) if groups else [config]
+        self.sharded = len(group_list) > 1
+        if self.sharded and shard_map is None:
+            raise ValueError("a multi-group proxy needs a shard map")
+        self.router = ShardRouter(shard_map) if shard_map is not None else None
+        #: One BFT client per group; unsharded keeps the classic id so
+        #: existing deployments stay wire-identical.
+        self.bft_clients: list = []
+        for shard, group in enumerate(group_list):
+            client_id = (
+                f"{address}-bft" if not self.sharded else f"{address}-bft-s{shard}"
+            )
+            client = ServiceProxy(
+                sim=sim,
+                net=net,
+                client_id=client_id,
+                keystore=keystore,
+                view=View(0, group.addresses, group.f),
+                invoke_timeout=invoke_timeout,
+            )
+            client.pushes.set_handler(SCADA_STREAM, self._on_push)
+            self.bft_clients.append(client)
+        self.bft = self.bft_clients[0]
 
         self.da_client = DAClient(address, self.endpoint.send)
         self.stats = {
@@ -74,26 +97,46 @@ class ProxyFrontend:
         self.da_client.browse(self.frontend_address)
 
     # ------------------------------------------------------------------
+    # shard routing
+    # ------------------------------------------------------------------
+
+    def _client_for(self, item_id: str) -> ServiceProxy:
+        if not self.sharded:
+            return self.bft
+        return self.bft_clients[self.router.route(item_id)]
+
+    # ------------------------------------------------------------------
     # frontend-facing side
     # ------------------------------------------------------------------
 
     def _on_local_message(self, message, src: str) -> None:
         if isinstance(message, ItemUpdate):
             self.stats["updates_in"] += 1
-            self._submit(message)
+            self._submit(self._client_for(message.item_id), message)
             return
         if isinstance(message, WriteResult):
             self.stats["write_results_in"] += 1
-            self._submit(message)
+            self._submit(self._client_for(message.item_id), message)
             return
         if isinstance(message, BrowseReply):
             # Teaches the replicated Master this Frontend's item directory
-            # (and therefore which proxy owns which item).
-            self._submit(message)
+            # (and therefore which proxy owns which item). Sharded: each
+            # group learns exactly the slice of the directory it owns.
+            if not self.sharded:
+                self._submit(self.bft, message)
+                return
+            by_shard: dict[int, list] = {}
+            for entry in message.items:
+                by_shard.setdefault(self.router.route(entry[0]), []).append(entry)
+            for shard in sorted(by_shard):
+                self._submit(
+                    self.bft_clients[shard],
+                    BrowseReply(items=tuple(by_shard[shard])),
+                )
             return
 
-    def _submit(self, message) -> None:
-        event = self.bft.invoke_ordered(encode(message))
+    def _submit(self, client: ServiceProxy, message) -> None:
+        event = client.invoke_ordered(encode(message))
         event.add_callback(self._on_invoke_done)
 
     def _on_invoke_done(self, event) -> None:

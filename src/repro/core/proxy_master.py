@@ -39,11 +39,21 @@ class ProxyMaster:
         view: View | None = None,
         replica_class: type | None = None,
         storage=None,
+        address: str | None = None,
+        shard: int = 0,
     ) -> None:
         self.sim = sim
         self.index = index
-        self.address = replica_address(index)
+        #: Sharded deployments namespace replica addresses per group
+        #: (``s<k>-replica-<i>``); the default is the classic single-group
+        #: address derived from the index.
+        self.address = address if address is not None else replica_address(index)
+        #: Which replication group this replica belongs to (0 unsharded).
+        self.shard = shard
         group = group if group is not None else config.group_config()
+        #: Kept for recovery: a rejuvenated/restarted incarnation must
+        #: rejoin the *same* group at the same address.
+        self.group = group
         client_view = view if view is not None else View(0, group.addresses, group.f)
 
         self.context = ContextInfo()

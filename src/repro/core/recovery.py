@@ -51,6 +51,9 @@ def rejuvenate_replica(
     old = system.proxy_masters[index]
     old.replica.halt()
     view = old.replica.view
+    # A sharded deployment's handle carries a ShardedScadaConfig; the
+    # per-replica tunables live on its ``base``.
+    config = getattr(system.config, "base", system.config)
     storage = None
     if system.durable_storage is not None:
         # Rejuvenation reprovisions the machine: the disk is wiped along
@@ -63,11 +66,14 @@ def rejuvenate_replica(
         system.sim,
         system.net,
         index,
-        system.config,
+        config,
         system.keystore,
+        group=old.group,
         view=view,
         replica_class=replica_class,
         storage=storage,
+        address=old.address,
+        shard=old.shard,
     )
     if handler_config is not None:
         handler_config(replacement)
@@ -113,6 +119,7 @@ def restart_replica(
     old = system.proxy_masters[index]
     old.replica.halt()
     view = old.replica.view
+    config = getattr(system.config, "base", system.config)
     storage = system.durable_storage[index]
     if disk_fault is not None:
         storage.crash(disk_fault)
@@ -120,10 +127,13 @@ def restart_replica(
         system.sim,
         system.net,
         index,
-        system.config,
+        config,
         system.keystore,
+        group=old.group,
         view=view,
         storage=storage,
+        address=old.address,
+        shard=old.shard,
     )
     # Handler chains are configuration, re-applied before recovery so the
     # installed snapshot can restore their state into them.
@@ -187,8 +197,14 @@ class RejuvenationScheduler:
     def erosion_reason(self, target: int) -> str | None:
         """Why rejuvenating ``target`` now would erode the quorum."""
         net = self.system.net
+        target_shard = next(
+            (pm.shard for pm in self.system.proxy_masters if pm.index == target), 0
+        )
         for pm in self.system.proxy_masters:
-            if pm.index == target:
+            if pm.index == target or pm.shard != target_shard:
+                # Only the target's own group loses quorum headroom; a
+                # degraded replica in a *different* shard is no reason
+                # to postpone this group's rejuvenation slot.
                 continue
             if not pm.replica.active:
                 return f"{pm.address} is down"
@@ -237,7 +253,9 @@ class RejuvenationScheduler:
                 peers = [
                     pm.replica
                     for pm in self.system.proxy_masters
-                    if pm is not replacement and pm.replica.active
+                    if pm is not replacement
+                    and pm.replica.active
+                    and pm.shard == replacement.shard
                 ]
                 if peers and replacement.replica.last_decided >= min(
                     p.last_decided for p in peers

@@ -84,6 +84,10 @@ class ItemRegistry:
         item.value = value
         return item
 
+    def remove(self, item_id: str) -> None:
+        """Drop an item (shard migration); unknown ids are a no-op."""
+        self._items.pop(item_id, None)
+
     def ensure(self, item_id: str) -> Item:
         """Fetch the item, creating a placeholder mirror if unknown.
 

@@ -533,6 +533,70 @@ class ScadaMaster:
         return ExecutionOutcome(kind="write_result", events=events)
 
     # ------------------------------------------------------------------
+    # item migration (shard splits)
+    # ------------------------------------------------------------------
+
+    def export_items(self, item_ids, detach: bool = True) -> tuple:
+        """Export the state of ``item_ids`` for migration to another group.
+
+        Returns a canonical bundle: the items (value + writable flag),
+        their owning-frontend entries, and their slice of the event log
+        in commit order. ``detach=True`` removes all of it from this
+        Master, so after the shard map switches ownership the history is
+        held exactly once. Deterministic: driven through the ordered
+        path, every replica exports the identical bundle.
+        """
+        wanted = set(item_ids)
+        items = tuple(
+            (item.item_id, item.value, item.writable)
+            for item in self.items
+            if item.item_id in wanted
+        )
+        ownership = tuple(
+            sorted(
+                (item_id, frontend)
+                for item_id, frontend in self.item_frontend.items()
+                if item_id in wanted
+            )
+        )
+        events = tuple(
+            event for event in self.storage.to_tuple() if event.item_id in wanted
+        )
+        if detach:
+            for item_id, _value, _writable in items:
+                self.items.remove(item_id)
+            for item_id, _frontend in ownership:
+                self.item_frontend.pop(item_id, None)
+            if events:
+                kept = [
+                    event
+                    for event in self.storage.to_tuple()
+                    if event.item_id not in wanted
+                ]
+                self.storage.restore(kept, total_written=self.storage.total_written)
+        return (items, ownership, events)
+
+    def install_items(self, bundle: tuple) -> None:
+        """Install an :meth:`export_items` bundle into this Master.
+
+        Items this Master already re-created from post-switch traffic
+        keep their live value (it is fresher than the migrated one);
+        the import supplies the writable flag, the frontend ownership
+        and the migrated event history either way.
+        """
+        items, ownership, events = bundle
+        for item_id, value, writable in items:
+            item = self.items.try_get(item_id)
+            if item is None:
+                item = self.items.ensure(item_id)
+                item.value = value
+            item.writable = writable
+        for item_id, frontend in ownership:
+            self.item_frontend[item_id] = frontend
+        for event in events:
+            self.storage.append(event)
+
+    # ------------------------------------------------------------------
     # state (snapshots for the replicated deployment)
     # ------------------------------------------------------------------
 

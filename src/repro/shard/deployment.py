@@ -1,0 +1,235 @@
+"""Builder and handle for the sharded SMaRt-SCADA deployment.
+
+:func:`build_sharded_scada` assembles ``shards`` independent BFT groups
+— each with its own leader, consensus pipeline, WAL and view — behind
+the single-Master facade: one item namespace, the same Frontends and
+HMI, the same proxies (now holding one BFT client per group). A 1-shard
+build degenerates to the classic :func:`repro.core.build_smartscada`
+topology, wire addresses included.
+
+The handle flattens the replicas into one ``proxy_masters`` list
+(global index ``shard * n + local``, and every ProxyMaster knows its
+``shard``), so the chaos engine, monitors and recovery machinery can
+keep addressing replicas by position while grouping any cross-replica
+comparison by ``pm.shard``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import DEFAULT_LOCAL_LATENCY
+from repro.core.proxy_frontend import ProxyFrontend
+from repro.core.proxy_hmi import ProxyHMI
+from repro.core.proxy_master import ProxyMaster
+from repro.core.system import make_network
+from repro.crypto import KeyStore
+from repro.neoscada.frontend import Frontend
+from repro.neoscada.hmi import HMI
+from repro.net.network import Network
+from repro.shard.config import ShardedScadaConfig
+from repro.shard.map import ShardMap
+from repro.sim.kernel import Simulator
+
+
+@dataclass
+class ShardedScadaSystem:
+    """Handle to an assembled sharded SMaRt-SCADA deployment."""
+
+    sim: Simulator
+    net: Network
+    config: ShardedScadaConfig
+    keystore: KeyStore
+    shard_map: ShardMap
+    frontends: list
+    proxy_frontends: list
+    #: Flattened: replicas of shard ``k`` occupy ``[k*n, (k+1)*n)``.
+    proxy_masters: list
+    proxy_hmi: ProxyHMI
+    hmi: HMI
+    #: global index -> ReplicaStorage when built durable, else ``None``.
+    durable_storage: dict | None = None
+    #: item id -> chain factory, so replicas provisioned *after* deploy
+    #: time (shard-split spares) get the same configuration.
+    handler_factories: dict = field(default_factory=dict)
+
+    @property
+    def frontend(self) -> Frontend:
+        return self.frontends[0]
+
+    @property
+    def shards(self) -> int:
+        return self.config.shards
+
+    @property
+    def masters(self) -> list:
+        return [pm.master for pm in self.proxy_masters]
+
+    @property
+    def replicas(self) -> list:
+        return [pm.replica for pm in self.proxy_masters]
+
+    def group(self, shard: int) -> list:
+        """The ProxyMasters of one group (spares joined later included)."""
+        return [pm for pm in self.proxy_masters if pm.shard == shard]
+
+    def shard_of(self, item_id: str) -> int:
+        return self.shard_map.shard_of(item_id)
+
+    def start(self) -> None:
+        for frontend in self.frontends:
+            frontend.start()
+        for proxy_frontend in self.proxy_frontends:
+            proxy_frontend.start()
+        self.proxy_hmi.start()
+        self.hmi.start()
+        # Let subscriptions, browses and the first consensus settle.
+        self.sim.run(until=self.sim.now + 0.2)
+
+    def attach_handlers(self, item_id: str, chain_factory) -> None:
+        """Attach an identical handler chain to every replica of every group.
+
+        Handler chains are configuration: installing them everywhere (not
+        just on the owning group) keeps a later shard split from changing
+        alarm behaviour — the target group is already configured.
+        """
+        self.handler_factories[item_id] = chain_factory
+        for proxy_master in self.proxy_masters:
+            proxy_master.attach_handlers(item_id, chain_factory())
+
+    def state_digests(self, shard: int | None = None) -> list:
+        """Per-replica state digests, whole deployment or one group.
+
+        Digest equality is only meaningful *within* a group — different
+        groups legitimately hold different state. Pass ``shard`` for the
+        convergence-check form.
+        """
+        from repro.crypto import digest
+
+        members = self.proxy_masters if shard is None else self.group(shard)
+        return [
+            digest(pm.service.snapshot())
+            for pm in members
+            if pm.replica.active
+        ]
+
+    def update_views(self, view, shard: int = 0) -> None:
+        """Propagate one group's post-reconfiguration view to its clients."""
+        self.proxy_hmi.bft_clients[shard].update_view(view)
+        for proxy_frontend in self.proxy_frontends:
+            proxy_frontend.bft_clients[shard].update_view(view)
+        for proxy_master in self.group(shard):
+            proxy_master.vote_client.update_view(view)
+
+    def flush_events(self) -> None:
+        """Drain the HMI-side AE merge buffer (quiescence helper)."""
+        self.proxy_hmi.flush_events()
+
+
+def build_sharded_scada(
+    sim: Simulator,
+    net: Network | None = None,
+    config: ShardedScadaConfig | None = None,
+    frontend_count: int = 1,
+    keystore: KeyStore | None = None,
+    replica_classes: dict | None = None,
+) -> ShardedScadaSystem:
+    """Assemble ``config.shards`` BFT groups behind one item namespace.
+
+    ``replica_classes`` overrides the BFT-server class by *global*
+    replica index (Byzantine drills inside one group).
+    """
+    net = net if net is not None else make_network(sim)
+    config = config if config is not None else ShardedScadaConfig()
+    keystore = keystore if keystore is not None else KeyStore()
+    replica_classes = replica_classes or {}
+    groups = config.group_configs()
+    shard_map = config.shard_map()
+
+    frontends = []
+    proxy_frontends = []
+    for i in range(frontend_count):
+        frontend = Frontend(sim, net, f"frontend-{i}")
+        proxy = ProxyFrontend(
+            sim,
+            net,
+            f"proxy-frontend-{i}",
+            frontend_address=frontend.address,
+            config=groups[0],
+            keystore=keystore,
+            invoke_timeout=config.base.invoke_timeout,
+            groups=groups,
+            shard_map=shard_map,
+        )
+        net.set_local_pair(frontend.address, proxy.address, DEFAULT_LOCAL_LATENCY)
+        frontends.append(frontend)
+        proxy_frontends.append(proxy)
+
+    durable_storage = None
+    if config.base.durability:
+        from repro.storage import ReplicaStorage
+
+        durable_storage = {}
+        for shard, group in enumerate(groups):
+            for local, address in enumerate(group.addresses):
+                durable_storage[config.global_index(shard, local)] = ReplicaStorage(
+                    address,
+                    fsync_policy=config.base.fsync_policy,
+                    fsync_interval=config.base.fsync_interval,
+                    checkpoint_retention=config.base.checkpoint_retention,
+                )
+        storages = dict(durable_storage)
+        sim.register_stats_source(
+            "storage",
+            lambda: {s.address: s.counters() for s in storages.values()},
+        )
+
+    proxy_masters = []
+    for shard, group in enumerate(groups):
+        for local, address in enumerate(group.addresses):
+            global_index = config.global_index(shard, local)
+            proxy_masters.append(
+                ProxyMaster(
+                    sim,
+                    net,
+                    global_index,
+                    config.base,
+                    keystore,
+                    group=group,
+                    replica_class=replica_classes.get(global_index),
+                    storage=(
+                        durable_storage[global_index] if durable_storage else None
+                    ),
+                    address=address,
+                    shard=shard,
+                )
+            )
+
+    proxy_hmi = ProxyHMI(
+        sim,
+        net,
+        "proxy-hmi",
+        config=groups[0],
+        keystore=keystore,
+        invoke_timeout=config.base.invoke_timeout,
+        groups=groups,
+        shard_map=shard_map,
+        merge_holdback=config.merge_holdback,
+        correlate_window=config.correlate_window,
+    )
+    hmi = HMI(sim, net, "hmi", master_address="proxy-hmi")
+    net.set_local_pair("hmi", "proxy-hmi", DEFAULT_LOCAL_LATENCY)
+
+    return ShardedScadaSystem(
+        sim=sim,
+        net=net,
+        config=config,
+        keystore=keystore,
+        shard_map=shard_map,
+        frontends=frontends,
+        proxy_frontends=proxy_frontends,
+        proxy_masters=proxy_masters,
+        proxy_hmi=proxy_hmi,
+        hmi=hmi,
+        durable_storage=durable_storage,
+    )

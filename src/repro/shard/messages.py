@@ -1,0 +1,43 @@
+"""Wire messages of the shard-split protocol.
+
+Both travel the *ordered* path of their group, so every replica of the
+source group exports the identical frozen snapshot and every replica of
+the target group installs it at the same point of its own total order —
+the migration is just two state-machine commands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.wire import wire_type
+
+
+@wire_type(82)
+@dataclass(frozen=True)
+class ShardExport:
+    """Ordered command: export (and optionally drop) an item set.
+
+    The reply is the encoded export bundle — items, ownership entries
+    and the migrating slice of the event log. ``detach=True`` removes
+    the exported state from this group, making the export a *move*
+    rather than a copy (history queries for the moved items must not
+    double-count across groups).
+    """
+
+    item_ids: tuple = ()
+    detach: bool = True
+
+
+@wire_type(83)
+@dataclass(frozen=True)
+class ShardImport:
+    """Ordered command: install an export bundle into this group.
+
+    ``payload`` is the bytes a :class:`ShardExport` reply carried.
+    Items the target already re-created from post-switch traffic keep
+    their (fresher) live value; the import fills in the writable flag,
+    the owning-frontend entry and the migrated event history.
+    """
+
+    payload: bytes = b""

@@ -1,0 +1,303 @@
+"""Live shard split: migrate an item range between groups under traffic.
+
+The protocol, run as a simulation process by :class:`ShardSplitter`:
+
+1. **Reassign** the items in the shared :class:`~repro.shard.map.ShardMap`
+   (one epoch bump). Every proxy's resolve-once router cache invalidates
+   on its next lookup, so new ingress routes to the target group while
+   the state still lives on the source — the target's Master simply
+   mirrors unknown items lazily, exactly as it does at cold start.
+2. **Drain**: wait one drain interval so operations that were already
+   inside the source group's consensus pipeline commit there.
+3. **Export**: submit an ordered :class:`~repro.shard.messages.ShardExport`
+   to the source group. Every source replica detaches the identical
+   bundle (values, write ownership, event history) at the identical
+   point of its total order, and the f+1-voted reply *is* the bundle.
+4. **Import**: submit the bundle as an ordered
+   :class:`~repro.shard.messages.ShardImport` to the target group. Items
+   that already received fresher post-reassignment updates keep their
+   live value; everything else (writable flags, ownership, history)
+   installs from the bundle.
+5. Optionally **grow** the target group — provision a spare replica and
+   join it through the signed reconfiguration protocol
+   (:meth:`~repro.bftsmart.reconfiguration.Administrator.reconfigure_checked`),
+   then wait for its partial state transfer to catch up. Splits shift
+   load; the paper's 3f+1 floor forbids shrinking the source instead.
+
+Each split returns a :class:`SplitReport` audit record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bftsmart.client import ServiceProxy
+from repro.bftsmart.reconfiguration import Administrator
+from repro.bftsmart.view import View
+from repro.core.proxy_master import ProxyMaster
+from repro.shard.config import shard_replica_address
+from repro.shard.messages import ShardExport, ShardImport
+from repro.wire import decode, encode
+
+
+@dataclass
+class SplitReport:
+    """Audit record of one shard split."""
+
+    items: tuple
+    target: int
+    #: Source shards the items were exported from (usually one).
+    sources: tuple = ()
+    epoch: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    #: Item values / history events that travelled in export bundles.
+    moved_items: int = 0
+    moved_events: int = 0
+    #: Target-group growth (optional phase 5).
+    grew_target: bool = False
+    join_view_id: int | None = None
+    status: str = "completed"
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "items": list(self.items),
+            "target": self.target,
+            "sources": list(self.sources),
+            "epoch": self.epoch,
+            "started_at": round(self.started_at, 6),
+            "finished_at": round(self.finished_at, 6),
+            "moved_items": self.moved_items,
+            "moved_events": self.moved_events,
+            "grew_target": self.grew_target,
+            "join_view_id": self.join_view_id,
+            "status": self.status,
+            "detail": self.detail,
+        }
+
+
+class ShardSplitter:
+    """Coordinates live item migrations on a sharded deployment.
+
+    Parameters
+    ----------
+    system:
+        A running :class:`~repro.shard.deployment.ShardedScadaSystem`.
+    drain:
+        Seconds to wait between the map switch and the export, covering
+        operations already inside the source pipeline.
+    grid:
+        Poll interval while awaiting invocations and state transfer.
+    """
+
+    def __init__(
+        self,
+        system,
+        drain: float = 0.05,
+        grid: float = 0.01,
+        reconfig_timeout: float = 2.0,
+        transfer_deadline: float = 8.0,
+    ) -> None:
+        self.sim = system.sim
+        self.net = system.net
+        self.system = system
+        self.drain = drain
+        self.grid = grid
+        self.reconfig_timeout = reconfig_timeout
+        self.transfer_deadline = transfer_deadline
+        #: shard -> admin ServiceProxy into that group.
+        self._clients: dict[int, ServiceProxy] = {}
+        self._admins: dict[int, Administrator] = {}
+        self._spares = 0
+        #: Every completed/failed :class:`SplitReport`, in order.
+        self.reports: list = []
+
+    # -- the protocol ----------------------------------------------------
+
+    def split(self, item_ids, target: int, grow_target: bool = False):
+        """Generator process migrating ``item_ids`` to group ``target``.
+
+        Run it with ``sim.run_process(splitter.split(...))``; returns the
+        :class:`SplitReport`.
+        """
+        system = self.system
+        if not 0 <= target < system.shards:
+            raise ValueError(f"no such shard: {target}")
+        report = SplitReport(
+            items=tuple(sorted(item_ids)),
+            target=target,
+            started_at=self.sim.now,
+        )
+        self.reports.append(report)
+
+        # Phase 1 — group the items by current owner, then flip the map.
+        by_source: dict[int, list] = {}
+        for item_id in report.items:
+            source = system.shard_map.shard_of(item_id)
+            if source != target:
+                by_source.setdefault(source, []).append(item_id)
+        report.sources = tuple(sorted(by_source))
+        system.shard_map.assign(report.items, target)
+        report.epoch = system.shard_map.epoch
+        if not by_source:
+            report.finished_at = self.sim.now
+            report.detail = "all items already on the target shard"
+            return report
+
+        # Phase 2 — drain the source pipelines.
+        yield self.sim.timeout(self.drain)
+
+        # Phases 3+4 — export from each source, import into the target.
+        for source in sorted(by_source):
+            moved = tuple(by_source[source])
+            export = yield from self._await(
+                self._client(source).invoke_ordered(
+                    encode(ShardExport(item_ids=moved, detach=True))
+                )
+            )
+            if export is None:
+                report.status = "export-failed"
+                report.detail = f"shard {source} did not answer the export"
+                report.finished_at = self.sim.now
+                return report
+            items, _ownership, events = decode(export)
+            report.moved_items += len(items)
+            report.moved_events += len(events)
+            imported = yield from self._await(
+                self._client(target).invoke_ordered(
+                    encode(ShardImport(payload=export))
+                )
+            )
+            if imported is None:
+                report.status = "import-failed"
+                report.detail = f"target shard {target} did not apply the import"
+                report.finished_at = self.sim.now
+                return report
+
+        # Phase 5 — optionally grow the target group under the new load.
+        if grow_target:
+            yield from self._grow(report, target)
+
+        report.finished_at = self.sim.now
+        return report
+
+    def _grow(self, report: SplitReport, target: int):
+        system = self.system
+        admin = self._admin(target)
+        spare = self._provision_spare(target)
+        result = yield from self._await(
+            admin.reconfigure_checked(
+                join=(spare.address,), timeout=self.reconfig_timeout
+            )
+        )
+        if result is None or not result.applied:
+            report.status = (
+                "join-failed" if result is None else f"join-{result.status}"
+            )
+            report.detail = getattr(result, "detail", "no reconfiguration reply")
+            return
+        system.update_views(result.view, shard=target)
+        self._client(target).update_view(result.view)
+        report.grew_target = True
+        report.join_view_id = result.view_id
+        spare.replica.state_transfer.bootstrap()
+        caught_up = yield from self._wait_caught_up(spare, target)
+        if not caught_up:
+            report.status = "transfer-timed-out"
+            report.detail = f"{spare.address} joined but did not catch up"
+
+    # -- plumbing --------------------------------------------------------
+
+    def _client(self, shard: int) -> ServiceProxy:
+        client = self._clients.get(shard)
+        if client is None:
+            group = self.system.config.group_config(shard)
+            client = ServiceProxy(
+                sim=self.sim,
+                net=self.net,
+                client_id=f"shard-admin-s{shard}",
+                keystore=self.system.keystore,
+                view=View(0, group.addresses, group.f),
+                invoke_timeout=self.system.config.base.invoke_timeout,
+            )
+            self._clients[shard] = client
+        return client
+
+    def _admin(self, shard: int) -> Administrator:
+        admin = self._admins.get(shard)
+        if admin is None:
+            admin = Administrator(self._client(shard), self.system.keystore)
+            self._admins[shard] = admin
+        return admin
+
+    def _provision_spare(self, shard: int) -> ProxyMaster:
+        """Boot a fresh replica for group ``shard``, anticipating the join."""
+        system = self.system
+        members = system.group(shard)
+        local = len(members)
+        address = shard_replica_address(shard, local, system.shards)
+        view = self._client(shard).view
+        anticipated = View(view.view_id + 1, view.addresses + (address,), view.f)
+        global_index = len(system.proxy_masters)
+        storage = None
+        if system.durable_storage is not None:
+            from repro.storage import ReplicaStorage
+
+            storage = ReplicaStorage(
+                address,
+                fsync_policy=system.config.base.fsync_policy,
+                fsync_interval=system.config.base.fsync_interval,
+                checkpoint_retention=system.config.base.checkpoint_retention,
+            )
+            system.durable_storage[global_index] = storage
+        pm = ProxyMaster(
+            self.sim,
+            self.net,
+            global_index,
+            system.config.base,
+            system.keystore,
+            group=system.config.group_config(shard),
+            view=anticipated,
+            storage=storage,
+            address=address,
+            shard=shard,
+        )
+        # Handler chains are configuration, not replicated state: the
+        # spare must be configured like its peers or its state digest
+        # will never converge with the group's.
+        for item_id, chain_factory in system.handler_factories.items():
+            pm.attach_handlers(item_id, chain_factory())
+        self._spares += 1
+        system.proxy_masters.append(pm)
+        return pm
+
+    def _await(self, event):
+        """Wait for ``event`` inside a flow generator; ``None`` on failure."""
+        box: list = []
+        event.add_callback(lambda ev: box.append(ev))
+        while not box:
+            yield self.sim.timeout(self.grid)
+        ev = box[0]
+        if not ev.ok:
+            ev.defused = True
+            return None
+        return ev.value
+
+    def _wait_caught_up(self, pm: ProxyMaster, shard: int):
+        """Poll until ``pm`` caught up with its group's decision frontier."""
+        limit = self.sim.now + self.transfer_deadline
+        while self.sim.now < limit:
+            peers = [
+                other.replica.last_decided
+                for other in self.system.group(shard)
+                if other is not pm and other.replica.active
+            ]
+            if (
+                peers
+                and not pm.replica.state_transfer.in_progress
+                and pm.replica.last_decided >= max(peers) - 1
+            ):
+                return True
+            yield self.sim.timeout(self.grid)
+        return False

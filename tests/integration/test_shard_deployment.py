@@ -1,0 +1,279 @@
+"""Integration tests for the sharded SMaRt-SCADA deployment.
+
+The transparency contract under test: callers use the exact same
+Frontend/HMI API against N independent BFT groups as against one —
+routing, scatter-gather and the global AE order are the proxies'
+problem (the same seam the paper used to hide replication itself).
+"""
+
+import pytest
+
+from repro.neoscada import HandlerChain, Monitor
+from repro.shard import (
+    CORRELATED_ALARM,
+    ShardedScadaConfig,
+    build_sharded_scada,
+)
+from repro.sim import Simulator
+
+ITEMS = [f"plant.sensor-{i}" for i in range(8)]
+
+
+def build(seed=1, shards=2, config=None, **kwargs):
+    sim = Simulator(seed=seed)
+    config = config or ShardedScadaConfig(shards=shards, **kwargs)
+    system = build_sharded_scada(sim, config=config)
+    return sim, system
+
+
+def settle(sim, seconds=0.3):
+    sim.run(until=sim.now + seconds)
+
+
+def spanning_items(system, items=ITEMS):
+    """Sanity: the fixture's items must actually span several groups."""
+    shards = {system.shard_of(item) for item in items}
+    assert len(shards) > 1, "fixture items all hash to one shard"
+    return shards
+
+
+def test_updates_route_to_owning_groups_and_reach_the_hmi():
+    sim, system = build()
+    for item in ITEMS:
+        system.frontend.add_item(item, initial=0)
+    system.start()
+    spanning_items(system)
+    for i, item in enumerate(ITEMS):
+        system.frontend.inject_update(item, 100 + i)
+    settle(sim)
+    for i, item in enumerate(ITEMS):
+        assert system.hmi.value_of(item) == 100 + i
+    # Each update was executed only by its owning group: per-group
+    # update counts must sum to the total (two per item: the initial
+    # value published at subscribe time plus the injected one), not
+    # multiply by it.
+    per_shard = [
+        sum(pm.master.stats["updates"] for pm in system.group(s)) // len(system.group(s))
+        for s in range(system.shards)
+    ]
+    assert sum(per_shard) == 2 * len(ITEMS)
+    assert all(count > 0 for count in per_shard)
+
+
+def test_writes_route_to_the_owning_group():
+    sim, system = build()
+    for item in ITEMS:
+        system.frontend.add_item(item, initial=0, writable=True)
+    system.start()
+
+    def operator():
+        for i, item in enumerate(ITEMS[:4]):
+            result = yield system.hmi.write(item, 50 + i)
+            assert result.success, item
+        return True
+
+    sim.run_process(operator(), until=30)
+    settle(sim)
+    for i, item in enumerate(ITEMS[:4]):
+        assert system.hmi.value_of(item) == 50 + i
+
+
+def test_value_query_uses_the_unordered_fast_path_per_shard():
+    sim, system = build()
+    for item in ITEMS:
+        system.frontend.add_item(item, initial=7)
+    system.start()
+    settle(sim)
+    before = system.proxy_hmi.stats["unordered_reads"]
+
+    def reader():
+        for item in ITEMS[:4]:
+            value = yield system.hmi.query_value(item)
+            assert value.value == 7, item
+        return True
+
+    sim.run_process(reader(), until=30)
+    assert system.proxy_hmi.stats["unordered_reads"] >= before + 4
+
+
+def test_wildcard_event_query_scatters_and_merges_globally():
+    sim, system = build()
+    for item in ITEMS:
+        system.frontend.add_item(item, initial=0)
+        system.attach_handlers(item, lambda: HandlerChain([Monitor(high=80.0)]))
+    system.start()
+
+    def scenario():
+        for item in ITEMS:
+            system.frontend.inject_update(item, 95)
+            yield sim.timeout(0.02)
+        yield sim.timeout(0.5)
+        events = yield system.hmi.query_events("*")
+        return events
+
+    events = sim.run_process(scenario(), until=30)
+    assert system.proxy_hmi.stats["scatter_queries"] >= 1
+    alarmed = [e.item_id for e in events if e.event_type == "alarm"]
+    assert sorted(alarmed) == sorted(ITEMS)
+    # The scatter-merge applies the global order rule: timestamps
+    # non-decreasing across the merged reply.
+    stamps = [e.timestamp for e in events]
+    assert stamps == sorted(stamps)
+
+
+def test_single_item_event_query_routes_to_one_group():
+    sim, system = build()
+    for item in ITEMS:
+        system.frontend.add_item(item, initial=0)
+        system.attach_handlers(item, lambda: HandlerChain([Monitor(high=80.0)]))
+    system.start()
+
+    def scenario():
+        system.frontend.inject_update(ITEMS[0], 95)
+        yield sim.timeout(0.3)
+        scatters = system.proxy_hmi.stats["scatter_queries"]
+        events = yield system.hmi.query_events(ITEMS[0])
+        assert system.proxy_hmi.stats["scatter_queries"] == scatters
+        return events
+
+    events = sim.run_process(scenario(), until=30)
+    assert [e.item_id for e in events if e.event_type == "alarm"] == [ITEMS[0]]
+
+
+def test_alarm_pushes_arrive_in_global_order():
+    sim, system = build()
+    for item in ITEMS:
+        system.frontend.add_item(item, initial=0)
+        system.attach_handlers(item, lambda: HandlerChain([Monitor(high=80.0)]))
+    system.start()
+
+    def scenario():
+        for item in ITEMS:
+            system.frontend.inject_update(item, 95)
+            yield sim.timeout(0.02)
+        yield sim.timeout(0.5)
+        return True
+
+    sim.run_process(scenario(), until=30)
+    system.flush_events()
+    alarms = system.hmi.alarms()
+    assert len(alarms) == len(ITEMS)
+    stamps = [a.timestamp for a in alarms]
+    assert stamps == sorted(stamps)
+    merger = system.proxy_hmi.merger
+    assert merger.stats["released"] == merger.stats["offered"] == len(ITEMS)
+
+
+def test_router_caches_are_warm_after_the_first_resolution():
+    sim, system = build()
+    for item in ITEMS:
+        system.frontend.add_item(item, initial=0)
+    system.start()
+    for _ in range(3):
+        for item in ITEMS:
+            system.frontend.inject_update(item, 1)
+    settle(sim)
+    stats = system.proxy_frontends[0].router.stats
+    # One miss per distinct routed id; everything after is a dict hit.
+    assert stats["hits"] > stats["misses"]
+    assert stats["invalidations"] == 0
+
+
+def test_browse_gathers_every_groups_items_into_one_reply():
+    sim, system = build()
+    for item in ITEMS:
+        system.frontend.add_item(item, initial=0)
+    system.start()  # HMI start() browses "*" through the proxy
+    settle(sim)
+    assert system.proxy_hmi._browse_gathers == []
+
+
+def test_cross_shard_alarm_burst_raises_one_correlated_alarm():
+    sim, system = build()
+    for item in ITEMS:
+        system.frontend.add_item(item, initial=0)
+        system.attach_handlers(item, lambda: HandlerChain([Monitor(high=80.0)]))
+    system.start()
+    spanning_items(system)
+
+    def scenario():
+        # Alarms on every shard within one correlation window.
+        for item in ITEMS:
+            system.frontend.inject_update(item, 95)
+            yield sim.timeout(0.02)
+        yield sim.timeout(0.5)
+        return True
+
+    sim.run_process(scenario(), until=30)
+    system.flush_events()
+    correlator = system.proxy_hmi.correlator
+    assert len(correlator.correlated) == 1
+    synthetic = correlator.correlated[0]
+    assert synthetic.event_type == CORRELATED_ALARM
+    # The synthetic alarm reached the HMI's event log too.
+    assert any(
+        e.event_type == CORRELATED_ALARM for e in system.hmi.events
+    )
+
+
+def test_groups_converge_independently():
+    sim, system = build()
+    for item in ITEMS:
+        system.frontend.add_item(item, initial=0)
+    system.start()
+    for item in ITEMS:
+        system.frontend.inject_update(item, 3)
+    settle(sim)
+    for shard in range(system.shards):
+        assert len(set(system.state_digests(shard))) == 1
+
+
+def test_single_shard_build_degenerates_to_the_classic_topology():
+    sim, system = build(shards=1)
+    # Classic wire addresses: no shard namespace prefix.
+    assert [pm.address for pm in system.proxy_masters] == [
+        f"replica-{i}" for i in range(system.config.base.n)
+    ]
+    # No merge layer, no correlator, no router: nothing to shard.
+    assert system.proxy_hmi.merger is None
+    assert system.proxy_hmi.correlator is None
+    system.frontend.add_item("sensor", initial=0)
+    system.start()
+    system.frontend.inject_update("sensor", 42)
+    settle(sim)
+    assert system.hmi.value_of("sensor") == 42
+
+
+def test_four_shard_build_stands_up_sixteen_replicas():
+    sim, system = build(shards=4)
+    assert len(system.proxy_masters) == 4 * system.config.base.n
+    for item in ITEMS:
+        system.frontend.add_item(item, initial=0)
+    system.start()
+    for i, item in enumerate(ITEMS):
+        system.frontend.inject_update(item, i)
+    settle(sim)
+    for i, item in enumerate(ITEMS):
+        assert system.hmi.value_of(item) == i
+
+
+def test_sharded_build_without_map_is_rejected():
+    from repro.core.proxy_frontend import ProxyFrontend
+    from repro.core.system import make_network
+    from repro.crypto import KeyStore
+
+    sim = Simulator(seed=1)
+    config = ShardedScadaConfig(shards=2)
+    groups = config.group_configs()
+    net = make_network(sim)
+    with pytest.raises(ValueError, match="shard map"):
+        ProxyFrontend(
+            sim,
+            net,
+            "proxy-frontend",
+            "frontend",
+            groups[0],
+            KeyStore(),
+            groups=groups,
+            shard_map=None,
+        )

@@ -59,6 +59,25 @@ def test_chaos_requires_scenario_name(capsys):
     assert main(["chaos"]) == 2
 
 
+def test_shards_command_routes_and_converges(capsys):
+    assert main(["shards", "--shards", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "shard map (hash-partitioned, 2 groups)" in out
+    assert "valve write     : success=True" in out
+    assert "global AE merge" in out
+    assert "shard 0         : n=4 states identical: True" in out
+    assert "shard 1         : n=4 states identical: True" in out
+
+
+def test_shards_command_live_split(capsys):
+    assert main(["shards", "--shards", "2", "--split"]) == 0
+    out = capsys.readouterr().out
+    assert "split           : status=completed" in out
+    assert "moved_items=2" in out
+    # The target group grew by one replica and still converged.
+    assert "n=5 states identical: True" in out
+
+
 def test_chaos_json_verdicts(capsys):
     import json
 

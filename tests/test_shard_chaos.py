@@ -1,0 +1,90 @@
+"""Chaos drills against the sharded deployment.
+
+The independence claim under test: each group tolerates its *own* ``f``
+faults, so the per-shard fault budget replaces the global one — two
+simultaneous leader kills are fatal to one group but routine when they
+land on two different groups.
+"""
+
+import pytest
+
+from repro.chaos import (
+    ChaosBudgetError,
+    CrashReplica,
+    KillLeader,
+    Schedule,
+    get_scenario,
+    run_scenario,
+)
+from repro.chaos.campaign import CampaignConfig
+
+
+def test_budget_rejects_two_simultaneous_faults_in_one_group():
+    schedule = Schedule([
+        KillLeader(at=1.0, duration=2.0, shard=0),
+        CrashReplica(at=1.5, duration=2.0, index=1),  # index 1 -> shard 0
+    ])
+    with pytest.raises(ChaosBudgetError, match="shard 0"):
+        schedule.validate_budget(f=1, horizon=10.0, n=4, shards=2)
+
+
+def test_budget_admits_the_same_faults_spread_across_groups():
+    schedule = Schedule([
+        KillLeader(at=1.0, duration=2.0, shard=0),
+        KillLeader(at=1.0, duration=2.0, shard=1),
+        CrashReplica(at=1.5, duration=2.0, index=5),  # index 5 -> shard 1
+    ])
+    with pytest.raises(ChaosBudgetError):
+        # Shard 1 takes two overlapping faults: still over budget.
+        schedule.validate_budget(f=1, horizon=10.0, n=4, shards=2)
+    spread = Schedule([
+        KillLeader(at=1.0, duration=2.0, shard=0),
+        KillLeader(at=1.0, duration=2.0, shard=1),
+        CrashReplica(at=4.0, duration=2.0, index=5),  # after shard 1 healed
+    ])
+    spread.validate_budget(f=1, horizon=10.0, n=4, shards=2)
+
+
+def test_single_shard_budget_is_the_classic_global_one():
+    schedule = Schedule([
+        KillLeader(at=1.0, duration=2.0),
+        CrashReplica(at=1.5, duration=2.0, index=2),
+    ])
+    with pytest.raises(ChaosBudgetError):
+        schedule.validate_budget(f=1, horizon=10.0, n=4, shards=1)
+
+
+def test_fault_shard_resolution():
+    assert KillLeader(at=1.0, duration=1.0, shard=1).fault_shard(4) == 1
+    assert CrashReplica(at=1.0, duration=1.0, index=6).fault_shard(4) == 1
+    assert CrashReplica(at=1.0, duration=1.0, index=2).fault_shard(4) == 0
+
+
+def test_shard_leader_kills_scenario_is_registered_for_two_shards():
+    scenario = get_scenario("shard-leader-kills")
+    assert scenario.overrides["shards"] == 2
+    assert not scenario.expect_violation
+    kills = scenario.schedule()
+    assert {a.shard for a in kills} == {0, 1}
+
+
+def test_simultaneous_leader_kills_in_two_groups_stay_green():
+    """The flagship drill: both groups lose their leader at the same
+    instant; each group's own view change absorbs it, every safety and
+    liveness monitor stays green."""
+    report = run_scenario("shard-leader-kills", seed=0)
+    assert report.ok, [(v.invariant, v.detail) for v in report.violations]
+
+
+def test_ids_and_heal_campaigns_refuse_multi_shard_configs():
+    scenario = get_scenario("shard-leader-kills")
+    with pytest.raises(ValueError, match="shards=1"):
+        run_scenario("shard-leader-kills", seed=0,
+                     config=scenario.config(seed=0, ids=True))
+
+
+def test_sharded_campaign_config_builds_the_sharded_deployment():
+    config = CampaignConfig(shards=2)
+    sharded = config.sharded_config()
+    assert sharded.shards == 2
+    assert sharded.base.n == config.n
