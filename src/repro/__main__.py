@@ -364,7 +364,47 @@ def cmd_trace(args) -> int:
     sim = Simulator(seed=args.seed)
     tracer = install_tracer(sim)
 
-    if args.workload == "bft-micro":
+    if args.workload == "scada" and args.shards > 1:
+        # Sharded autopsy: the same steady-state workload, but the write
+        # and a wildcard event query cross the shard tier — the trace
+        # shows ShardRouter resolution, scatter fan-out and the per-group
+        # consensus rounds the request actually touched.
+        from repro.core.system import make_network
+        from repro.shard.config import ShardedScadaConfig
+        from repro.shard.deployment import build_sharded_scada
+
+        net = make_network(sim)
+        system = build_sharded_scada(
+            sim, net=net, config=ShardedScadaConfig(shards=args.shards)
+        )
+        sensors = [f"plant.s{i}" for i in range(4)]
+        for sensor in sensors:
+            system.frontend.add_item(sensor, initial=0)
+        system.frontend.add_item("plant.actuator", initial=0, writable=True)
+        system.start()
+        tracer.clear()  # drop subscription churn; trace the steady state
+
+        def update_traffic():
+            interval = 1.0 / args.rate
+            step = 0
+            while True:
+                yield sim.timeout(interval)
+                step += 1
+                for j, sensor in enumerate(sensors):
+                    system.frontend.inject_update(
+                        sensor, (step * 37 + j * 101) % 700 + 1
+                    )
+
+        def operator_write():
+            yield sim.timeout(args.duration / 2)
+            result = yield system.hmi.write("plant.actuator", 42)
+            events = yield system.hmi.query_events("*")
+            return result.success and events is not None
+
+        sim.process(update_traffic(), name="trace-updates")
+        sim.process(operator_write(), name="trace-write")
+        sim.run(until=args.duration)
+    elif args.workload == "bft-micro":
         from repro.bftsmart import EchoService, GroupConfig, build_group, build_proxy
         from repro.crypto import KeyStore
         from repro.net import ConstantLatency, Network
@@ -441,6 +481,195 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_fleet(args) -> int:
+    """The fleet observability control plane on a live sharded run.
+
+    Drives a seeded multi-shard deployment with background SCADA
+    traffic, samples the :class:`repro.obs.fleet.FleetScoreboard` (plus
+    SLO burn-rate engine) on a fixed grid, and optionally injects one
+    leader kill to demonstrate the degraded -> recovered transition the
+    scoreboard and the availability SLO both flag.
+    """
+    import json as json_mod
+
+    from repro.core.config import SmartScadaConfig
+    from repro.core.system import make_network
+    from repro.neoscada import HandlerChain, Monitor
+    from repro.net.faults import Drop
+    from repro.obs.fleet import FleetScoreboard
+    from repro.obs.report import (
+        render_scoreboard,
+        render_transitions,
+        write_html_report,
+    )
+    from repro.obs.slo import SloEngine
+    from repro.obs.trace import install_tracer
+    from repro.shard.config import ShardedScadaConfig
+    from repro.shard.deployment import build_sharded_scada
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=args.seed, kernel=args.kernel)
+    tracer = install_tracer(sim) if args.trace else None
+    net = make_network(sim)
+    # Campaign-style short protocol timeouts so an injected leader kill
+    # resolves (leader change + retransmissions) within the run.
+    base = SmartScadaConfig(
+        request_timeout=1.0,
+        sync_timeout=2.0,
+        invoke_timeout=0.5,
+        logical_timeout=0.8,
+    )
+    system = build_sharded_scada(
+        sim, net=net, config=ShardedScadaConfig(shards=args.shards, base=base)
+    )
+    sensors = [f"plant.s{i}" for i in range(6)]
+    for sensor in sensors:
+        system.frontend.add_item(sensor, initial=20)
+        system.attach_handlers(
+            sensor, lambda: HandlerChain([Monitor(high=80.0)])
+        )
+    system.frontend.add_item("plant.actuator", initial=0, writable=True)
+    system.start()
+    # Faults are on the menu: clients must keep probing through them.
+    clients = list(system.proxy_hmi.bft_clients)
+    for pf in system.proxy_frontends:
+        clients.extend(pf.bft_clients)
+    for client in clients:
+        client.max_attempts = 1000
+    for pm in system.proxy_masters:
+        pm.vote_client.max_attempts = 1000
+
+    engine = SloEngine(sim=sim)
+    scoreboard = FleetScoreboard(system, slo_engine=engine)
+
+    def update_traffic():
+        step = 0
+        while sim.now < args.duration:
+            yield sim.timeout(0.1)
+            step += 1
+            for j, sensor in enumerate(sensors):
+                # Every ~8th sample trips the Monitor: steady AE traffic
+                # exercises the global merge (and its holdback buffer).
+                high = (step + j) % 8 == 0
+                system.frontend.inject_update(sensor, 90 if high else 30)
+
+    writes = {"total": 0, "succeeded": 0}
+
+    def write_traffic():
+        number = 0
+        while sim.now < args.duration:
+            yield sim.timeout(0.4)
+            number += 1
+            writes["total"] += 1
+            event = system.hmi.write("plant.actuator", number % 500 + 1)
+
+            def on_done(ev) -> None:
+                if ev.ok and ev.value.success:
+                    writes["succeeded"] += 1
+
+            event.add_callback(on_done)
+
+    sim.process(update_traffic(), name="fleet-updates")
+    sim.process(write_traffic(), name="fleet-writes")
+
+    # One injected leader kill, chaos-style: both the replica and its
+    # adapter go down (inbound) and drop all outbound traffic.
+    kill = {"target": None, "rules": [], "at": None, "recovered_at": None}
+    kill_at = args.duration / 3.0
+    recover_at = 2.0 * args.duration / 3.0
+
+    def kill_leader() -> None:
+        leader = ""
+        for pm in system.group(0):
+            if pm.replica.active:
+                leader = pm.replica.leader
+                break
+        if not leader:
+            return
+        kill["target"] = leader
+        kill["at"] = sim.now
+        for addr in (leader, f"{leader}-adapter"):
+            net.crash(addr)
+            kill["rules"].append(net.faults.add(Drop(src=addr)))
+
+    def recover_leader() -> None:
+        if kill["target"] is None:
+            return
+        for addr in (kill["target"], f"{kill['target']}-adapter"):
+            net.recover(addr)
+        for rule in kill["rules"]:
+            if rule in net.faults.rules:
+                net.faults.remove(rule)
+        kill["rules"] = []
+        kill["recovered_at"] = sim.now
+
+    if args.kill_leader:
+        sim.defer(max(kill_at - sim.now, 0.0), kill_leader)
+        sim.defer(max(recover_at - sim.now, 0.0), recover_leader)
+
+    # Host-driven sampling loop: the simulation advances in fixed
+    # slices and the scoreboard reads (never perturbs) each one.
+    live = not args.json
+    while sim.now < args.duration:
+        sim.run(until=min(sim.now + args.interval, args.duration))
+        scoreboard.sample()
+        if live:
+            print(render_scoreboard(scoreboard))
+    system.flush_events()
+    sim.run(until=sim.now + 0.2)
+    scoreboard.sample()
+
+    summary = scoreboard.to_dict()
+    summary["writes"] = dict(writes)
+    summary["alarms_delivered"] = len(system.hmi.alarms())
+    summary["kill"] = {
+        "target": kill["target"],
+        "at": kill["at"],
+        "recovered_at": kill["recovered_at"],
+    }
+    statuses = [status for _t, status in scoreboard.statuses()]
+    summary["degraded_seen"] = any(s != "ok" for s in statuses)
+    summary["recovered"] = statuses[-1] == "ok" if statuses else False
+
+    if args.html:
+        write_html_report(
+            scoreboard,
+            args.html,
+            title=f"Fleet report — {args.shards} shards, seed {args.seed}",
+        )
+    if tracer is not None and args.trace:
+        from repro.obs.export import write_chrome_trace
+
+        data = write_chrome_trace(args.trace, tracer.spans, clock=sim.now)
+        summary["trace"] = {
+            "path": args.trace,
+            "spans": len(tracer.spans),
+            "events": len(data["traceEvents"]),
+        }
+
+    if args.json:
+        print(json_mod.dumps(summary, indent=2, default=str))
+    else:
+        print("\nstatus transitions:")
+        print(render_transitions(scoreboard))
+        print(f"\nwrites: {writes['succeeded']}/{writes['total']} succeeded, "
+              f"{summary['alarms_delivered']} alarms delivered")
+        if engine.violations:
+            print("SLO violations:")
+            for violation in engine.violations:
+                shard = (
+                    f" shard=s{violation.shard}"
+                    if violation.shard is not None else ""
+                )
+                print(f"  t={violation.time:6.2f}s {violation.slo}"
+                      f" burn={violation.burn_rate:.2f}{shard}")
+        else:
+            print("SLO violations: none")
+        if args.html:
+            print(f"wrote {args.html}")
+    return 0
+
+
 def cmd_chaos(args) -> int:
     from repro.chaos import (
         get_scenario,
@@ -506,7 +735,7 @@ def cmd_chaos(args) -> int:
         def config_for(seed):
             return scenario.config(seed=seed)
 
-    if args.trace_dump is not None or args.ids or args.heal:
+    if args.trace_dump is not None or args.ids or args.heal or args.fleet:
         from dataclasses import replace as dc_replace
 
         base_config_for = config_for
@@ -517,6 +746,8 @@ def cmd_chaos(args) -> int:
             extra["ids"] = True
         if args.heal:
             extra["heal"] = True
+        if args.fleet:
+            extra["fleet"] = True
 
         def config_for(seed):
             return dc_replace(base_config_for(seed), **extra)
@@ -581,6 +812,8 @@ def cmd_chaos(args) -> int:
             "ids_score": report.ids_score,
             "heal_actions": report.heal_actions,
             "evictions": report.evictions,
+            "fleet": report.fleet,
+            "slo_violations": report.slo_violations,
             "fingerprint": report.fingerprint(),
         })
 
@@ -1109,6 +1342,10 @@ def main(argv=None) -> int:
                        help="close the loop: run the recovery orchestrator "
                             "on the detector's verdicts and report its "
                             "action log")
+    chaos.add_argument("--fleet", action="store_true",
+                       help="sample the fleet health scoreboard + SLO "
+                            "burn-rate engine alongside the campaign "
+                            "(passive: fingerprints are unchanged)")
     chaos.set_defaults(func=cmd_chaos)
 
     ids = subparsers.add_parser(
@@ -1155,7 +1392,39 @@ def main(argv=None) -> int:
                             "(default trace.json)")
     trace.add_argument("--jsonl", default=None, metavar="PATH",
                        help="also write one span per line as JSONL")
+    trace.add_argument("--shards", type=int, default=1,
+                       help="BFT groups for the scada workload; >1 traces "
+                            "cross-shard routing, scatter-gather and the "
+                            "global AE merge (default 1)")
     trace.set_defaults(func=cmd_trace)
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="live fleet health scoreboard + SLO burn rates on a "
+             "sharded deployment",
+    )
+    fleet.add_argument("--shards", type=int, default=2,
+                       help="BFT groups to deploy (default 2)")
+    fleet.add_argument("--seed", type=int, default=42)
+    fleet.add_argument("--duration", type=float, default=6.0,
+                       help="simulated seconds to run (default 6.0)")
+    fleet.add_argument("--interval", type=float, default=0.25,
+                       help="scoreboard sampling interval in simulated "
+                            "seconds (default 0.25)")
+    fleet.add_argument("--kernel", choices=("heap", "ring"), default=None,
+                       help="event kernel (default: REPRO_KERNEL or heap)")
+    fleet.add_argument("--kill-leader", action="store_true",
+                       help="crash shard 0's leader at t=duration/3 and "
+                            "recover it at 2*duration/3")
+    fleet.add_argument("--json", action="store_true",
+                       help="print one JSON summary instead of the live "
+                            "ASCII board")
+    fleet.add_argument("--html", default=None, metavar="PATH",
+                       help="also write a static HTML fleet report")
+    fleet.add_argument("--trace", default=None, metavar="PATH",
+                       help="install the span tracer and export a Perfetto "
+                            "trace of the run")
+    fleet.set_defaults(func=cmd_fleet)
 
     args = parser.parse_args(argv)
     return args.func(args)

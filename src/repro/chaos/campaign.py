@@ -118,6 +118,14 @@ class CampaignConfig:
     #: Orchestrator tuning; ``None`` = :class:`repro.heal.HealConfig`
     #: defaults (the proportionate-escalation policy table).
     heal_config: HealConfig | None = None
+    #: Run the fleet observability control plane alongside the monitors:
+    #: a :class:`repro.obs.fleet.FleetScoreboard` sampled on the poll
+    #: grid plus a :class:`repro.obs.slo.SloEngine` evaluating burn-rate
+    #: error budgets. Strictly passive — like the IDS, a campaign's
+    #: fingerprint is bit-identical with the scoreboard on or off.
+    fleet: bool = False
+    #: SLO objectives; ``None`` = :func:`repro.obs.slo.default_fleet_slos`.
+    slo_specs: tuple | None = None
     #: Simulation kernel override (``"heap"``/``"ring"``; ``None`` =
     #: the process default), for kernel-parity campaigns.
     kernel: str | None = None
@@ -361,6 +369,12 @@ class CampaignReport:
     #: the fingerprint itself, through the actions it takes.
     heal_actions: list = field(default_factory=list)
     evictions: int = 0
+    #: Fleet scoreboard dump (:meth:`repro.obs.fleet.FleetScoreboard.
+    #: to_dict`) and the SLO violations it recorded. Diagnostics only —
+    #: deliberately outside :meth:`fingerprint`, which is the
+    #: scoreboard-on/off invariance contract.
+    fleet: dict | None = None
+    slo_violations: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -507,6 +521,17 @@ def run_campaign(
             handler_config=handler_config,
             on_evict=lambda index, address: ctx.evicted.add(index),
         )
+    scoreboard = None
+    if config.fleet:
+        from repro.obs.fleet import FleetScoreboard
+        from repro.obs.slo import SloEngine
+
+        scoreboard = FleetScoreboard(
+            system,
+            slo_engine=SloEngine(specs=config.slo_specs, sim=sim),
+            detector=ctx.detector,
+            orchestrator=ctx.orchestrator,
+        )
     heal_times = []
     for action in schedule:
         interval = action.fault_interval(config.horizon)
@@ -629,6 +654,10 @@ def run_campaign(
                 # refreshed its verdicts: detect -> corroborate -> act is
                 # one deterministic pipeline per tick.
                 ctx.orchestrator.poll()
+            if scoreboard is not None:
+                # Last on the grid so the sample sees this tick's monitor
+                # and heal state. Passive: adds zero simulation events.
+                scoreboard.sample()
 
     sim.process(update_traffic(), name="chaos-updates")
     sim.process(write_traffic(), name="chaos-writes")
@@ -698,6 +727,12 @@ def run_campaign(
         ),
         evictions=(
             ctx.orchestrator.evictions if ctx.orchestrator is not None else 0
+        ),
+        fleet=(scoreboard.to_dict() if scoreboard is not None else None),
+        slo_violations=(
+            [v.as_dict() for v in scoreboard.slo_engine.violations]
+            if scoreboard is not None
+            else []
         ),
     )
 

@@ -86,6 +86,14 @@ class ProxyFrontend:
             "write_results_in": 0,
             "invoke_failures": 0,
         }
+        #: Registry counter for routed ingress messages (fleet scoreboard
+        #: folds it with the router's own hit/miss cache stats). Only the
+        #: sharded shape routes, so only it registers the counter.
+        self._routed = (
+            sim.metrics.counter(f"shard.ingress.{address}.routed")
+            if self.sharded
+            else None
+        )
         self._started = False
 
     def start(self) -> None:
@@ -103,6 +111,7 @@ class ProxyFrontend:
     def _client_for(self, item_id: str) -> ServiceProxy:
         if not self.sharded:
             return self.bft
+        self._routed.inc()
         return self.bft_clients[self.router.route(item_id)]
 
     # ------------------------------------------------------------------

@@ -101,7 +101,12 @@ class ProxyHMI:
 
         # The global AE order + correlation layer (multi-shard only).
         self.merger = (
-            GlobalAeMerger(sim, self._deliver_global, holdback=merge_holdback)
+            GlobalAeMerger(
+                sim,
+                self._deliver_global,
+                holdback=merge_holdback,
+                process=f"{address}-merger",
+            )
             if self.sharded
             else None
         )
@@ -134,6 +139,15 @@ class ProxyHMI:
             "ordered_read_fallbacks": 0,
             "scatter_queries": 0,
         }
+        #: op_id -> submit instant, feeding the end-to-end write latency
+        #: histogram the SLO engine reads. Always on: pure arithmetic.
+        self._write_submitted: dict[str, float] = {}
+        self._write_latency = sim.metrics.histogram("hmi.write.latency")
+        #: Sim instant the last AE event reached the HMI-side AE server.
+        self.last_event_delivered: float | None = None
+        #: Monotone id for browse scatter traces (browses carry no op id).
+        self._browse_seq = 0
+        sim.register_stats_source("proxy.hmi", lambda: dict(self.stats))
         self._started = False
 
     def start(self) -> None:
@@ -185,15 +199,42 @@ class ProxyHMI:
             self._browse_waiters.append(message.reply_to)
             self._submit(self.bft, BrowseRequest(reply_to=self.bft.client_id))
             return
-        self._browse_gathers.append(
-            {
-                "origin": message.reply_to,
-                "pending": set(range(len(self.bft_clients))),
-                "items": [],
-            }
-        )
-        for client in self.bft_clients:
-            self._submit(client, BrowseRequest(reply_to=client.client_id))
+        self._browse_seq += 1
+        tracer = self.sim.tracer
+        root = None
+        fanout: dict = {}
+        trace_id = f"browse:{self._browse_seq}"
+        if tracer is not None and tracer.enabled:
+            root = tracer.begin(
+                "shard.scatter",
+                trace_id,
+                process=self.address,
+                op="browse",
+                shards=len(self.bft_clients),
+            )
+        gather = {
+            "origin": message.reply_to,
+            "pending": set(range(len(self.bft_clients))),
+            "items": [],
+            "root": root,
+            "fanout": fanout,
+        }
+        self._browse_gathers.append(gather)
+        for shard, client in enumerate(self.bft_clients):
+            span = None
+            if root is not None:
+                span = tracer.begin(
+                    "shard.scatter.fanout",
+                    trace_id,
+                    parent=root,
+                    process=self.address,
+                    op="browse",
+                    shard=shard,
+                )
+                fanout[shard] = span
+            self._submit(
+                client, BrowseRequest(reply_to=client.client_id), parent=span
+            )
 
     def _forward_event_query(self, query: EventQuery) -> None:
         """History queries ride the read-only (unordered) library path.
@@ -207,7 +248,24 @@ class ProxyHMI:
             self._scatter_event_query(query)
             return
         origin = query.reply_to
-        client = self._client_for(query.item_id) if query.item_id != "*" else self.bft
+        span = None
+        if self.sharded and query.item_id != "*":
+            shard = self.router.route(query.item_id)
+            client = self.bft_clients[shard]
+            tracer = self.sim.tracer
+            if tracer is not None and tracer.enabled:
+                span = tracer.point(
+                    "shard.route",
+                    f"query:{query.query_id}",
+                    process=self.address,
+                    item=query.item_id,
+                    shard=shard,
+                    epoch=self.router.map.epoch,
+                )
+        else:
+            client = self.bft if query.item_id == "*" else self._client_for(
+                query.item_id
+            )
         rewritten = EventQuery(
             query_id=query.query_id,
             reply_to=client.client_id,
@@ -217,7 +275,7 @@ class ProxyHMI:
             event_type=query.event_type,
             limit=query.limit,
         )
-        event = client.invoke_unordered(encode(rewritten))
+        event = client.invoke_unordered(encode(rewritten), parent=span)
 
         def on_done(ev) -> None:
             if not ev.ok:
@@ -234,6 +292,18 @@ class ProxyHMI:
         shards = len(self.bft_clients)
         gathered: dict[int, tuple] = {}
         remaining = [shards]
+        tracer = self.sim.tracer
+        trace_id = f"query:{query.query_id}"
+        root = None
+        if tracer is not None and tracer.enabled:
+            root = tracer.begin(
+                "shard.scatter",
+                trace_id,
+                process=self.address,
+                op="event-query",
+                item=query.item_id,
+                shards=shards,
+            )
 
         def finish() -> None:
             tagged = []
@@ -244,6 +314,8 @@ class ProxyHMI:
             merged = tuple(ev for _key, ev in tagged)
             if query.limit is not None:
                 merged = merged[: query.limit]
+            if root is not None:
+                tracer.end(root, events=len(merged))
             self.endpoint.send(
                 origin, EventQueryReply(query_id=query.query_id, events=merged)
             )
@@ -258,21 +330,37 @@ class ProxyHMI:
                 event_type=query.event_type,
                 limit=query.limit,
             )
+            span = None
+            if root is not None:
+                span = tracer.begin(
+                    "shard.scatter.fanout",
+                    trace_id,
+                    parent=root,
+                    process=self.address,
+                    op="event-query",
+                    shard=shard,
+                )
 
-            def on_done(ev, _shard=shard) -> None:
+            def on_done(ev, _shard=shard, _span=span) -> None:
                 if ev.ok:
                     gathered[_shard] = decode(ev.value).events
+                    if _span is not None:
+                        tracer.end(_span, events=len(gathered[_shard]))
                 else:
                     # Best effort: a failed shard contributes nothing;
                     # the gathered reply still reflects every group that
                     # answered its n-f read quorum.
                     ev.defused = True
                     self.stats["invoke_failures"] += 1
+                    if _span is not None:
+                        tracer.end(_span, failed=True)
                 remaining[0] -= 1
                 if remaining[0] == 0:
                     finish()
 
-            client.invoke_unordered(encode(rewritten)).add_callback(on_done)
+            client.invoke_unordered(
+                encode(rewritten), parent=span
+            ).add_callback(on_done)
 
     def _forward_value_query(self, query: ValueQuery) -> None:
         """Current-value reads ride the unordered path, with a fallback.
@@ -317,7 +405,13 @@ class ProxyHMI:
         """Rewrite the reply path and push the write into the total order."""
         self.stats["forwarded_writes"] += 1
         self._write_origins[message.op_id] = message.reply_to
-        client = self._client_for(message.item_id)
+        self._write_submitted[message.op_id] = self.sim.now
+        if self.sharded:
+            shard = self.router.route(message.item_id)
+            client = self.bft_clients[shard]
+        else:
+            shard = 0
+            client = self.bft
         tracer = self.sim.tracer
         span = None
         if tracer is not None and tracer.enabled:
@@ -329,6 +423,16 @@ class ProxyHMI:
                 item=message.item_id,
             )
             self._write_spans[message.op_id] = span
+            if self.sharded:
+                tracer.point(
+                    "shard.route",
+                    f"op:{message.op_id}",
+                    parent=span,
+                    process=self.address,
+                    item=message.item_id,
+                    shard=shard,
+                    epoch=self.router.map.epoch,
+                )
         rewritten = WriteValue(
             item_id=message.item_id,
             value=message.value,
@@ -364,9 +468,13 @@ class ProxyHMI:
                 self.merger.offer(shard, message.event)
             else:
                 self.stats["events_out"] += 1
+                self.last_event_delivered = self.sim.now
                 self.ae_server.publish(message.event)
         elif isinstance(message, WriteResult):
             origin = self._write_origins.pop(message.op_id, None)
+            submitted = self._write_submitted.pop(message.op_id, None)
+            if submitted is not None:
+                self._write_latency.observe(self.sim.now - submitted)
             span = self._write_spans.pop(message.op_id, None)
             if span is not None and self.sim.tracer is not None:
                 self.sim.tracer.end(span, success=message.success)
@@ -382,8 +490,16 @@ class ProxyHMI:
                 if shard in gather["pending"]:
                     gather["pending"].discard(shard)
                     gather["items"].extend(message.items)
+                    tracer = self.sim.tracer
+                    span = gather["fanout"].pop(shard, None)
+                    if span is not None and tracer is not None:
+                        tracer.end(span, items=len(message.items))
                     if not gather["pending"]:
                         self._browse_gathers.remove(gather)
+                        if gather["root"] is not None and tracer is not None:
+                            tracer.end(
+                                gather["root"], items=len(gather["items"])
+                            )
                         self.endpoint.send(
                             gather["origin"],
                             BrowseReply(items=tuple(sorted(gather["items"]))),
@@ -393,6 +509,7 @@ class ProxyHMI:
     def _deliver_global(self, shard: int, event) -> None:
         """Sink of the global merge: publish, then correlate."""
         self.stats["events_out"] += 1
+        self.last_event_delivered = self.sim.now
         self.ae_server.publish(event)
         if self.correlator is not None:
             self.correlator.observe(shard, event)

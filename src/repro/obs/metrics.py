@@ -103,19 +103,37 @@ class Histogram:
             self.max = value
 
     def quantile(self, q: float) -> float:
-        """Bucket-upper-bound estimate of the ``q`` quantile (0..1)."""
+        """Interpolated estimate of the ``q`` quantile (0..1).
+
+        An empty histogram returns ``nan``; ``q=0`` and ``q=1`` return
+        the exact observed min/max. Interior quantiles interpolate
+        linearly inside the bucket holding the target rank, with the
+        bucket edges clamped to the observed min/max — so a histogram
+        whose samples all land in one bucket degenerates to a min..max
+        interpolation instead of snapping to a bucket bound.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be within [0, 1]")
         if self.count == 0:
             return math.nan
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
         target = q * self.count
         seen = 0
         for index, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            if seen + bucket_count >= target:
+                lo = self.min if index == 0 else self.bounds[index - 1]
+                hi = self.max if index == len(self.bounds) else self.bounds[index]
+                lo = max(lo, self.min)
+                hi = min(hi, self.max)
+                if hi < lo:
+                    hi = lo
+                return lo + (hi - lo) * (target - seen) / bucket_count
             seen += bucket_count
-            if seen >= target and bucket_count:
-                if index == len(self.bounds):
-                    return self.max
-                return self.bounds[index]
         return self.max
 
     def summary(self) -> dict:

@@ -1,0 +1,327 @@
+"""Service-level objectives with burn-rate error budgets, in sim time.
+
+An :class:`SloSpec` declares one objective over the fleet's always-on
+metrics — the kind of statement an operator pins above the console:
+
+``latency``
+    "q of HMI writes complete within ``objective`` seconds" (measured
+    from a named :class:`~repro.obs.metrics.Histogram`; a write landing
+    in a bucket above the objective bound is a *bad event*).
+``availability``
+    "every shard keeps ``min_live`` replicas answering" (``"full"`` =
+    all n members, ``"quorum"`` = the 2f+1 the protocol needs; an
+    evaluation tick below the threshold is a bad slice for that shard).
+``freshness``
+    "no AE event sits in the global merge buffer longer than
+    ``objective`` seconds" (a tick whose oldest buffered event exceeds
+    the bound is a bad slice).
+
+The **error budget** is the fraction of events/slices allowed to be bad
+(``budget=0.05`` = 5%). Each evaluation folds the last ``window``
+seconds into a bad fraction and divides by the budget — the **burn
+rate**: 1.0 means the budget is being consumed exactly as fast as it is
+granted; above ``burn_threshold`` the engine emits one typed
+:class:`SloViolation` and re-arms only after the burn falls back under
+half the threshold (hysteresis, so a sustained incident is one
+violation, not one per tick).
+
+The engine is *passive*: :meth:`SloEngine.evaluate` reads a
+:class:`~repro.obs.fleet.FleetSample` and touches only its own state —
+it never schedules events, so a run behaves identically with the engine
+on or off (``tests/test_fleet_determinism.py``). When a tracer is
+installed and enabled, violations are also recorded as
+``slo.violation`` point spans, which puts them inside the chaos flight
+recorder's dump window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One declarative objective (all timing in simulated seconds)."""
+
+    name: str
+    #: ``"latency"`` | ``"availability"`` | ``"freshness"``.
+    kind: str
+    #: Latency/freshness bound in seconds (unused for availability).
+    objective: float = 0.0
+    #: Allowed bad fraction of events/slices (the error budget).
+    budget: float = 0.05
+    #: Sliding evaluation window, seconds.
+    window: float = 2.0
+    #: Latency only: the histogram metric the bad events come from.
+    histogram: str = "hmi.write.latency"
+    #: Availability only: ``"full"`` (all members) or ``"quorum"`` (2f+1).
+    min_live: str = "full"
+    #: Burn rate at which a violation fires.
+    burn_threshold: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("latency", "availability", "freshness"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if not 0.0 < self.budget <= 1.0:
+            raise ValueError("budget must be in (0, 1]")
+        if self.window <= 0.0:
+            raise ValueError("window must be positive")
+        if self.min_live not in ("full", "quorum"):
+            raise ValueError("min_live must be 'full' or 'quorum'")
+
+
+@dataclass(frozen=True)
+class SloViolation:
+    """One budget-burn crossing, typed for reports and flight recorders."""
+
+    time: float
+    slo: str
+    kind: str
+    #: Shard the violation localises to (``None`` = fleet-level).
+    shard: int | None
+    #: The instantaneous measurement at the crossing (latency bad
+    #: fraction, live replica count, or buffered-event age).
+    measured: float
+    objective: float
+    burn_rate: float
+    #: Fraction of the window's budget left (clamped at 0).
+    budget_remaining: float
+
+    def as_dict(self) -> dict:
+        return {
+            "time": round(self.time, 6),
+            "slo": self.slo,
+            "kind": self.kind,
+            "shard": self.shard,
+            "measured": round(self.measured, 6),
+            "objective": self.objective,
+            "burn_rate": round(self.burn_rate, 4),
+            "budget_remaining": round(self.budget_remaining, 4),
+        }
+
+
+def default_fleet_slos() -> tuple:
+    """The stock objectives the fleet scoreboard evaluates.
+
+    Tuned so a benign seeded run burns nothing while a leader kill
+    (one replica down for >1 poll tick) reliably burns the availability
+    budget — the calibration ``benchmarks/test_obs_fleet.py`` asserts.
+    """
+    return (
+        SloSpec(
+            name="hmi-write-p99",
+            kind="latency",
+            objective=0.25,
+            budget=0.10,
+            window=2.0,
+        ),
+        SloSpec(
+            name="shard-availability",
+            kind="availability",
+            budget=0.05,
+            window=2.0,
+            min_live="full",
+        ),
+        SloSpec(
+            name="ae-freshness",
+            kind="freshness",
+            objective=0.5,
+            budget=0.10,
+            window=2.0,
+        ),
+    )
+
+
+@dataclass
+class _Series:
+    """Sliding window of (time, good, bad) observations for one key."""
+
+    window: float
+    points: deque = field(default_factory=deque)
+    armed: bool = True
+
+    def push(self, time: float, good: float, bad: float) -> None:
+        self.points.append((time, good, bad))
+        horizon = time - self.window
+        while self.points and self.points[0][0] < horizon:
+            self.points.popleft()
+
+    def bad_fraction(self) -> float:
+        good = sum(p[1] for p in self.points)
+        bad = sum(p[2] for p in self.points)
+        total = good + bad
+        return bad / total if total else 0.0
+
+
+class SloEngine:
+    """Evaluates a set of :class:`SloSpec` against fleet samples.
+
+    Passive by contract: construction and :meth:`evaluate` never touch
+    the simulator's schedule. ``sim`` is only used to read ``sim.now``
+    fallbacks and the (optional) tracer for ``slo.violation`` points.
+    """
+
+    def __init__(self, specs=None, sim=None) -> None:
+        self.specs = tuple(specs) if specs is not None else default_fleet_slos()
+        names = [spec.name for spec in self.specs]
+        if len(set(names)) != len(names):
+            raise ValueError("SLO names must be unique")
+        self.sim = sim
+        #: Every violation emitted, in order.
+        self.violations: list = []
+        #: ``fn(violation)`` listeners (campaign reports, CLIs).
+        self.sinks: list = []
+        #: (slo name, shard-or-None) -> window series.
+        self._series: dict = {}
+        #: slo name -> last cumulative histogram bucket counts.
+        self._last_buckets: dict = {}
+
+    def subscribe(self, fn) -> None:
+        self.sinks.append(fn)
+
+    # -- evaluation ------------------------------------------------------
+
+    def _series_for(self, spec: SloSpec, shard) -> _Series:
+        key = (spec.name, shard)
+        series = self._series.get(key)
+        if series is None:
+            series = _Series(window=spec.window)
+            self._series[key] = series
+        return series
+
+    def _bucket_deltas(self, spec: SloSpec, buckets: dict) -> tuple:
+        """(good, bad) event counts since the previous evaluation."""
+        last = self._last_buckets.get(spec.name, {})
+        good = bad = 0
+        for bound, count in buckets.items():
+            delta = count - last.get(bound, 0)
+            if delta <= 0:
+                continue
+            if bound != "+inf" and float(bound) <= spec.objective:
+                good += delta
+            else:
+                # A whole bucket above the bound is conservatively bad —
+                # fixed buckets cannot split one around the objective.
+                bad += delta
+        self._last_buckets[spec.name] = dict(buckets)
+        return good, bad
+
+    def evaluate(self, sample) -> list:
+        """Fold one :class:`~repro.obs.fleet.FleetSample`; return the new
+        violations (also appended to :attr:`violations`)."""
+        fired = []
+        for spec in self.specs:
+            if spec.kind == "latency":
+                good, bad = self._bucket_deltas(
+                    spec, sample.write_latency_buckets
+                )
+                fired.extend(
+                    self._observe(spec, None, sample.time, good, bad,
+                                  measured=self._series_for(spec, None)
+                                  .bad_fraction())
+                )
+            elif spec.kind == "availability":
+                for health in sample.shards:
+                    threshold = (
+                        health.n if spec.min_live == "full" else health.quorum
+                    )
+                    bad = 1 if health.live < threshold else 0
+                    fired.extend(
+                        self._observe(spec, health.shard, sample.time,
+                                      1 - bad, bad, measured=health.live)
+                    )
+            else:  # freshness
+                age = sample.freshness_age or 0.0
+                bad = 1 if age > spec.objective else 0
+                fired.extend(
+                    self._observe(spec, None, sample.time, 1 - bad, bad,
+                                  measured=age)
+                )
+        return fired
+
+    def _observe(
+        self, spec: SloSpec, shard, time: float, good, bad, measured
+    ) -> list:
+        series = self._series_for(spec, shard)
+        series.push(time, good, bad)
+        burn = series.bad_fraction() / spec.budget
+        if burn >= spec.burn_threshold and series.armed:
+            series.armed = False
+            violation = SloViolation(
+                time=time,
+                slo=spec.name,
+                kind=spec.kind,
+                shard=shard,
+                measured=float(measured),
+                objective=spec.objective,
+                burn_rate=burn,
+                budget_remaining=max(0.0, 1.0 - burn),
+            )
+            self.violations.append(violation)
+            for sink in self.sinks:
+                sink(violation)
+            self._trace_point(violation)
+            return [violation]
+        if burn < spec.burn_threshold * 0.5:
+            # Hysteresis: a sustained incident emits once, and only a
+            # real recovery re-arms the alert.
+            series.armed = True
+        return []
+
+    def _trace_point(self, violation: SloViolation) -> None:
+        tracer = getattr(self.sim, "tracer", None) if self.sim else None
+        if tracer is None or not tracer.enabled:
+            return
+        tracer.point(
+            "slo.violation",
+            f"slo:{violation.slo}",
+            process="slo-engine",
+            slo=violation.slo,
+            kind=violation.kind,
+            shard=violation.shard,
+            burn_rate=round(violation.burn_rate, 4),
+            measured=round(violation.measured, 6),
+        )
+
+    # -- reading ---------------------------------------------------------
+
+    def burn_rate(self, name: str, shard=None) -> float:
+        """Current burn rate of one objective (0.0 when never sampled)."""
+        spec = next((s for s in self.specs if s.name == name), None)
+        if spec is None:
+            raise KeyError(name)
+        series = self._series.get((name, shard))
+        if series is None:
+            return 0.0
+        return series.bad_fraction() / spec.budget
+
+    def burning(self) -> list:
+        """(name, shard) pairs currently at or above their threshold."""
+        result = []
+        for (name, shard), series in self._series.items():
+            spec = next(s for s in self.specs if s.name == name)
+            if series.bad_fraction() / spec.budget >= spec.burn_threshold:
+                result.append((name, shard))
+        return result
+
+    def summary(self) -> dict:
+        burn = {}
+        for (name, shard), series in self._series.items():
+            spec = next(s for s in self.specs if s.name == name)
+            key = name if shard is None else f"{name}[s{shard}]"
+            burn[key] = round(series.bad_fraction() / spec.budget, 4)
+        return {
+            "objectives": [
+                {
+                    "name": spec.name,
+                    "kind": spec.kind,
+                    "objective": spec.objective,
+                    "budget": spec.budget,
+                    "window": spec.window,
+                }
+                for spec in self.specs
+            ],
+            "burn": burn,
+            "violations": [v.as_dict() for v in self.violations],
+        }

@@ -67,12 +67,15 @@ class GlobalAeMerger:
         and counted in ``stats["late"]``.
     """
 
-    def __init__(self, sim, sink, holdback: float = 0.05) -> None:
+    def __init__(
+        self, sim, sink, holdback: float = 0.05, process: str = "ae-merger"
+    ) -> None:
         if holdback <= 0:
             raise ValueError("holdback must be positive")
         self.sim = sim
         self.sink = sink
         self.holdback = holdback
+        self.process = process
         #: Buffered ``(key, shard, event)`` entries, kept sorted lazily.
         self._pending: list = []
         self._seq: dict[int, int] = {}
@@ -81,6 +84,24 @@ class GlobalAeMerger:
         #: ``(global_seq, shard, event)`` of everything released, in order.
         self.released: list = []
         self.stats = {"offered": 0, "released": 0, "late": 0, "peak_buffer": 0}
+        #: (shard, seq) -> open ``shard.merge.holdback`` span.
+        self._spans: dict = {}
+
+    @property
+    def pending(self) -> int:
+        """Events currently held back waiting for the watermark."""
+        return len(self._pending)
+
+    def oldest_pending_age(self, now: float) -> float:
+        """Age of the oldest buffered event (0.0 when the buffer is empty).
+
+        This is the AE *freshness* signal the SLO engine evaluates: how
+        long the most delayed alarm has been invisible to the operator.
+        """
+        if not self._pending:
+            return 0.0
+        oldest = min(entry[0][0] for entry in self._pending)
+        return max(now - oldest, 0.0)
 
     def offer(self, shard: int, event) -> None:
         """Feed one event from ``shard`` (in that shard's push order)."""
@@ -88,13 +109,32 @@ class GlobalAeMerger:
         self._seq[shard] = seq + 1
         key = merge_key(event.timestamp, shard, seq)
         self.stats["offered"] += 1
+        tracer = self.sim.tracer
         if self._last_released_key is not None and key < self._last_released_key:
             # A straggler beyond the holdback: the greater-keyed events
             # are already out, so release it now rather than rewrite
             # history. Deterministic — arrival order is seeded.
             self.stats["late"] += 1
+            if tracer is not None and tracer.enabled:
+                tracer.point(
+                    "shard.merge.late",
+                    f"ae:s{shard}:{seq}",
+                    process=self.process,
+                    shard=shard,
+                    seq=seq,
+                    timestamp=event.timestamp,
+                )
             self._release(key, shard, event)
             return
+        if tracer is not None and tracer.enabled:
+            self._spans[(shard, seq)] = tracer.begin(
+                "shard.merge.holdback",
+                f"ae:s{shard}:{seq}",
+                process=self.process,
+                shard=shard,
+                seq=seq,
+                timestamp=event.timestamp,
+            )
         self._pending.append((key, shard, event))
         if len(self._pending) > self.stats["peak_buffer"]:
             self.stats["peak_buffer"] = len(self._pending)
@@ -125,6 +165,11 @@ class GlobalAeMerger:
         if self._last_released_key is None or key > self._last_released_key:
             self._last_released_key = key
         self.stats["released"] += 1
+        span = self._spans.pop((shard, key[2]), None)
+        if span is not None:
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.end(span, global_seq=len(self.released))
         self.released.append((len(self.released), shard, event))
         self.sink(shard, event)
 

@@ -130,6 +130,26 @@ class ShardSplitter:
             started_at=self.sim.now,
         )
         self.reports.append(report)
+        tracer = self.sim.tracer
+        trace_id = f"split:{len(self.reports)}"
+        root = None
+        if tracer is not None and tracer.enabled:
+            root = tracer.begin(
+                "shard.split",
+                trace_id,
+                process="shard-splitter",
+                target=target,
+                items=len(report.items),
+            )
+
+        def finish_trace() -> None:
+            if root is not None:
+                tracer.end(
+                    root,
+                    status=report.status,
+                    moved_items=report.moved_items,
+                    moved_events=report.moved_events,
+                )
 
         # Phase 1 — group the items by current owner, then flip the map.
         by_source: dict[int, list] = {}
@@ -143,6 +163,7 @@ class ShardSplitter:
         if not by_source:
             report.finished_at = self.sim.now
             report.detail = "all items already on the target shard"
+            finish_trace()
             return report
 
         # Phase 2 — drain the source pipelines.
@@ -151,28 +172,58 @@ class ShardSplitter:
         # Phases 3+4 — export from each source, import into the target.
         for source in sorted(by_source):
             moved = tuple(by_source[source])
+            export_span = None
+            if root is not None:
+                export_span = tracer.begin(
+                    "shard.split.export",
+                    trace_id,
+                    parent=root,
+                    process="shard-splitter",
+                    source=source,
+                    items=len(moved),
+                )
             export = yield from self._await(
                 self._client(source).invoke_ordered(
-                    encode(ShardExport(item_ids=moved, detach=True))
+                    encode(ShardExport(item_ids=moved, detach=True)),
+                    parent=export_span,
                 )
             )
+            if export_span is not None:
+                tracer.end(export_span, ok=export is not None)
             if export is None:
                 report.status = "export-failed"
                 report.detail = f"shard {source} did not answer the export"
                 report.finished_at = self.sim.now
+                finish_trace()
                 return report
             items, _ownership, events = decode(export)
             report.moved_items += len(items)
             report.moved_events += len(events)
+            import_span = None
+            if root is not None:
+                import_span = tracer.begin(
+                    "shard.split.import",
+                    trace_id,
+                    parent=root,
+                    process="shard-splitter",
+                    source=source,
+                    target=target,
+                    items=len(items),
+                    events=len(events),
+                )
             imported = yield from self._await(
                 self._client(target).invoke_ordered(
-                    encode(ShardImport(payload=export))
+                    encode(ShardImport(payload=export)),
+                    parent=import_span,
                 )
             )
+            if import_span is not None:
+                tracer.end(import_span, ok=imported is not None)
             if imported is None:
                 report.status = "import-failed"
                 report.detail = f"target shard {target} did not apply the import"
                 report.finished_at = self.sim.now
+                finish_trace()
                 return report
 
         # Phase 5 — optionally grow the target group under the new load.
@@ -180,6 +231,7 @@ class ShardSplitter:
             yield from self._grow(report, target)
 
         report.finished_at = self.sim.now
+        finish_trace()
         return report
 
     def _grow(self, report: SplitReport, target: int):

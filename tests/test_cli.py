@@ -147,6 +147,84 @@ def test_trace_command_bft_micro_and_jsonl(tmp_path, capsys):
     assert "consensus" in names and "request" in names
 
 
+def test_trace_command_sharded_workload(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "trace.json"
+    assert main(
+        [
+            "trace", "--shards", "2", "--duration", "0.8",
+            "--out", str(out), "--seed", "2",
+        ]
+    ) == 0
+    text = capsys.readouterr().out
+    assert "wrote" in text and "request autopsy" in text
+    data = json.loads(out.read_text())
+    # Spans landed on processes of both BFT groups: the trace really
+    # crossed the shard tier.
+    names = {
+        e["args"]["name"]
+        for e in data["traceEvents"]
+        if e["ph"] == "M" and e.get("name") == "process_name"
+    }
+    assert any(n.startswith("s0-") for n in names)
+    assert any(n.startswith("s1-") for n in names)
+
+
+def test_fleet_command_json_benign(capsys):
+    import json
+
+    assert main(
+        ["fleet", "--json", "--duration", "2.0", "--seed", "5"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["shards"] == 2
+    assert payload["status"] == "ok"
+    assert payload["degraded_seen"] is False
+    assert payload["slo"]["violations"] == []
+    assert payload["writes"]["total"] > 0
+    assert payload["samples"]
+
+
+def test_fleet_command_kill_leader_degrades_and_recovers(capsys):
+    import json
+
+    assert main(
+        ["fleet", "--json", "--kill-leader", "--duration", "6.0"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kill"]["target"]
+    assert payload["degraded_seen"] is True
+    assert payload["recovered"] is True
+    burned = {
+        v["slo"] for v in payload["slo"]["violations"]
+    }
+    assert "shard-availability" in burned
+
+
+def test_fleet_command_live_board_and_html(tmp_path, capsys):
+    html = tmp_path / "fleet.html"
+    assert main(
+        ["fleet", "--duration", "1.0", "--html", str(html)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "FLEET" in out and "slo-burn" in out
+    assert html.exists() and "s0" in html.read_text()
+
+
+def test_chaos_fleet_flag_reports_scoreboard(capsys):
+    import json
+
+    assert main(
+        ["chaos", "shard-leader-kills", "--seed", "4", "--json", "--fleet"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    (campaign,) = payload["campaigns"]
+    assert campaign["ok"] is True
+    assert campaign["fleet"]["shards"] == 2
+    assert campaign["slo_violations"]
+
+
 def test_chaos_trace_dump_on_violation(tmp_path, capsys):
     import json
 

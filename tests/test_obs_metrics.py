@@ -35,10 +35,13 @@ def test_histogram_observe_and_quantile():
     assert summary["buckets"][0.1] == 1
     assert summary["buckets"]["+inf"] == 1
     assert summary["min"] == 0.0005 and summary["max"] == 0.5
-    # Quantiles report the bucket upper bound the rank falls into; the
-    # +inf bucket reports the observed max.
-    assert hist.quantile(0.0) == 0.001
-    assert hist.quantile(0.5) == 0.01
+    # Quantiles interpolate linearly inside the target bucket, with the
+    # extremes pinned to the observed min/max (never a bucket bound that
+    # no sample reached).
+    assert hist.quantile(0.0) == 0.0005
+    # rank 2.5 of 5 lands in the (0.001, 0.01] bucket, 1.5 of its 2
+    # samples deep: 0.001 + 0.009 * 0.75.
+    assert hist.quantile(0.5) == pytest.approx(0.00775)
     assert hist.quantile(1.0) == 0.5
 
 
@@ -47,6 +50,26 @@ def test_histogram_empty_quantile_is_nan():
 
     hist = Histogram("empty")
     assert math.isnan(hist.quantile(0.5))
+    assert math.isnan(hist.quantile(0.0))
+    assert math.isnan(hist.quantile(1.0))
+
+
+def test_histogram_single_bucket_interpolates_between_min_and_max():
+    hist = Histogram("coarse", buckets=(1.0,))
+    hist.observe(0.2)
+    hist.observe(0.4)
+    # Both samples share one bucket; interpolation spans the *observed*
+    # range, not (0, 1.0].
+    assert hist.quantile(0.0) == 0.2
+    assert hist.quantile(0.5) == pytest.approx(0.3)
+    assert hist.quantile(1.0) == 0.4
+
+
+def test_histogram_single_sample_quantiles_collapse():
+    hist = Histogram("one", buckets=(0.01, 0.1))
+    hist.observe(0.05)
+    for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+        assert hist.quantile(q) == 0.05
 
 
 def test_registry_counter_get_or_create():

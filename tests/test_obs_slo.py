@@ -1,0 +1,216 @@
+"""Unit tests for the SLO burn-rate engine (``repro.obs.slo``).
+
+Driven with synthetic :class:`~repro.obs.fleet.FleetSample` readings so
+every budget crossing is exact: the windowed bad fraction, the
+hysteresis re-arm, and the latency bucket-delta accounting are all
+pinned here without running a deployment.
+"""
+
+import pytest
+
+from repro.obs.fleet import FleetSample, ShardHealth
+from repro.obs.slo import SloEngine, SloSpec, SloViolation, default_fleet_slos
+
+
+def health(shard=0, n=4, f=1, live=4):
+    return ShardHealth(
+        shard=shard,
+        n=n,
+        f=f,
+        quorum=2 * f + 1,
+        live=live,
+        leader="replica-0",
+        leader_changes=0,
+        decided=0,
+        executed=0,
+        pipeline_depth=0,
+        pipeline_occupancy=0.0,
+    )
+
+
+def sample(time, shards=(), buckets=None, freshness=0.0):
+    return FleetSample(
+        time=time,
+        shards=list(shards),
+        write_latency_buckets=dict(buckets or {}),
+        freshness_age=freshness,
+    )
+
+
+# ----------------------------------------------------------------------
+# spec validation
+# ----------------------------------------------------------------------
+
+def test_spec_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        SloSpec(name="x", kind="throughput")
+
+
+def test_spec_rejects_bad_budget_and_window():
+    with pytest.raises(ValueError):
+        SloSpec(name="x", kind="latency", budget=0.0)
+    with pytest.raises(ValueError):
+        SloSpec(name="x", kind="latency", budget=1.5)
+    with pytest.raises(ValueError):
+        SloSpec(name="x", kind="latency", window=0.0)
+    with pytest.raises(ValueError):
+        SloSpec(name="x", kind="availability", min_live="most")
+
+
+def test_engine_rejects_duplicate_names():
+    spec = SloSpec(name="dup", kind="freshness", objective=1.0)
+    with pytest.raises(ValueError):
+        SloEngine(specs=(spec, spec))
+
+
+def test_default_objectives_cover_all_three_kinds():
+    kinds = {spec.kind for spec in default_fleet_slos()}
+    assert kinds == {"latency", "availability", "freshness"}
+
+
+# ----------------------------------------------------------------------
+# availability burn + hysteresis
+# ----------------------------------------------------------------------
+
+def test_availability_fires_once_per_incident():
+    spec = SloSpec(
+        name="avail", kind="availability", budget=0.25, window=10.0,
+        min_live="full",
+    )
+    engine = SloEngine(specs=(spec,))
+    # Healthy ticks: no burn.
+    for t in (0.0, 1.0, 2.0):
+        assert engine.evaluate(sample(t, shards=[health(live=4)])) == []
+    # One bad tick of four in-window -> bad fraction 0.25, burn 1.0:
+    # crosses the threshold exactly once.
+    fired = engine.evaluate(sample(3.0, shards=[health(live=3)]))
+    assert len(fired) == 1
+    violation = fired[0]
+    assert isinstance(violation, SloViolation)
+    assert violation.slo == "avail" and violation.shard == 0
+    assert violation.measured == 3.0
+    assert violation.burn_rate == pytest.approx(1.0)
+    # The incident continues: burn stays >= 1 but the alert is latched.
+    assert engine.evaluate(sample(4.0, shards=[health(live=3)])) == []
+    assert engine.burn_rate("avail", shard=0) > 1.0
+    assert ("avail", 0) in engine.burning()
+    assert len(engine.violations) == 1
+
+
+def test_availability_rearms_after_recovery():
+    spec = SloSpec(
+        name="avail", kind="availability", budget=0.25, window=2.0,
+        min_live="quorum",
+    )
+    engine = SloEngine(specs=(spec,))
+    engine.evaluate(sample(0.0, shards=[health(live=2)]))  # < quorum of 3
+    assert len(engine.violations) == 1
+    # Recovery: enough healthy ticks age the bad one out of the window
+    # and drop the burn under half the threshold -> re-armed.
+    for t in (1.0, 2.0, 3.0, 4.0):
+        engine.evaluate(sample(t, shards=[health(live=4)]))
+    assert engine.burn_rate("avail", shard=0) == 0.0
+    # A second incident fires a second violation.
+    fired = engine.evaluate(sample(5.0, shards=[health(live=1)]))
+    assert len(fired) == 1
+    assert len(engine.violations) == 2
+
+
+def test_availability_is_per_shard():
+    spec = SloSpec(
+        name="avail", kind="availability", budget=0.5, window=2.0,
+    )
+    engine = SloEngine(specs=(spec,))
+    fired = engine.evaluate(
+        sample(0.0, shards=[health(shard=0, live=4), health(shard=1, live=2)])
+    )
+    assert [v.shard for v in fired] == [1]
+    assert engine.burn_rate("avail", shard=0) == 0.0
+    assert engine.burn_rate("avail", shard=1) == 2.0
+
+
+# ----------------------------------------------------------------------
+# latency bucket deltas
+# ----------------------------------------------------------------------
+
+def test_latency_counts_cumulative_bucket_deltas():
+    spec = SloSpec(
+        name="p99", kind="latency", objective=0.1, budget=0.5, window=10.0,
+    )
+    engine = SloEngine(specs=(spec,))
+    # 4 fast writes: all good, no burn.
+    engine.evaluate(sample(0.0, buckets={0.01: 2, 0.1: 2, "+inf": 0}))
+    assert engine.burn_rate("p99") == 0.0
+    # The next reading adds 4 writes above the objective (the +inf
+    # delta): 4 bad of 8 total -> bad fraction 0.5, burn 1.0.
+    fired = engine.evaluate(sample(1.0, buckets={0.01: 2, 0.1: 2, "+inf": 4}))
+    assert len(fired) == 1
+    assert fired[0].kind == "latency" and fired[0].shard is None
+    assert fired[0].burn_rate == pytest.approx(1.0)
+
+
+def test_latency_bucket_at_objective_bound_is_good():
+    spec = SloSpec(
+        name="p99", kind="latency", objective=0.1, budget=0.5, window=10.0,
+    )
+    engine = SloEngine(specs=(spec,))
+    # The 0.1 bucket's bound equals the objective: samples there are
+    # within the promise; only buckets strictly above it are bad.
+    engine.evaluate(sample(0.0, buckets={0.05: 2, 0.1: 5, "+inf": 0}))
+    assert engine.burn_rate("p99") == 0.0
+
+
+def test_latency_idle_readings_do_not_burn():
+    spec = SloSpec(
+        name="p99", kind="latency", objective=0.1, budget=0.1, window=10.0,
+    )
+    engine = SloEngine(specs=(spec,))
+    buckets = {0.1: 3, "+inf": 0}
+    engine.evaluate(sample(0.0, buckets=buckets))
+    # No new writes between readings: deltas are zero, nothing changes.
+    for t in (1.0, 2.0, 3.0):
+        assert engine.evaluate(sample(t, buckets=buckets)) == []
+    assert engine.burn_rate("p99") == 0.0
+
+
+# ----------------------------------------------------------------------
+# freshness
+# ----------------------------------------------------------------------
+
+def test_freshness_burns_on_stale_merge_buffer():
+    spec = SloSpec(
+        name="fresh", kind="freshness", objective=0.5, budget=0.5,
+        window=2.0,
+    )
+    engine = SloEngine(specs=(spec,))
+    assert engine.evaluate(sample(0.0, freshness=0.1)) == []
+    fired = engine.evaluate(sample(1.0, freshness=0.9))
+    assert len(fired) == 1
+    assert fired[0].measured == pytest.approx(0.9)
+
+
+# ----------------------------------------------------------------------
+# reading & sinks
+# ----------------------------------------------------------------------
+
+def test_sinks_and_summary_report_violations():
+    spec = SloSpec(
+        name="avail", kind="availability", budget=0.5, window=2.0,
+    )
+    engine = SloEngine(specs=(spec,))
+    seen = []
+    engine.subscribe(seen.append)
+    engine.evaluate(sample(0.0, shards=[health(live=0)]))
+    assert len(seen) == 1 and seen[0] is engine.violations[0]
+    summary = engine.summary()
+    assert summary["burn"]["avail[s0]"] == 2.0
+    assert len(summary["violations"]) == 1
+    assert summary["violations"][0]["slo"] == "avail"
+    names = [o["name"] for o in summary["objectives"]]
+    assert names == ["avail"]
+
+
+def test_burn_rate_unknown_objective_raises():
+    engine = SloEngine()
+    with pytest.raises(KeyError):
+        engine.burn_rate("no-such-slo")

@@ -89,3 +89,111 @@ def test_disabled_tracer_is_inert():
         span = sim.tracer.begin("x", "t")
     assert span is None
     assert len(tracer.spans) == before
+
+
+# ----------------------------------------------------------------------
+# sharded deployments: the same invariants across the shard tier
+# ----------------------------------------------------------------------
+
+from repro.neoscada import HandlerChain, Monitor  # noqa: E402
+from repro.shard import ShardedScadaConfig, build_sharded_scada  # noqa: E402
+
+SENSORS = [f"plant.s{i}" for i in range(6)]
+
+
+def run_sharded(traced: bool, seed: int = 11):
+    """Two BFT groups behind one namespace: updates spanning both
+    shards, one operator write and one wildcard event query."""
+    sim = Simulator(seed=seed)
+    tracer = install_tracer(sim) if traced else None
+    net = Network(sim, latency=LanLatency(rng=sim.rng.stream("net")))
+    system = build_sharded_scada(
+        sim, net=net, config=ShardedScadaConfig(shards=2)
+    )
+    for sensor in SENSORS:
+        system.frontend.add_item(sensor, initial=20)
+        system.attach_handlers(
+            sensor, lambda: HandlerChain([Monitor(high=80.0)])
+        )
+    system.frontend.add_item("plant.actuator", initial=0, writable=True)
+    system.start()
+    outcome = {}
+
+    def updates():
+        for rnd in range(3):
+            for i, sensor in enumerate(SENSORS):
+                value = 90 if (i + rnd) % 3 == 0 else 30
+                system.frontend.inject_update(sensor, value)
+                yield sim.timeout(0.02)
+
+    def operator():
+        yield sim.timeout(0.3)
+        result = yield system.hmi.write("plant.actuator", 42)
+        outcome["write_ok"] = result.success
+        events = yield system.hmi.query_events("*")
+        outcome["events"] = len(events)
+
+    sim.process(updates())
+    sim.process(operator())
+    sim.run(until=2.0)
+    system.flush_events()
+    sim.run(until=2.5)
+    return sim, tracer, system, outcome
+
+
+def test_sharded_tracing_on_and_off_identical_schedules():
+    sim_off, _none, system_off, outcome_off = run_sharded(traced=False)
+    sim_on, tracer, system_on, outcome_on = run_sharded(traced=True)
+    assert outcome_off["write_ok"] and outcome_off["events"] > 0
+    assert outcome_on == outcome_off
+    # Byte-identical frames (LanLatency is size-dependent), so the
+    # schedule cannot diverge even across the shard tier.
+    assert sim_on.dispatched == sim_off.dispatched
+    assert sim_on.now == sim_off.now
+    stream = lambda s: [  # noqa: E731
+        (e.event_id, e.item_id, e.timestamp) for e in s.hmi.events
+    ]
+    assert stream(system_on) == stream(system_off)
+    assert tracer is not None and len(tracer.spans) > 0
+
+
+def test_write_trace_links_hmi_through_router_to_group():
+    _sim, tracer, _system, outcome = run_sharded(traced=True)
+    assert outcome["write_ok"]
+    roots = [s for s in tracer.spans if s.name == "hmi.write"]
+    assert len(roots) == 1
+    spans = tracer.spans_for(roots[0].trace_id)
+    names = {s.name for s in spans}
+    assert {"hmi.write", "proxy.forward", "shard.route"} <= names
+    route = next(s for s in spans if s.name == "shard.route")
+    shard = route.attrs["shard"]
+    assert route.attrs["item"] == "plant.actuator"
+    # The consensus work of the owning group is causally linked in.
+    group_processes = {
+        s.process
+        for s in spans
+        if s.process.startswith(f"s{shard}-replica")
+    }
+    assert group_processes, "no replica-side span joined the write trace"
+
+
+def test_wildcard_query_trace_spans_both_groups():
+    _sim, tracer, _system, outcome = run_sharded(traced=True)
+    assert outcome["events"] > 0
+    scatters = [
+        s
+        for s in tracer.spans
+        if s.name == "shard.scatter" and s.attrs.get("op") == "event-query"
+    ]
+    assert len(scatters) == 1
+    spans = tracer.spans_for(scatters[0].trace_id)
+    fanout = [s for s in spans if s.name == "shard.scatter.fanout"]
+    assert sorted(s.attrs["shard"] for s in fanout) == [0, 1]
+    # One causally-linked trace with replica-side execution on *both*
+    # groups: the scatter really fanned out across the fleet.
+    executed_on = {
+        s.process[:3]
+        for s in spans
+        if s.name == "request.execute" and s.process.startswith("s")
+    }
+    assert {"s0-", "s1-"} <= executed_on
